@@ -1,0 +1,119 @@
+"""Architecture ablations — the design space around the prototype.
+
+The paper fixes one design point (2x PE_Zi, 2 AXI-HP ports, Nz = 128,
+130 MHz).  These ablations justify it with the models:
+
+* throughput vs. PE_Zi count at fixed ports — voting becomes the wall;
+* throughput vs. vote ports at fixed PEs — generation becomes the wall;
+* the balanced frontier (PEs = ports) and its resource cost;
+* energy per event across the sweep — why the prototype's corner is a
+  sensible energy/throughput/resource compromise.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.eval.reporting import Table
+from repro.hardware.config import EventorConfig
+from repro.hardware.energy import PowerModel
+from repro.hardware.resources import ResourceModel
+from repro.hardware.timing import TimingModel
+
+
+def corner(n_pe, n_ports):
+    cfg = EventorConfig(n_pe_zi=n_pe, n_vote_ports=n_ports)
+    tm = TimingModel(cfg)
+    pm = PowerModel()
+    rm = ResourceModel(cfg)
+    rate = tm.event_rate(False)
+    return {
+        "cfg": cfg,
+        "rate_mev": rate / 1e6,
+        "power_w": pm.total_watts(cfg),
+        "uj_per_event": pm.total_watts(cfg) / rate * 1e6,
+        "luts": rm.totals().luts,
+        "fits": rm.fits(),
+    }
+
+
+def test_pe_scaling_hits_vote_wall():
+    """Adding PEs without ports stalls on the vote unit."""
+    base = corner(2, 2)
+    more_pe = corner(4, 2)
+    # The vote path is already the bottleneck at 2 PEs; 4 PEs gain nothing.
+    assert more_pe["rate_mev"] == pytest.approx(base["rate_mev"], rel=1e-6)
+
+
+def test_port_scaling_hits_generation_wall():
+    """Adding ports without PEs stalls on address generation."""
+    base = corner(2, 2)
+    more_ports = corner(2, 4)
+    gen_bound = EventorConfig().clock_hz / (128 / 2) / 1e6
+    assert more_ports["rate_mev"] == pytest.approx(gen_bound, rel=1e-3)
+    assert more_ports["rate_mev"] < base["rate_mev"] * 1.15
+
+
+def test_balanced_scaling_doubles_throughput():
+    """PEs and ports together double the rate (until DRAM bandwidth)."""
+    base = corner(2, 2)
+    double = corner(4, 4)
+    assert double["rate_mev"] == pytest.approx(2 * base["rate_mev"], rel=0.01)
+    assert double["fits"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Architecture ablation — PE_Zi / vote-port design space",
+        ["PEs", "ports", "Mev/s", "W", "uJ/event", "LUT", "fits"],
+    )
+    corners = {}
+    for n_pe, n_ports in [(1, 1), (2, 1), (2, 2), (2, 4), (4, 2), (4, 4), (8, 8)]:
+        c = corner(n_pe, n_ports)
+        corners[(n_pe, n_ports)] = c
+        table.add_row(
+            n_pe, n_ports, f"{c['rate_mev']:.2f}", f"{c['power_w']:.2f}",
+            f"{c['uj_per_event']:.2f}", c["luts"], "yes" if c["fits"] else "NO",
+        )
+    prototype = corners[(2, 2)]
+    table.add_note(
+        f"prototype corner (2, 2): {prototype['rate_mev']:.2f} Mev/s at "
+        f"{prototype['uj_per_event']:.2f} uJ/event (paper: 1.86 Mev/s, 1.86 W)"
+    )
+    table.add_note(
+        "scaling PEs and ports together keeps improving uJ/event — the "
+        "prototype corner is sized to the 1.86 Mev/s sensor rate, not to "
+        "the efficiency frontier"
+    )
+    write_result("ablation_architecture", table.render())
+    # Balanced corners dominate unbalanced ones of the same size...
+    assert prototype["uj_per_event"] < corners[(2, 1)]["uj_per_event"]
+    assert prototype["uj_per_event"] < corners[(1, 1)]["uj_per_event"]
+    # ...and further balanced scaling keeps paying (PL power grows slower
+    # than throughput), which is headroom, not a flaw of the prototype.
+    assert corners[(4, 4)]["uj_per_event"] < prototype["uj_per_event"]
+
+
+def test_nz_scaling_tradeoff():
+    """More depth planes cost throughput linearly (fixed PEs/ports)."""
+    rates = {}
+    for nz in (64, 128, 256):
+        cfg = EventorConfig(n_planes=nz)
+        rates[nz] = TimingModel(cfg).event_rate(False)
+    assert rates[64] == pytest.approx(2 * rates[128], rel=0.01)
+    assert rates[128] == pytest.approx(2 * rates[256], rel=0.01)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_design_space_sweep(benchmark):
+    """A 36-corner sweep must stay interactive (model evaluation speed)."""
+    def run():
+        out = []
+        for n_pe in (1, 2, 4):
+            for n_ports in (1, 2, 4):
+                out.append(corner(n_pe, n_ports)["rate_mev"])
+        return out
+
+    rates = benchmark(run)
+    assert len(rates) == 9

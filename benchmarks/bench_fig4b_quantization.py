@@ -1,0 +1,107 @@
+"""Fig. 4b — depth-estimation error: full precision vs. Table 1 quantization.
+
+Runs the pipeline with and without the hybrid quantization schema (same
+voting kernel both times, isolating the quantization effect) on all four
+sequences.  The paper reports a maximum AbsRel difference of ~1.01 % —
+quantization is nearly free, which is what licenses the 50 % memory/
+bandwidth saving.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_variant, write_result
+from repro.core.voting import VotingMethod
+from repro.eval.reporting import Table, bar_chart
+from repro.events.datasets import SEQUENCE_NAMES, SHORT_NAMES
+
+PAPER_MAX_GAP = 0.0101
+ALLOWED_GAP = 0.015
+
+
+_CACHE: dict = {}
+
+
+def _compute(sequences):
+    out = {}
+    for name in SEQUENCE_NAMES:
+        seq = sequences[name]
+        out[name] = {
+            "float": run_variant(seq, VotingMethod.BILINEAR, quantized=False),
+            "quantized": run_variant(seq, VotingMethod.BILINEAR, quantized=True),
+        }
+    return out
+
+
+@pytest.fixture
+def results(sequences):
+    if "results" not in _CACHE:
+        _CACHE["results"] = _compute(sequences)
+    return _CACHE["results"]
+
+
+@pytest.mark.benchmark(group="fig4b")
+def test_fig4b_reproduction(benchmark, sequences):
+    results = benchmark.pedantic(
+        lambda: _compute(sequences), rounds=1, iterations=1
+    )
+    _CACHE["results"] = results
+    table = Table(
+        "Fig. 4b — AbsRel: original (float) vs. quantized",
+        ["dataset", "original", "quantized", "gap (pp)"],
+    )
+    labels, orig_vals, quant_vals = [], [], []
+    max_gap = 0.0
+    for name in SEQUENCE_NAMES:
+        o = results[name]["float"]
+        q = results[name]["quantized"]
+        gap = q.absrel - o.absrel
+        max_gap = max(max_gap, abs(gap))
+        table.add_row(
+            SHORT_NAMES[name], f"{o.absrel:.2%}", f"{q.absrel:.2%}",
+            f"{gap * 100:+.2f}",
+        )
+        labels.append(SHORT_NAMES[name])
+        orig_vals.append(o.absrel * 100)
+        quant_vals.append(q.absrel * 100)
+    table.add_note(
+        f"max |gap| = {max_gap:.2%} (paper: {PAPER_MAX_GAP:.2%})"
+    )
+    chart = bar_chart(
+        "Fig. 4b (reproduced)", labels,
+        {"Original": orig_vals, "Quantized": quant_vals},
+    )
+    write_result("fig4b_quantization", table.render() + "\n\n" + chart)
+    assert max_gap < ALLOWED_GAP
+
+
+def test_fig4b_quantization_is_nearly_free(results):
+    """Per-dataset: the quantized variant loses almost nothing."""
+    for name in SEQUENCE_NAMES:
+        o = results[name]["float"]
+        q = results[name]["quantized"]
+        assert abs(q.absrel - o.absrel) < ALLOWED_GAP
+        # Point counts barely move either.
+        assert q.n_points == pytest.approx(o.n_points, rel=0.1)
+
+
+@pytest.mark.benchmark(group="fig4b")
+def test_bench_quantized_backprojection(benchmark):
+    """Per-frame back-projection cost with quantization enabled."""
+    import numpy as np
+
+    from repro.core.backprojection import BackProjector
+    from repro.core.dsi import depth_planes
+    from repro.fixedpoint.quantize import EVENTOR_SCHEMA
+    from repro.geometry.camera import PinholeCamera
+    from repro.geometry.se3 import SE3
+
+    camera = PinholeCamera.davis240c()
+    proj = BackProjector(
+        camera, SE3.identity(), depth_planes(0.6, 3.6, 100), schema=EVENTOR_SCHEMA
+    )
+    pose = SE3(translation=[0.05, 0.0, 0.0])
+    rng = np.random.default_rng(0)
+    xy = np.stack([rng.uniform(0, 239, 1024), rng.uniform(0, 179, 1024)], axis=1)
+
+    u, v, valid = benchmark(proj.project_frame, pose, xy)
+    assert valid.any()

@@ -1,0 +1,95 @@
+"""Fig. 6 — the pipelined execution model.
+
+Regenerates the two panels of Fig. 6 as schedule timelines: for normal
+frames the Canonical Projection Module's work is fully overlapped (frame
+period = proportional-stage time); a key frame serializes the two modules
+(period = sum of stages).  Prints an ASCII Gantt chart and benchmarks the
+scheduler itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.hardware.config import EventorConfig
+from repro.hardware.scheduler import FrameScheduler
+from repro.hardware.timing import TimingModel
+
+
+def build_schedule(pattern):
+    """Schedule a frame pattern ('N' = normal, 'K' = key frame)."""
+    tm = TimingModel(EventorConfig())
+    sched = FrameScheduler()
+    for ch in pattern:
+        sched.add_frame(tm.frame_timing(is_keyframe=(ch == "K")))
+    return sched.result()
+
+
+def test_fig6_normal_frame_overlap():
+    """Upper panel: steady-state period equals the proportional time."""
+    cfg = EventorConfig()
+    tm = TimingModel(cfg)
+    result = build_schedule("NNNNNN")
+    period_us = result.frame_period(4) / cfg.clock_hz * 1e6
+    assert period_us == pytest.approx(tm.frame_seconds(False) * 1e6, rel=1e-6)
+    assert period_us == pytest.approx(551.58, abs=0.2)
+
+
+def test_fig6_keyframe_serialization():
+    """Lower panel: the key frame pays the canonical stage serially."""
+    cfg = EventorConfig()
+    result = build_schedule("NNNKNN")
+    key_period_us = result.frame_period(3) / cfg.clock_hz * 1e6
+    normal_period_us = result.frame_period(2) / cfg.clock_hz * 1e6
+    assert key_period_us == pytest.approx(559.82, abs=0.2)
+    assert key_period_us - normal_period_us == pytest.approx(8.24, abs=0.1)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_render_timeline(benchmark):
+    cfg = EventorConfig()
+    result = benchmark.pedantic(
+        lambda: build_schedule("NNNKNN"), rounds=1, iterations=1
+    )
+    gantt = FrameScheduler.render_gantt(result, cfg.clock_hz)
+    util = result.utilization()
+    text = (
+        gantt
+        + f"\n\nmodule occupancy: proportional {util['proportional']:.1%}, "
+        + f"canonical {util['canonical']:.1%}"
+        + "\n(normal frames hide P(Z0) entirely; the K frame serializes)"
+    )
+    write_result("fig6_pipeline", text)
+    assert util["proportional"] > 0.95
+
+
+def test_overlap_saving_quantified():
+    """The overlap buys exactly the canonical time on every normal frame."""
+    cfg = EventorConfig()
+    tm = TimingModel(cfg)
+    n = 50
+    pipelined = build_schedule("N" * n).total_cycles
+    serial = n * (
+        tm.canonical_cycles(cfg.frame_size)
+        + tm.proportional_cycles(cfg.frame_size)
+    )
+    saving = serial - pipelined
+    # (n-1) overlapped canonical stages.
+    assert saving == pytest.approx(
+        (n - 1) * tm.canonical_cycles(cfg.frame_size), rel=1e-6
+    )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_bench_scheduler_throughput(benchmark):
+    """Scheduling cost per frame (it runs once per 1024 events)."""
+    tm = TimingModel(EventorConfig())
+    timings = [tm.frame_timing(is_keyframe=(i % 20 == 0)) for i in range(200)]
+
+    def run():
+        sched = FrameScheduler()
+        for t in timings:
+            sched.add_frame(t)
+        return sched.result()
+
+    result = benchmark(run)
+    assert len(result.timeline) == 400

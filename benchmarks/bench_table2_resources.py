@@ -1,0 +1,75 @@
+"""Table 2 — FPGA resource utilization of Eventor on the XC7Z020.
+
+Regenerates the published utilization from the parametric resource model
+(17 538 LUT = 32.97 %, 22 830 FF = 21.46 %, 64 KB BRAM = 11.43 %) and adds
+the scaling ablation DESIGN.md calls out: how resources grow with the
+PE_Zi count, and where the design stops fitting the part.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.eval.reporting import Table, format_percent
+from repro.hardware.config import EventorConfig
+from repro.hardware.resources import ResourceModel
+
+PAPER = {"lut": (17538, 0.3297), "ff": (22830, 0.2146), "bram_kb": (64, 0.1143)}
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_reproduction(benchmark):
+    model = benchmark(lambda: ResourceModel(EventorConfig()))
+    totals = model.totals()
+    util = model.utilization()
+
+    table = Table(
+        "Table 2 — FPGA resource utilization (model vs. paper)",
+        ["resource", "model", "model %", "paper", "paper %"],
+    )
+    table.add_row("# LUT", totals.luts, format_percent(util["lut"]),
+                  PAPER["lut"][0], format_percent(PAPER["lut"][1]))
+    table.add_row("# FF", totals.flip_flops, format_percent(util["ff"]),
+                  PAPER["ff"][0], format_percent(PAPER["ff"][1]))
+    table.add_row("BRAM", f"{totals.bram_bytes // 1024} KB",
+                  format_percent(util["bram"]),
+                  f"{PAPER['bram_kb'][0]} KB", format_percent(PAPER["bram_kb"][1]))
+    write_result("table2_resources", table.render() + "\n\n" + model.report())
+
+    assert totals.luts == PAPER["lut"][0]
+    assert totals.flip_flops == PAPER["ff"][0]
+    assert totals.bram_bytes == PAPER["bram_kb"][0] * 1024
+    assert util["lut"] == pytest.approx(PAPER["lut"][1], abs=2e-4)
+    assert util["ff"] == pytest.approx(PAPER["ff"][1], abs=2e-4)
+    assert util["bram"] == pytest.approx(PAPER["bram_kb"][1], abs=2e-4)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_pe_scaling_ablation(benchmark):
+    """Resource growth with PE_Zi count (the design's scaling headroom)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = Table(
+        "Table 2 ablation — scaling the PE_Zi array",
+        ["PE_Zi", "LUT", "FF", "BRAM KB", "LUT %", "fits?"],
+    )
+    for n_pe in (1, 2, 4, 8):
+        cfg = EventorConfig(n_pe_zi=n_pe, n_vote_ports=2)
+        model = ResourceModel(cfg)
+        t = model.totals()
+        u = model.utilization()
+        table.add_row(
+            n_pe, t.luts, t.flip_flops, t.bram_bytes // 1024,
+            format_percent(u["lut"]), "yes" if model.fits() else "NO",
+        )
+    write_result("table2_pe_scaling", table.render())
+    # The prototype's modest footprint leaves room to scale the PE array.
+    assert ResourceModel(EventorConfig(n_pe_zi=8)).fits()
+
+
+@pytest.mark.benchmark(group="table2")
+def test_bench_resource_model(benchmark):
+    """The model itself must be cheap enough for design-space sweeps."""
+    def run():
+        return ResourceModel(EventorConfig()).totals()
+
+    totals = benchmark(run)
+    assert totals.luts > 0

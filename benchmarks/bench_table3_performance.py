@@ -1,0 +1,132 @@
+"""Table 3 — performance comparison: Eventor vs. Intel i5 CPU.
+
+Regenerates every row of the paper's Table 3 from the calibrated models:
+per-task runtime, per-frame runtime (normal + key frames), sustained event
+rate, and power, plus the headline 24x energy-efficiency ratio.  A second
+experiment runs the *measured* accelerator model over a real event stream
+(with its actual projection-miss rate) to show the calibrated steady-state
+figures also emerge from the transaction-level simulation, not just from
+the closed-form model.
+"""
+
+import pytest
+
+from benchmarks.conftest import eval_events, write_result
+from repro.baseline.cpu_model import CPUTimingModel
+from repro.core import EMVSConfig
+from repro.eval.reporting import Table
+from repro.hardware import EventorConfig, EventorSystem
+from repro.hardware.energy import PowerModel
+from repro.hardware.timing import TimingModel
+
+PAPER = {
+    "cpu_pz0_us": 22.40,
+    "cpu_pzir_us": 559.55,
+    "cpu_frame_us": 581.95,
+    "cpu_rate_mev": 1.76,
+    "cpu_power_w": 45.0,
+    "ev_pz0_us": 8.24,
+    "ev_pzir_us": 551.58,
+    "ev_normal_us": 551.58,
+    "ev_key_us": 559.82,
+    "ev_rate_normal_mev": 1.86,
+    "ev_rate_key_mev": 1.83,
+    "ev_power_w": 1.86,
+}
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_model_reproduction(benchmark):
+    cpu = CPUTimingModel.calibrated()
+    cfg = EventorConfig()
+    tm = benchmark(lambda: TimingModel(cfg))
+    pm = PowerModel()
+
+    ts = tm.task_seconds()
+    rows = [
+        ("P(Z0) (us/task)", cpu.time_canonical(1024) * 1e6, PAPER["cpu_pz0_us"],
+         ts["P_Z0"] * 1e6, PAPER["ev_pz0_us"]),
+        ("P(Z0->Zi) & R (us/task)", cpu.time_proportional_and_vote(1024) * 1e6,
+         PAPER["cpu_pzir_us"], ts["P_Zi_R"] * 1e6, PAPER["ev_pzir_us"]),
+        ("Normal frame (us/frame)", cpu.time_frame() * 1e6, PAPER["cpu_frame_us"],
+         tm.frame_seconds(False) * 1e6, PAPER["ev_normal_us"]),
+        ("Key frame (us/frame)", cpu.time_frame() * 1e6, PAPER["cpu_frame_us"],
+         tm.frame_seconds(True) * 1e6, PAPER["ev_key_us"]),
+        ("Rate, normal (Mev/s)", cpu.event_rate() / 1e6, PAPER["cpu_rate_mev"],
+         tm.event_rate(False) / 1e6, PAPER["ev_rate_normal_mev"]),
+        ("Rate, key (Mev/s)", cpu.event_rate() / 1e6, PAPER["cpu_rate_mev"],
+         tm.event_rate(True) / 1e6, PAPER["ev_rate_key_mev"]),
+        ("Power (W)", cpu.power_watts, PAPER["cpu_power_w"],
+         pm.total_watts(cfg), PAPER["ev_power_w"]),
+    ]
+
+    table = Table(
+        "Table 3 — Eventor vs. Intel i5-7300HQ (model vs. paper)",
+        ["metric", "CPU model", "CPU paper", "Eventor model", "Eventor paper"],
+    )
+    for name, cpu_m, cpu_p, ev_m, ev_p in rows:
+        table.add_row(name, f"{cpu_m:.2f}", f"{cpu_p:.2f}", f"{ev_m:.2f}", f"{ev_p:.2f}")
+        assert cpu_m == pytest.approx(cpu_p, rel=0.01)
+        assert ev_m == pytest.approx(ev_p, rel=0.01)
+
+    ratio = cpu.power_watts / pm.total_watts(cfg)
+    table.add_note(f"energy-efficiency gain: {ratio:.1f}x (paper: 24x)")
+    write_result("table3_performance", table.render())
+    assert ratio == pytest.approx(24.2, abs=0.3)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_measured_on_stream(benchmark, sequences):
+    """The transaction-level run lands on the calibrated steady state.
+
+    The measured rate can exceed the all-votes calibration point because
+    projection misses skip DRAM read-modify-writes; it must never exceed
+    the generation-bound ceiling (Nz / n_pe cycles per event).
+    """
+    seq = sequences["simulation_3planes"]
+    events = eval_events(seq)
+    cfg = EventorConfig()
+
+    def run():
+        system = EventorSystem(
+            seq.camera,
+            EMVSConfig(n_depth_planes=cfg.n_planes, frame_size=cfg.frame_size),
+            depth_range=seq.depth_range,
+            hw_config=cfg,
+        )
+        return system.run(events, seq.trajectory)
+
+    _, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    tm = TimingModel(cfg)
+
+    floor_rate = tm.event_rate(False)  # all votes valid (the Table 3 point)
+    ceiling_rate = cfg.clock_hz / tm.generation_cycles_per_event()
+    assert floor_rate * 0.99 <= report.event_rate <= ceiling_rate * 1.01
+
+    table = Table(
+        "Table 3 (measured) — accelerator model on simulation_3planes",
+        ["metric", "value"],
+    )
+    table.add_row("frames", report.frames)
+    table.add_row("votes", f"{report.votes:,}")
+    table.add_row("votes/event", f"{report.votes / report.events:.1f} / {cfg.n_planes}")
+    table.add_row("event rate", f"{report.event_rate / 1e6:.3f} Mev/s")
+    table.add_row("DRAM traffic", f"{report.dram_bytes / 1e6:.1f} MB")
+    table.add_row("energy/event", f"{report.energy_per_event * 1e6:.2f} uJ")
+    write_result("table3_measured", table.render())
+
+
+@pytest.mark.benchmark(group="table3")
+def test_bench_host_pipeline_rate(benchmark, sequences):
+    """Host-python reference throughput (context for the model numbers)."""
+    from repro.core import ReformulatedPipeline
+
+    seq = sequences["simulation_3planes"]
+    events = seq.events.time_slice(0.95, 1.05)
+    config = EMVSConfig(n_depth_planes=128, frame_size=1024)
+    pipe = ReformulatedPipeline(seq.camera, config, depth_range=seq.depth_range)
+
+    result = benchmark.pedantic(
+        lambda: pipe.run(events, seq.trajectory), rounds=1, iterations=1
+    )
+    assert result.profile.n_frames > 0

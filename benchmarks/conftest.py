@@ -1,0 +1,75 @@
+"""Shared benchmark fixtures and helpers.
+
+Every bench regenerates one table or figure of the paper: it runs the
+experiment, prints the reproduced artifact next to the paper's published
+values, and appends the rendered text to ``benchmarks/results/`` so the
+numbers survive pytest's output capture.
+
+Sequences are generated once per session (in-process cache) at ``full``
+quality; accuracy experiments run on fixed sub-second time slices to keep
+a full bench session within minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import EMVSConfig, EMVSPipeline, ReformulatedPipeline
+from repro.core.voting import VotingMethod
+from repro.eval.metrics import evaluate_reconstruction
+from repro.events.datasets import SEQUENCE_NAMES, load_sequence
+from repro.fixedpoint.quantize import EVENTOR_SCHEMA, FLOAT_SCHEMA
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Per-sequence evaluation windows (seconds) — chosen mid-trajectory where
+#: parallax is well developed, sized to a few hundred 1024-event frames.
+EVAL_WINDOWS = {
+    "simulation_3planes": (0.8, 1.2),
+    "simulation_3walls": (0.8, 1.2),
+    "slider_close": (0.6, 1.0),
+    "slider_far": (0.6, 1.0),
+}
+
+#: Accuracy-experiment configuration (Nz matches the reference EMVS).
+ACCURACY_CONFIG = EMVSConfig(n_depth_planes=100, frame_size=1024)
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table/figure under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def sequences():
+    """The four evaluation sequences at full quality (cached in-process)."""
+    return {name: load_sequence(name, quality="full") for name in SEQUENCE_NAMES}
+
+
+def eval_events(seq):
+    t0, t1 = EVAL_WINDOWS[seq.name]
+    return seq.events.time_slice(t0, t1)
+
+
+def run_variant(seq, voting: VotingMethod, quantized: bool):
+    """Run one (voting, quantization) pipeline variant and evaluate it."""
+    events = eval_events(seq)
+    if quantized and voting is VotingMethod.NEAREST:
+        pipe = ReformulatedPipeline(
+            seq.camera, ACCURACY_CONFIG, depth_range=seq.depth_range
+        )
+    else:
+        pipe = EMVSPipeline(
+            seq.camera,
+            ACCURACY_CONFIG,
+            depth_range=seq.depth_range,
+            voting=voting,
+            schema=EVENTOR_SCHEMA if quantized else FLOAT_SCHEMA,
+        )
+    result = pipe.run(events, seq.trajectory)
+    return evaluate_reconstruction(result, seq)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Depth from a linear-slider event camera (the ``slider_*`` scenario).
+
+The Event Camera Dataset's slider sequences move a DAVIS on a motorized
+linear slider past textured boards at two distances.  This example runs
+both replicas through the reformulated pipeline, prints depth histograms,
+and demonstrates the *streaming distortion correction* rescheduling on a
+lens-distorted variant of the sensor.
+
+Run:  python examples/slider_depth.py
+"""
+
+import numpy as np
+
+from repro.core import EMVSConfig, ReformulatedPipeline
+from repro.eval.metrics import evaluate_reconstruction
+from repro.events.datasets import load_sequence
+from repro.geometry.camera import PinholeCamera
+
+
+def depth_histogram(depths, n_bins=12, width=44):
+    lo, hi = depths.min(), depths.max()
+    counts, edges = np.histogram(depths, bins=n_bins, range=(lo, hi))
+    peak = counts.max() or 1
+    lines = []
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  {left:5.2f}-{right:5.2f} m |{bar} {count}")
+    return "\n".join(lines)
+
+
+def run_sequence(name):
+    seq = load_sequence(name, quality="fast")
+    mid = 0.5 * (seq.trajectory.t_start + seq.trajectory.t_end)
+    events = seq.events.time_slice(mid - 0.25, mid + 0.25)
+    config = EMVSConfig(n_depth_planes=100, frame_size=1024)
+    pipeline = ReformulatedPipeline(seq.camera, config, depth_range=seq.depth_range)
+    result = pipeline.run(events, seq.trajectory)
+    metrics = evaluate_reconstruction(result, seq)
+
+    print(f"\n=== {name} ===")
+    print(f"  events: {len(events)}, points: {result.n_points}, "
+          f"AbsRel: {metrics.absrel:.2%}")
+    depths = np.concatenate([kf.depth_map.depths() for kf in result.keyframes])
+    print(f"  depth range: {depths.min():.2f} .. {depths.max():.2f} m "
+          f"(median {np.median(depths):.2f} m)")
+    print(depth_histogram(depths))
+    return seq, events
+
+
+def demo_streaming_correction(seq, events):
+    """Distortion correction per event (Eventor) vs. per frame (original).
+
+    Numerically both orders produce identical coordinates — the paper's
+    rescheduling is a memory-access optimization, not an approximation —
+    which this demo verifies on a lens-distorted camera.
+    """
+    cam = PinholeCamera.davis240c(distorted=True)
+    streaming = cam.undistort_pixels(events.xy)  # per event, before A
+    frames = np.array_split(events.xy, 10)       # per frame, after A
+    batched = np.vstack([cam.undistort_pixels(f) for f in frames])
+    print("\nStreaming vs. batched distortion correction:"
+          f" max |diff| = {np.max(np.abs(streaming - batched)):.2e} px"
+          " (identical, as Sec. 2.2 requires)")
+
+
+def main():
+    run_sequence("slider_close")
+    seq, events = run_sequence("slider_far")
+    demo_streaming_correction(seq, events[: min(len(events), 20000)])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so the package can be
+installed in environments without the ``wheel`` package (offline CI), via
+``python setup.py develop`` or legacy ``pip install -e .`` code paths.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Eventor reproduction: event-based monocular multi-view stereo + FPGA accelerator model.
+
+Full-system Python reproduction of *"Eventor: An Efficient Event-Based
+Monocular Multi-View Stereo Accelerator on FPGA Platform"* (DAC 2022).
+
+Packages
+--------
+:mod:`repro.geometry`
+    SE(3), cameras, distortion, plane homographies, trajectories.
+:mod:`repro.events`
+    Event containers, aggregation, dataset IO, the event-camera simulator
+    and the four evaluation-sequence replicas.
+:mod:`repro.fixedpoint`
+    Q-format fixed point and the paper's Table 1 quantization schema.
+:mod:`repro.core`
+    The EMVS algorithm: original (bilinear, float) and reformulated
+    (rescheduled, nearest voting, quantized) pipelines.
+:mod:`repro.hardware`
+    The Eventor accelerator model: bit-true PE datapaths, buffers, DRAM,
+    the Fig. 6 frame scheduler, and timing/energy/resource models.
+:mod:`repro.baseline`
+    The Intel i5 CPU timing model Eventor is compared against.
+:mod:`repro.eval`
+    AbsRel metrics, experiment runners, table rendering.
+
+Quick start
+-----------
+>>> from repro.events.datasets import load_sequence
+>>> from repro.core import ReformulatedPipeline, EMVSConfig
+>>> seq = load_sequence("simulation_3planes", quality="fast")
+>>> pipe = ReformulatedPipeline(seq.camera, EMVSConfig(), seq.depth_range)
+>>> result = pipe.run(seq.events, seq.trajectory)
+>>> len(result.cloud) > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "geometry",
+    "events",
+    "fixedpoint",
+    "core",
+    "hardware",
+    "baseline",
+    "eval",
+]

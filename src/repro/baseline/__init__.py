@@ -1,0 +1,18 @@
+"""CPU baseline: the Intel i5-7300HQ reference Eventor is compared against.
+
+:mod:`repro.baseline.cpu_model` provides an operation-count timing model
+calibrated to the paper's published per-task runtimes (Table 3);
+:mod:`repro.baseline.profile` counts per-stage arithmetic work to reproduce
+the Sec. 2.1 runtime-breakdown claims.
+"""
+
+from repro.baseline.cpu_model import CPUSpec, CPUTimingModel, I5_7300HQ
+from repro.baseline.profile import WorkloadProfile, stage_breakdown
+
+__all__ = [
+    "CPUSpec",
+    "CPUTimingModel",
+    "I5_7300HQ",
+    "WorkloadProfile",
+    "stage_breakdown",
+]

@@ -1,0 +1,114 @@
+"""Arithmetic workload accounting per EMVS stage.
+
+Sec. 2.1 of the paper observes that event back-projection (``P``) and
+volumetric ray-counting (``R``) account for over 80 % of total EMVS
+runtime, and Sec. 2.2 that the four per-event sub-tasks (``P(Z0)``,
+``P(Z0->Zi)``, ``G``, ``V``) take over 90 % of the ``P + R`` time — the
+observations that motivate the hardware partition.  This module derives
+those fractions from first principles: it counts the arithmetic operations
+of every stage as a function of stream statistics (events, frames, planes),
+weights memory read-modify-writes with a cost factor, and reports the
+runtime distribution implied by the counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Relative cost of a random-access DSI read-modify-write vs. one ALU op
+#: on a CPU (cache-missing load + store dominate the vote).  A factor of 6
+#: reproduces the published P(Z0) : (P(Z0->Zi)&R) runtime ratio.
+RMW_COST_FACTOR = 6.0
+
+
+@dataclass(frozen=True)
+class StageOps:
+    """Weighted operation count of one stage."""
+
+    name: str
+    alu_ops: float
+    rmw_ops: float = 0.0
+
+    @property
+    def weighted(self) -> float:
+        return self.alu_ops + RMW_COST_FACTOR * self.rmw_ops
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Per-stage work for one stream configuration.
+
+    Parameters
+    ----------
+    n_events:
+        Events processed.
+    n_frames:
+        Aggregated event frames.
+    n_planes:
+        DSI depth planes ``Nz``.
+    n_keyframes:
+        Key-frame (reference-view) changes.
+    sensor_pixels:
+        Pixels per sensor, for the detection-stage cost.
+    distorted:
+        Whether per-event undistortion runs.
+    """
+
+    n_events: int
+    n_frames: int
+    n_planes: int
+    n_keyframes: int = 1
+    sensor_pixels: int = 240 * 180
+    distorted: bool = True
+
+    # ------------------------------------------------------------------
+    def stages(self) -> list[StageOps]:
+        """Operation counts for every stage of Fig. 2."""
+        e, f, nz, k = self.n_events, self.n_frames, self.n_planes, self.n_keyframes
+        px = self.sensor_pixels
+        undistort = 30.0 * e if self.distorted else 0.0
+        return [
+            # Aggregation: timestamp compare + buffer write per event.
+            StageOps("A", alu_ops=2.0 * e + undistort),
+            # Homography: ~200 flops of 3x3 compose/invert, once per frame.
+            StageOps("H", alu_ops=200.0 * f),
+            # phi: 3 coefficients x ~6 flops per plane, once per frame.
+            StageOps("phi", alu_ops=18.0 * nz * f),
+            # Canonical back-projection: 9 mul + 6 add + 2 div (~4 ops each).
+            StageOps("P_Z0", alu_ops=23.0 * e),
+            # Proportional back-projection: 2 MACs (4 ops) per event-plane.
+            StageOps("P_Zi", alu_ops=4.0 * e * nz),
+            # Generate votes: round + 2 bounds checks per event-plane.
+            StageOps("G", alu_ops=3.0 * e * nz),
+            # Vote voxels: one DSI read-modify-write per event-plane.
+            StageOps("V", alu_ops=1.0 * e * nz, rmw_ops=1.0 * e * nz),
+            # Detection: argmax over Nz + filtering, per pixel per keyframe.
+            StageOps("D", alu_ops=(nz + 25.0) * px * k),
+            # Map update: ray scale + transform per detected point (~5 % px).
+            StageOps("M", alu_ops=20.0 * 0.05 * px * k),
+        ]
+
+    # ------------------------------------------------------------------
+    def total_weighted(self) -> float:
+        return sum(s.weighted for s in self.stages())
+
+    def fraction(self, names: tuple[str, ...]) -> float:
+        """Weighted-runtime fraction of the given stages."""
+        total = self.total_weighted()
+        part = sum(s.weighted for s in self.stages() if s.name in names)
+        return part / total
+
+    def p_and_r_fraction(self) -> float:
+        """Fraction of runtime in back-projection + ray-counting (>80 %)."""
+        return self.fraction(("H", "phi", "P_Z0", "P_Zi", "G", "V"))
+
+    def hot_subtask_fraction(self) -> float:
+        """Fraction of ``P + R`` time in the four per-event sub-tasks (>90 %)."""
+        hot = self.fraction(("P_Z0", "P_Zi", "G", "V"))
+        return hot / self.p_and_r_fraction()
+
+
+def stage_breakdown(profile: WorkloadProfile) -> dict[str, float]:
+    """Stage -> weighted-runtime fraction, for reporting."""
+    total = profile.total_weighted()
+    return {s.name: s.weighted / total for s in profile.stages()}

@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Four subcommands cover the common workflows end to end::
+
+    python -m repro info                         # sequences & configuration
+    python -m repro simulate -s slider_close -o out/   # write a dataset dir
+    python -m repro reconstruct -s simulation_3planes -o cloud.ply
+    python -m repro models                       # Tables 2/3 from the models
+
+``reconstruct`` accepts either a built-in sequence replica (``-s``) or a
+directory in Event Camera Dataset layout (``-d``), runs the chosen
+pipeline, reports metrics (when ground truth exists) and writes the cloud
+and depth maps in standard formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args) -> int:
+    from repro.events.datasets import SEQUENCE_NAMES, SHORT_NAMES
+
+    print("Eventor reproduction — available sequence replicas:")
+    for name in SEQUENCE_NAMES:
+        print(f"  {name}  (short: {SHORT_NAMES[name]})")
+    print("\nDefault configuration: 1024-event frames, Nz=100 planes,")
+    print("nearest voting + Table 1 quantization (reformulated pipeline).")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.events.datasets import load_sequence
+    from repro.events.davis_io import save_dataset_dir
+
+    seq = load_sequence(args.sequence, quality=args.quality)
+    save_dataset_dir(args.output, seq.events, seq.trajectory, seq.camera)
+    print(
+        f"wrote {len(seq.events)} events + trajectory + calibration to "
+        f"{args.output} (Event Camera Dataset layout)"
+    )
+    return 0
+
+
+def _load_input(args):
+    """Returns (events, trajectory, camera, sequence_or_None)."""
+    if args.sequence and args.dataset:
+        raise SystemExit("use either --sequence or --dataset, not both")
+    if args.sequence:
+        from repro.events.datasets import load_sequence
+
+        seq = load_sequence(args.sequence, quality=args.quality)
+        return seq.events, seq.trajectory, seq.camera, seq
+    if args.dataset:
+        from repro.events.davis_io import load_dataset_dir
+
+        events, trajectory, camera = load_dataset_dir(args.dataset)
+        return events, trajectory, camera, None
+    raise SystemExit("one of --sequence or --dataset is required")
+
+
+def _cmd_reconstruct(args) -> int:
+    from repro.core import EMVSConfig, EMVSPipeline, ReformulatedPipeline
+
+    events, trajectory, camera, seq = _load_input(args)
+    if args.t_start is not None or args.t_end is not None:
+        t0 = events.t_start if args.t_start is None else args.t_start
+        t1 = events.t_end if args.t_end is None else args.t_end
+        events = events.time_slice(t0, t1)
+    print(f"input: {len(events)} events over {events.duration:.2f} s")
+
+    depth_range = (
+        seq.depth_range if seq is not None else (args.z_min, args.z_max)
+    )
+    config = EMVSConfig(
+        n_depth_planes=args.planes,
+        frame_size=args.frame_size,
+        keyframe_distance=args.keyframe_distance,
+    )
+    cls = EMVSPipeline if args.pipeline == "original" else ReformulatedPipeline
+    pipeline = cls(camera, config, depth_range=depth_range)
+    result = pipeline.run(events, trajectory)
+    print(
+        f"reconstructed {result.n_points} points across "
+        f"{len(result.keyframes)} key frame(s)"
+    )
+
+    if seq is not None and result.keyframes:
+        from repro.eval.metrics import evaluate_reconstruction
+
+        print(f"accuracy vs. ground truth: {evaluate_reconstruction(result, seq)}")
+
+    if args.output:
+        cloud = result.cloud
+        if args.filter_radius > 0:
+            cloud = cloud.radius_filter(args.filter_radius, min_neighbors=2)
+        if args.output.endswith(".ply"):
+            from repro.io.ply import save_ply
+
+            save_ply(args.output, cloud)
+        else:
+            from repro.io.xyz import save_xyz
+
+            save_xyz(args.output, cloud)
+        print(f"wrote {len(cloud)} points to {args.output}")
+
+    if args.depth_map and result.keyframes:
+        from repro.io.pgm import depth_to_image, save_pgm
+
+        dm = result.keyframes[-1].depth_map
+        save_pgm(args.depth_map, depth_to_image(dm.depth, depth_range))
+        print(f"wrote depth map ({dm.n_points} px) to {args.depth_map}")
+    return 0
+
+
+def _cmd_models(args) -> int:
+    from repro.eval.experiments import (
+        efficiency_gain,
+        performance_summary,
+        resource_summary,
+    )
+    from repro.hardware.config import EventorConfig
+
+    cfg = EventorConfig(n_pe_zi=args.pe, n_planes=args.planes)
+    r = resource_summary(cfg)
+    print("Resources (Table 2):")
+    print(f"  LUT {r['luts']} ({r['lut_util']:.2%})  FF {r['flip_flops']} "
+          f"({r['ff_util']:.2%})  BRAM {r['bram_kb']:.0f} KB ({r['bram_util']:.2%})")
+    s = performance_summary(cfg)
+    print("Performance (Table 3):")
+    for metric, values in s.items():
+        print(f"  {metric:<22} cpu={values['cpu']:9.2f}  eventor={values['eventor']:9.2f}")
+    print(f"Energy-efficiency gain: {efficiency_gain(cfg):.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Eventor (DAC 2022) reproduction: event-based multi-view stereo",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list built-in sequences").set_defaults(
+        func=_cmd_info
+    )
+
+    p_sim = sub.add_parser("simulate", help="generate a dataset directory")
+    p_sim.add_argument("--sequence", "-s", required=True)
+    p_sim.add_argument("--output", "-o", required=True)
+    p_sim.add_argument("--quality", choices=("full", "fast"), default="full")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_rec = sub.add_parser("reconstruct", help="run EMVS over an event stream")
+    p_rec.add_argument("--sequence", "-s", help="built-in sequence replica")
+    p_rec.add_argument("--dataset", "-d", help="dataset directory (events.txt...)")
+    p_rec.add_argument("--quality", choices=("full", "fast"), default="full")
+    p_rec.add_argument(
+        "--pipeline", choices=("original", "reformulated"), default="reformulated"
+    )
+    p_rec.add_argument("--planes", type=int, default=100, help="DSI depth planes")
+    p_rec.add_argument("--frame-size", type=int, default=1024)
+    p_rec.add_argument("--keyframe-distance", type=float, default=None)
+    p_rec.add_argument("--z-min", type=float, default=0.5)
+    p_rec.add_argument("--z-max", type=float, default=5.0)
+    p_rec.add_argument("--t-start", type=float, default=None)
+    p_rec.add_argument("--t-end", type=float, default=None)
+    p_rec.add_argument("--filter-radius", type=float, default=0.0)
+    p_rec.add_argument("--output", "-o", help="cloud output (.ply or .xyz)")
+    p_rec.add_argument("--depth-map", help="last key frame depth map (.pgm)")
+    p_rec.set_defaults(func=_cmd_reconstruct)
+
+    p_mod = sub.add_parser("models", help="print the hardware model tables")
+    p_mod.add_argument("--pe", type=int, default=2, help="PE_Zi count")
+    p_mod.add_argument("--planes", type=int, default=128, help="DSI planes")
+    p_mod.set_defaults(func=_cmd_models)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

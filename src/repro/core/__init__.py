@@ -1,0 +1,44 @@
+"""EMVS core: the paper's target algorithm and its reformulation.
+
+The public entry points are :class:`repro.core.pipeline.EMVSPipeline`
+(original full-precision EMVS with bilinear voting, after Rebecq et al.,
+IJCV 2018) and :class:`repro.core.reformulated.ReformulatedPipeline`
+(Eventor's hardware-friendly dataflow: streaming distortion correction,
+pre-computed proportional coefficients, nearest voting and Table 1
+quantization).  Both consume a :class:`repro.events.Sequence`-like bundle of
+events + trajectory + camera and produce an :class:`EMVSResult`.
+"""
+
+from repro.core.config import EMVSConfig, DetectionConfig
+from repro.core.dsi import DSI, depth_planes
+from repro.core.voting import vote_bilinear, vote_nearest, VotingMethod
+from repro.core.backprojection import BackProjector
+from repro.core.keyframes import KeyframeSelector
+from repro.core.detection import detect_structure
+from repro.core.depthmap import SemiDenseDepthMap
+from repro.core.pointcloud import PointCloud
+from repro.core.mapper import EMVSMapper, EMVSResult, KeyframeReconstruction
+from repro.core.pipeline import EMVSPipeline
+from repro.core.reformulated import ReformulatedPipeline
+from repro.core.online import OnlineEMVS
+
+__all__ = [
+    "EMVSConfig",
+    "DetectionConfig",
+    "DSI",
+    "depth_planes",
+    "vote_bilinear",
+    "vote_nearest",
+    "VotingMethod",
+    "BackProjector",
+    "KeyframeSelector",
+    "detect_structure",
+    "SemiDenseDepthMap",
+    "PointCloud",
+    "EMVSMapper",
+    "EMVSResult",
+    "KeyframeReconstruction",
+    "EMVSPipeline",
+    "ReformulatedPipeline",
+    "OnlineEMVS",
+]

@@ -1,0 +1,149 @@
+"""Event back-projection (stage ``P``).
+
+Implements the two-step decomposition used by both EMVS and Eventor:
+
+1. **Canonical back-projection** ``P(Z0)`` — transfer each event pixel to
+   the virtual camera through the canonical plane ``Z = Z0`` using the
+   plane-induced homography ``H_Z0`` (computed once per frame).
+2. **Proportional back-projection** ``P(Z0 -> Zi)`` — slide the canonical
+   image point to every other depth plane with the per-frame affine
+   coefficients φ (see :mod:`repro.geometry.homography` for the identity
+   and its derivation).
+
+The :class:`BackProjector` bundles the per-frame parameter computation
+(sub-tasks ➊ *Compute Homography Matrix* and ➌ *Compute Proportional
+Back-Projection Parameters*) with the per-event maps (➋ and ➍), optionally
+pushing every quantity through a :class:`~repro.fixedpoint.QuantizationSchema`
+— which is exactly what distinguishes the accelerator's arithmetic from the
+float reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.quantize import FLOAT_SCHEMA, QuantizationSchema
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.homography import (
+    apply_homography_with_scale,
+    apply_proportional,
+    canonical_plane_homography,
+    event_camera_center_in_virtual,
+    proportional_coefficients,
+)
+from repro.geometry.se3 import SE3
+
+
+@dataclass(frozen=True)
+class FrameParameters:
+    """Per-frame constants for back-projection.
+
+    ``H_Z0`` is the canonical-plane homography; ``phi`` holds the
+    ``(Nz, 3)`` proportional coefficients ``(alpha_i, beta_i, gamma_i)``.
+    Both are already quantized when the owning projector carries a
+    quantization schema.
+    """
+
+    H_Z0: np.ndarray
+    phi: np.ndarray
+
+
+class BackProjector:
+    """Back-projects event frames into the DSI of a reference view.
+
+    Parameters
+    ----------
+    camera:
+        Shared intrinsics of the (undistorted) event camera and the
+        virtual camera.
+    T_w_ref:
+        Reference-view pose (where the DSI lives).
+    depths:
+        DSI depth-plane positions in the reference frame.
+    schema:
+        Quantization schema; :data:`~repro.fixedpoint.FLOAT_SCHEMA` gives
+        the full-precision reference behaviour.
+    """
+
+    def __init__(
+        self,
+        camera: PinholeCamera,
+        T_w_ref: SE3,
+        depths: np.ndarray,
+        schema: QuantizationSchema = FLOAT_SCHEMA,
+    ):
+        self.camera = camera
+        self.T_w_ref = T_w_ref
+        self.depths = np.asarray(depths, dtype=float)
+        self.schema = schema
+        #: Canonical plane: the nearest DSI slice, as in the reference
+        #: implementation (any slice works; the nearest keeps H_Z0 well
+        #: conditioned for forward motion).
+        self.z0 = float(self.depths[0])
+
+    # ------------------------------------------------------------------
+    # Per-frame parameter computation (ARM-side tasks in Eventor)
+    # ------------------------------------------------------------------
+    def frame_parameters(self, T_w_event: SE3) -> FrameParameters:
+        """Compute (and quantize) ``H_Z0`` and φ for one event frame."""
+        H = canonical_plane_homography(self.T_w_ref, T_w_event, self.camera, self.z0)
+        # Scale so the largest |entry| uses the available integer range —
+        # homographies are projective (defined up to scale), and the
+        # hardware normalizes by the third row anyway.
+        H = H / np.abs(H).max()
+        c = event_camera_center_in_virtual(self.T_w_ref, T_w_event)
+        phi = proportional_coefficients(c, self.z0, self.depths, self.camera)
+        return FrameParameters(
+            H_Z0=self.schema.quantize_homography(H),
+            phi=self.schema.quantize_phi(phi),
+        )
+
+    # ------------------------------------------------------------------
+    # Per-event maps (FPGA-side tasks in Eventor)
+    # ------------------------------------------------------------------
+    def canonical(
+        self, params: FrameParameters, xy: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``P(Z0)``: event pixels -> canonical-plane pixels.
+
+        Returns ``(uv0, valid)``; invalid rows (behind the plane, or not
+        representable in the canonical coordinate format) are flagged, not
+        silently clamped — the accelerator's projection-miss judgement.
+        """
+        xy = self.schema.quantize_event_coords(np.asarray(xy, dtype=float))
+        uv0, scale = apply_homography_with_scale(params.H_Z0, xy)
+        valid = scale > 0  # behind-plane rejection (divider sign flag)
+        valid &= ~self.schema.canonical_overflow(uv0[:, 0])
+        valid &= ~self.schema.canonical_overflow(uv0[:, 1])
+        uv0 = np.where(valid[:, None], uv0, 0.0)
+        uv0 = self.schema.quantize_canonical(uv0)
+        return uv0, valid
+
+    def proportional(
+        self, params: FrameParameters, uv0: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``P(Z0 -> Zi)``: canonical pixels -> per-plane pixel coordinates.
+
+        Returns ``(u, v)`` of shape ``(N, Nz)``.  No quantization is applied
+        here: under nearest voting the subsequent rounding to integer voxel
+        indices *is* the 8-bit plane-coordinate quantization of Table 1.
+        """
+        return apply_proportional(params.phi, uv0)
+
+    # ------------------------------------------------------------------
+    def project_frame(
+        self, T_w_event: SE3, xy: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Full ``P`` for one frame: returns ``(u, v, valid)``.
+
+        ``u``/``v`` are ``(N, Nz)``; rows where ``valid`` is False must not
+        vote (their coordinates are zeroed placeholders).
+        """
+        params = self.frame_parameters(T_w_event)
+        uv0, valid = self.canonical(params, xy)
+        u, v = self.proportional(params, uv0)
+        u[~valid] = np.nan
+        v[~valid] = np.nan
+        return u, v, valid

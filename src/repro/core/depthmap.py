@@ -1,0 +1,64 @@
+"""Semi-dense depth maps extracted from the DSI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SemiDenseDepthMap:
+    """Depth estimate at the reference viewpoint.
+
+    Attributes
+    ----------
+    depth:
+        ``(H, W)`` float array; ``NaN`` where no structure was detected.
+    confidence:
+        ``(H, W)`` ray-density score at the chosen depth.
+    mask:
+        ``(H, W)`` boolean detection mask (True = depth valid).
+    """
+
+    depth: np.ndarray
+    confidence: np.ndarray
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.depth.shape != self.mask.shape or self.depth.shape != self.confidence.shape:
+            raise ValueError("depth, confidence and mask must share a shape")
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.depth.shape
+
+    @property
+    def n_points(self) -> int:
+        return int(self.mask.sum())
+
+    @property
+    def density(self) -> float:
+        """Fraction of pixels carrying a depth estimate."""
+        return self.n_points / self.mask.size if self.mask.size else 0.0
+
+    def pixels(self) -> np.ndarray:
+        """``(N, 2)`` pixel coordinates (x, y) of the detected points."""
+        ys, xs = np.nonzero(self.mask)
+        return np.stack([xs, ys], axis=1).astype(float)
+
+    def depths(self) -> np.ndarray:
+        """``(N,)`` depth values aligned with :meth:`pixels`."""
+        return self.depth[self.mask]
+
+    def mean_depth(self) -> float:
+        if self.n_points == 0:
+            raise ValueError("empty depth map has no mean depth")
+        return float(np.mean(self.depths()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SemiDenseDepthMap({self.shape[1]}x{self.shape[0]}, "
+            f"{self.n_points} points, density={self.density:.3%})"
+        )

@@ -1,0 +1,62 @@
+"""Key-frame selection (stage ``K``).
+
+EMVS reconstructs a *local* DSI per reference view.  A new key frame — and
+with it a new reference view and a fresh DSI — is selected when the event
+camera has translated farther than a threshold from the previous key
+reference view (Sec. 2.1).  The threshold is commonly expressed relative to
+the scene depth so that key-frame density tracks parallax.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.se3 import SE3
+
+
+class KeyframeSelector:
+    """Distance-threshold key-frame policy.
+
+    Parameters
+    ----------
+    distance_threshold:
+        Translation in metres that triggers a new key frame.  ``None``
+        disables re-keying: the first frame stays the only reference.
+    """
+
+    def __init__(self, distance_threshold: float | None):
+        if distance_threshold is not None and distance_threshold <= 0:
+            raise ValueError("distance_threshold must be positive (or None)")
+        self.distance_threshold = distance_threshold
+        self._reference: SE3 | None = None
+
+    @property
+    def reference(self) -> SE3 | None:
+        return self._reference
+
+    def reset(self) -> None:
+        self._reference = None
+
+    def is_new_keyframe(self, T_wc: SE3) -> bool:
+        """True when ``T_wc`` should become a new key reference view.
+
+        The first pose observed is always a key frame.
+        """
+        if self._reference is None:
+            self._reference = T_wc
+            return True
+        if self.distance_threshold is None:
+            return False
+        if self._reference.distance_to(T_wc) > self.distance_threshold:
+            self._reference = T_wc
+            return True
+        return False
+
+    @staticmethod
+    def relative_threshold(mean_depth: float, fraction: float = 0.15) -> float:
+        """Threshold as a fraction of the mean scene depth.
+
+        A baseline-to-depth ratio around 0.1-0.2 gives enough parallax for a
+        well-conditioned DSI while keeping several frames per key segment.
+        """
+        if mean_depth <= 0:
+            raise ValueError("mean_depth must be positive")
+        return fraction * mean_depth

@@ -1,0 +1,193 @@
+"""EMVS mapper: DSI lifecycle across key reference views.
+
+The mapper owns the current local DSI, back-projects and votes incoming
+event frames into it, and on key-frame changes extracts the semi-dense
+depth map, lifts it into the global point cloud and re-seats the DSI at the
+new reference view (stages ``P``, ``R``, ``D`` and ``M`` of Fig. 2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.backprojection import BackProjector
+from repro.core.config import EMVSConfig
+from repro.core.depthmap import SemiDenseDepthMap
+from repro.core.detection import detect_structure
+from repro.core.dsi import DSI, depth_planes
+from repro.core.pointcloud import PointCloud
+from repro.core.voting import VotingMethod, cast_votes_into
+from repro.events.packetizer import EventFrame
+from repro.fixedpoint.quantize import FLOAT_SCHEMA, QuantizationSchema
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3
+
+
+@dataclass(frozen=True)
+class KeyframeReconstruction:
+    """Depth estimate produced at one key reference view."""
+
+    T_w_ref: SE3
+    depth_map: SemiDenseDepthMap
+    n_events: int
+    n_frames: int
+
+
+@dataclass
+class PipelineProfile:
+    """Work and wall-clock accounting across a pipeline run.
+
+    ``stage_seconds`` records host time per algorithm stage (keys: ``A``,
+    ``P_Z0``, ``P_Zi_R``, ``D``, ``M``); ``votes_cast`` counts DSI updates —
+    the quantity the accelerator's throughput is sized by.
+    """
+
+    n_events: int = 0
+    n_frames: int = 0
+    n_keyframes: int = 0
+    votes_cast: int = 0
+    dropped_events: int = 0
+    stage_seconds: dict = field(default_factory=dict)
+
+    def add_time(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+
+@dataclass(frozen=True)
+class EMVSResult:
+    """Output of a pipeline run."""
+
+    keyframes: list[KeyframeReconstruction]
+    cloud: PointCloud
+    profile: PipelineProfile
+
+    @property
+    def n_points(self) -> int:
+        return len(self.cloud)
+
+
+class EMVSMapper:
+    """Stateful DSI owner; one instance per pipeline run.
+
+    Parameters
+    ----------
+    camera:
+        Undistorted sensor intrinsics.
+    config:
+        Shared EMVS parameters.
+    depth_range:
+        ``(z_min, z_max)`` for the DSI in every reference frame.
+    schema:
+        Quantization schema for back-projection arithmetic.
+    voting:
+        Bilinear (reference) or nearest (Eventor) DSI voting.
+    integer_scores:
+        Store DSI scores as saturating ``uint16`` (Table 1) instead of
+        float64.
+    """
+
+    def __init__(
+        self,
+        camera: PinholeCamera,
+        config: EMVSConfig,
+        depth_range: tuple[float, float],
+        schema: QuantizationSchema = FLOAT_SCHEMA,
+        voting: VotingMethod = VotingMethod.BILINEAR,
+        integer_scores: bool = False,
+    ):
+        self.camera = camera
+        self.config = config
+        self.depth_range = depth_range
+        self.schema = schema
+        self.voting = voting
+        self.integer_scores = integer_scores
+        self.depths = depth_planes(
+            depth_range[0], depth_range[1], config.n_depth_planes, config.depth_sampling
+        )
+        self.profile = PipelineProfile()
+        self._dsi: DSI | None = None
+        self._projector: BackProjector | None = None
+        self._events_in_reference = 0
+        self._frames_in_reference = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def dsi(self) -> DSI | None:
+        return self._dsi
+
+    def start_reference(self, T_w_ref: SE3) -> None:
+        """Seat (or re-seat) the DSI at a new key reference view."""
+        limit = self.schema.dsi_score.raw_max if self.integer_scores else None
+        self._dsi = DSI(
+            self.camera,
+            T_w_ref,
+            self.depths,
+            integer_scores=self.integer_scores,
+            score_limit=limit,
+        )
+        self._projector = BackProjector(
+            self.camera, T_w_ref, self.depths, schema=self.schema
+        )
+        self._events_in_reference = 0
+        self._frames_in_reference = 0
+        self.profile.n_keyframes += 1
+
+    def process_frame(self, frame: EventFrame) -> None:
+        """Back-project one event frame and vote it into the DSI."""
+        if self._dsi is None or self._projector is None:
+            raise RuntimeError("start_reference() must be called before frames")
+        xy = frame.events.xy
+
+        t0 = time.perf_counter()
+        params = self._projector.frame_parameters(frame.T_wc)
+        uv0, valid = self._projector.canonical(params, xy)
+        t1 = time.perf_counter()
+        u, v = self._projector.proportional(params, uv0)
+        u[~valid] = np.nan
+        v[~valid] = np.nan
+        votes = cast_votes_into(
+            self.voting, self._dsi.flat_scores, u, v, self._dsi.shape
+        )
+        t2 = time.perf_counter()
+
+        self.profile.add_time("P_Z0", t1 - t0)
+        self.profile.add_time("P_Zi_R", t2 - t1)
+        self.profile.n_events += len(frame)
+        self.profile.n_frames += 1
+        self.profile.dropped_events += int((~valid).sum())
+        self.profile.votes_cast += votes
+        self._events_in_reference += len(frame)
+        self._frames_in_reference += 1
+
+    def finalize_reference(self) -> KeyframeReconstruction | None:
+        """Extract the depth map of the current reference (stage ``D``).
+
+        Returns ``None`` when no events were accumulated (e.g. two key
+        frames back to back).
+        """
+        if self._dsi is None or self._events_in_reference == 0:
+            return None
+        t0 = time.perf_counter()
+        depth_map = detect_structure(self._dsi, self.config.detection)
+        self.profile.add_time("D", time.perf_counter() - t0)
+        return KeyframeReconstruction(
+            T_w_ref=self._dsi.T_w_ref,
+            depth_map=depth_map,
+            n_events=self._events_in_reference,
+            n_frames=self._frames_in_reference,
+        )
+
+    def lift_to_cloud(self, reconstruction: KeyframeReconstruction) -> PointCloud:
+        """Point-cloud conversion of one key-frame reconstruction."""
+        t0 = time.perf_counter()
+        cloud = PointCloud.from_depth_map(
+            reconstruction.depth_map, self.camera, reconstruction.T_w_ref
+        )
+        self.profile.add_time("M", time.perf_counter() - t0)
+        return cloud

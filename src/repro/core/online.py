@@ -1,0 +1,141 @@
+"""Online (streaming) EMVS front-end.
+
+The batch pipelines (:class:`EMVSPipeline`, :class:`ReformulatedPipeline`)
+consume a complete recording.  A SLAM system instead feeds events and
+poses *incrementally*; :class:`OnlineEMVS` provides that interface: push
+event chunks as they arrive, receive key-frame reconstructions through a
+callback the moment their reference segment closes, and query the live
+global map at any time.  Internally it is the exact reformulated dataflow
+(streaming distortion correction, nearest voting, Table 1 quantization),
+so results match the batch pipeline event-for-event.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.config import EMVSConfig
+from repro.core.keyframes import KeyframeSelector
+from repro.core.mapper import EMVSMapper, KeyframeReconstruction
+from repro.core.pointcloud import PointCloud
+from repro.core.voting import VotingMethod
+from repro.events.containers import EventArray
+from repro.events.packetizer import Packetizer
+from repro.fixedpoint.quantize import EVENTOR_SCHEMA, QuantizationSchema
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.distortion import NoDistortion
+from repro.geometry.trajectory import Trajectory
+
+
+class OnlineEMVS:
+    """Incremental EMVS mapper with key-frame callbacks.
+
+    Parameters
+    ----------
+    camera, config, depth_range, schema, voting:
+        As for the batch pipelines.
+    trajectory:
+        Pose source.  (A live system would swap in its tracker here; any
+        object with ``sample(t) -> SE3`` works.)
+    on_keyframe:
+        Called with each finished :class:`KeyframeReconstruction` as soon
+        as its reference segment closes.
+    """
+
+    def __init__(
+        self,
+        camera: PinholeCamera,
+        trajectory: Trajectory,
+        config: EMVSConfig | None = None,
+        depth_range: tuple[float, float] = (0.5, 5.0),
+        schema: QuantizationSchema = EVENTOR_SCHEMA,
+        voting: VotingMethod = VotingMethod.NEAREST,
+        on_keyframe: Callable[[KeyframeReconstruction], None] | None = None,
+    ):
+        self.camera = camera
+        self.config = config or EMVSConfig()
+        self.trajectory = trajectory
+        self.on_keyframe = on_keyframe
+        self._mapper = EMVSMapper(
+            camera,
+            self.config,
+            depth_range,
+            schema=schema,
+            voting=voting,
+            integer_scores=schema.enabled,
+        )
+        self._selector = KeyframeSelector(self.config.keyframe_distance)
+        self._packetizer = Packetizer(trajectory, self.config.frame_size)
+        self._cloud = PointCloud()
+        self._keyframes: list[KeyframeReconstruction] = []
+        self._events_pushed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def cloud(self) -> PointCloud:
+        """Global map merged so far (finished key frames only)."""
+        return self._cloud
+
+    @property
+    def keyframes(self) -> list[KeyframeReconstruction]:
+        return list(self._keyframes)
+
+    @property
+    def events_pushed(self) -> int:
+        return self._events_pushed
+
+    # ------------------------------------------------------------------
+    def push(self, events: EventArray) -> int:
+        """Feed a chunk of (time-ordered) events; returns frames processed.
+
+        Chunks may be of any size; fixed 1024-event frames are cut
+        internally, exactly as the hardware ingest does.
+        """
+        if len(events) == 0:
+            return 0
+        if not isinstance(self.camera.distortion, NoDistortion):
+            # Streaming per-event correction, before aggregation.
+            events = events.with_coordinates(
+                self.camera.undistort_pixels(events.xy)
+            )
+        self._events_pushed += len(events)
+        frames = self._packetizer.push(events)
+        for frame in frames:
+            if self._selector.is_new_keyframe(frame.T_wc):
+                frame.is_keyframe = True
+                self._finalize_segment()
+                self._mapper.start_reference(frame.T_wc)
+            self._mapper.process_frame(frame)
+        return len(frames)
+
+    def finish(self) -> PointCloud:
+        """Close the current segment and return the final global map.
+
+        The trailing partial frame (fewer than ``frame_size`` events) is
+        dropped, as the fixed-size hardware buffers would.
+        """
+        self._finalize_segment()
+        return self._cloud
+
+    def current_depth_map(self):
+        """Detection over the in-progress (unfinished) reference segment.
+
+        Lets a consumer preview depth before the key frame closes; the
+        DSI keeps accumulating afterwards.
+        """
+        reconstruction = self._mapper.finalize_reference()
+        return None if reconstruction is None else reconstruction.depth_map
+
+    # ------------------------------------------------------------------
+    def _finalize_segment(self) -> None:
+        reconstruction = (
+            self._mapper.finalize_reference() if self._mapper.dsi else None
+        )
+        if reconstruction is None:
+            return
+        self._keyframes.append(reconstruction)
+        self._cloud = self._cloud.merge(
+            self._mapper.lift_to_cloud(reconstruction)
+        )
+        if self.on_keyframe is not None:
+            self.on_keyframe(reconstruction)

@@ -1,0 +1,102 @@
+"""Eventor's hardware-friendly reformulated pipeline (Fig. 3 right).
+
+Differences from the original dataflow, exactly as Sec. 2.2 prescribes:
+
+* **Rescheduling** — distortion correction runs per event *before*
+  aggregation (streaming), and the proportional back-projection
+  coefficients φ are pre-computed per frame before ``P(Z0)`` starts;
+* **Approximate computing** — nearest voting replaces bilinear voting;
+* **Hybrid quantization** — all signals follow the Table 1 formats and the
+  DSI stores saturating 16-bit integer scores.
+
+The functional output of this class is bit-exact with the
+:mod:`repro.hardware` accelerator model running the same configuration
+(asserted by the integration tests), which is what makes the hardware
+model's accuracy claims transferable.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import EMVSConfig
+from repro.core.keyframes import KeyframeSelector
+from repro.core.mapper import EMVSMapper, EMVSResult, KeyframeReconstruction
+from repro.core.pointcloud import PointCloud
+from repro.core.voting import VotingMethod
+from repro.events.containers import EventArray
+from repro.events.packetizer import aggregate_frames
+from repro.fixedpoint.quantize import EVENTOR_SCHEMA, QuantizationSchema
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.distortion import NoDistortion
+from repro.geometry.trajectory import Trajectory
+
+
+class ReformulatedPipeline:
+    """Hardware-friendly EMVS (the algorithm Eventor executes)."""
+
+    name = "eventor-reformulated"
+
+    def __init__(
+        self,
+        camera: PinholeCamera,
+        config: EMVSConfig | None = None,
+        depth_range: tuple[float, float] = (0.5, 5.0),
+        voting: VotingMethod = VotingMethod.NEAREST,
+        schema: QuantizationSchema = EVENTOR_SCHEMA,
+    ):
+        self.camera = camera
+        self.config = config or EMVSConfig()
+        self.depth_range = depth_range
+        self.voting = voting
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+    def correct_stream(self, events: EventArray) -> EventArray:
+        """Streaming per-event distortion correction (before aggregation).
+
+        Applying the correction event-by-event lets the hardware overlap it
+        with ingest; numerically it equals the per-frame batch correction,
+        so the reformulation's accuracy impact comes only from voting and
+        quantization.
+        """
+        if isinstance(self.camera.distortion, NoDistortion):
+            return events
+        corrected = self.camera.undistort_pixels(events.xy)
+        return events.with_coordinates(corrected)
+
+    def run(self, events: EventArray, trajectory: Trajectory) -> EMVSResult:
+        """Reconstruct from a full event stream with known trajectory."""
+        mapper = EMVSMapper(
+            self.camera,
+            self.config,
+            self.depth_range,
+            schema=self.schema,
+            voting=self.voting,
+            integer_scores=self.schema.enabled,
+        )
+        selector = KeyframeSelector(self.config.keyframe_distance)
+
+        t0 = time.perf_counter()
+        events = self.correct_stream(events)
+        frames = aggregate_frames(events, trajectory, self.config.frame_size)
+        mapper.profile.add_time("A", time.perf_counter() - t0)
+
+        keyframes: list[KeyframeReconstruction] = []
+        cloud = PointCloud()
+        for frame in frames:
+            if selector.is_new_keyframe(frame.T_wc):
+                frame.is_keyframe = True
+                reconstruction = mapper.finalize_reference() if mapper.dsi else None
+                if reconstruction is not None:
+                    keyframes.append(reconstruction)
+                    cloud = cloud.merge(mapper.lift_to_cloud(reconstruction))
+                mapper.start_reference(frame.T_wc)
+            mapper.process_frame(frame)
+
+        reconstruction = mapper.finalize_reference() if mapper.dsi else None
+        if reconstruction is not None:
+            keyframes.append(reconstruction)
+            cloud = cloud.merge(mapper.lift_to_cloud(reconstruction))
+
+        return EMVSResult(keyframes=keyframes, cloud=cloud, profile=mapper.profile)

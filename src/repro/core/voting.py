@@ -1,0 +1,163 @@
+"""Volumetric ray-counting (stage ``R``): DSI voting kernels.
+
+Two voting schemes, matching Sec. 2.2 of the paper:
+
+* **Bilinear voting** — each back-projected point spreads a unit vote over
+  its four nearest voxels on the depth plane, weighted by proximity (like
+  bilinear interpolation).  This is the reference EMVS behaviour.
+* **Nearest voting** — each point casts a single integral vote into its
+  nearest voxel.  Cheaper (one read-modify-write instead of four, integer
+  scores) and the scheme Eventor implements; Fig. 4a shows the accuracy
+  cost is ~1 % AbsRel.
+
+The kernels accumulate *in place* into the DSI's flat score buffer.  A
+frame touches at most ``frame_size * Nz`` voxels (~10^5), far fewer than
+the volume (~4*10^6), so scatter-adds into the existing buffer beat
+materializing per-frame count volumes by two orders of magnitude.
+``np.ufunc.at`` handles the duplicate-index accumulation (and is fast on
+NumPy >= 1.25, where it gained a specialized loop).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class VotingMethod(enum.Enum):
+    BILINEAR = "bilinear"
+    NEAREST = "nearest"
+
+
+def _plane_index_grid(u: np.ndarray) -> np.ndarray:
+    """(N, Nz) array whose entry [k, i] is the plane index i."""
+    n, nz = u.shape
+    return np.broadcast_to(np.arange(nz, dtype=np.int64)[None, :], (n, nz))
+
+
+def _scatter_add(flat: np.ndarray, indices: np.ndarray, weights: np.ndarray | None) -> None:
+    """``flat[indices] += weights`` with duplicate indices handled correctly."""
+    if indices.size == 0:
+        return
+    if weights is None:
+        np.add.at(flat, indices, 1)
+    else:
+        np.add.at(flat, indices, weights)
+
+
+def vote_nearest_into(
+    flat: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    shape: tuple[int, int, int],
+) -> int:
+    """Nearest-voxel voting into a flat ``(Nz*H*W,)`` score buffer.
+
+    Parameters
+    ----------
+    flat:
+        Flattened DSI scores, modified in place.
+    u, v:
+        ``(N, Nz)`` pixel coordinates of each event on each depth plane
+        (non-finite entries mark projection misses and are skipped).
+    shape:
+        DSI shape ``(Nz, H, W)``.
+
+    Returns
+    -------
+    Number of votes cast (in-bounds points).
+    """
+    nz, h, w = shape
+    if u.shape != v.shape or u.shape[1] != nz:
+        raise ValueError("coordinate arrays must be (N, Nz) matching the DSI")
+    finite = np.isfinite(u) & np.isfinite(v)
+    # Round half-up (floor(x + 0.5)), exactly like the accelerator's
+    # Nearest Voxel Finder, then bounds-check the *integer* — keeping the
+    # software reference bit-compatible with the hardware model.
+    with np.errstate(invalid="ignore"):
+        iu = np.floor(np.where(finite, u, -10.0) + 0.5).astype(np.int64)
+        iv = np.floor(np.where(finite, v, -10.0) + 0.5).astype(np.int64)
+    valid = finite & (iu >= 0) & (iu < w) & (iv >= 0) & (iv < h)
+
+    iz = _plane_index_grid(u)
+    lin = (iz[valid] * h + iv[valid]) * w + iu[valid]
+    _scatter_add(flat, lin, None)
+    return int(lin.size)
+
+
+def vote_bilinear_into(
+    flat: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    shape: tuple[int, int, int],
+) -> int:
+    """Bilinear voting into a flat score buffer.
+
+    Each point's unit vote is split over the four surrounding voxels;
+    out-of-bounds corners are dropped individually, so a point near the
+    image border contributes only its in-bounds share — matching the
+    reference implementation.  Returns the number of points that cast a
+    (full or partial) vote.
+    """
+    nz, h, w = shape
+    if u.shape != v.shape or u.shape[1] != nz:
+        raise ValueError("coordinate arrays must be (N, Nz) matching the DSI")
+    finite = np.isfinite(u) & np.isfinite(v)
+    uu = np.where(finite, u, -10.0)
+    vv = np.where(finite, v, -10.0)
+
+    u0f = np.floor(uu)
+    v0f = np.floor(vv)
+    fu = uu - u0f
+    fv = vv - v0f
+    u0 = u0f.astype(np.int64)
+    v0 = v0f.astype(np.int64)
+    iz = _plane_index_grid(u)
+
+    voted = np.zeros(u.shape, dtype=bool)
+    corners = (
+        (u0, v0, (1.0 - fu) * (1.0 - fv)),
+        (u0 + 1, v0, fu * (1.0 - fv)),
+        (u0, v0 + 1, (1.0 - fu) * fv),
+        (u0 + 1, v0 + 1, fu * fv),
+    )
+    for cu, cv, weight in corners:
+        valid = finite & (cu >= 0) & (cu < w) & (cv >= 0) & (cv < h) & (weight > 0)
+        if not np.any(valid):
+            continue
+        lin = (iz[valid] * h + cv[valid]) * w + cu[valid]
+        _scatter_add(flat, lin, weight[valid])
+        voted |= valid
+    return int(voted.sum())
+
+
+def vote_nearest(
+    u: np.ndarray, v: np.ndarray, shape: tuple[int, int, int]
+) -> np.ndarray:
+    """Pure variant returning a fresh integer vote-count volume."""
+    volume = np.zeros(int(np.prod(shape)), dtype=np.int64)
+    vote_nearest_into(volume, u, v, shape)
+    return volume.reshape(shape)
+
+
+def vote_bilinear(
+    u: np.ndarray, v: np.ndarray, shape: tuple[int, int, int]
+) -> np.ndarray:
+    """Pure variant returning a fresh float vote-weight volume."""
+    volume = np.zeros(int(np.prod(shape)), dtype=np.float64)
+    vote_bilinear_into(volume, u, v, shape)
+    return volume.reshape(shape)
+
+
+def cast_votes_into(
+    method: VotingMethod,
+    flat: np.ndarray,
+    u: np.ndarray,
+    v: np.ndarray,
+    shape: tuple[int, int, int],
+) -> int:
+    """Dispatch on the voting method (in-place)."""
+    if method is VotingMethod.BILINEAR:
+        return vote_bilinear_into(flat, u, v, shape)
+    return vote_nearest_into(flat, u, v, shape)

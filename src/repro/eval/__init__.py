@@ -1,0 +1,19 @@
+"""Evaluation: depth metrics, experiment runners and table rendering.
+
+The modules here regenerate every quantitative artifact of the paper:
+:mod:`repro.eval.metrics` implements AbsRel and companions,
+:mod:`repro.eval.experiments` runs the per-figure/per-table experiments,
+and :mod:`repro.eval.reporting` renders aligned text tables next to the
+paper's published values.
+"""
+
+from repro.eval.metrics import DepthMetrics, absrel, evaluate_reconstruction
+from repro.eval.reporting import Table, format_percent
+
+__all__ = [
+    "DepthMetrics",
+    "absrel",
+    "evaluate_reconstruction",
+    "Table",
+    "format_percent",
+]

@@ -1,0 +1,110 @@
+"""Depth-estimation accuracy metrics.
+
+The paper reports **AbsRel** (absolute relative error): the mean over
+reconstructed points of ``|Z_est - Z_gt| / Z_gt``.  Companion metrics
+(completeness, outlier ratio, RMSE) are provided for the extended analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mapper import EMVSResult
+
+
+def absrel(estimated: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Mean absolute relative depth error over valid ground-truth points."""
+    estimated = np.asarray(estimated, dtype=float)
+    ground_truth = np.asarray(ground_truth, dtype=float)
+    if estimated.shape != ground_truth.shape:
+        raise ValueError("estimate/ground-truth shape mismatch")
+    valid = np.isfinite(estimated) & np.isfinite(ground_truth) & (ground_truth > 0)
+    if not np.any(valid):
+        raise ValueError("no valid points to evaluate")
+    e = estimated[valid]
+    g = ground_truth[valid]
+    return float(np.mean(np.abs(e - g) / g))
+
+
+@dataclass(frozen=True)
+class DepthMetrics:
+    """Bundle of depth-map quality measures.
+
+    Attributes
+    ----------
+    absrel:
+        Mean ``|dZ| / Z_gt`` (the paper's headline metric).
+    rmse:
+        Root-mean-square depth error in metres.
+    outlier_ratio:
+        Fraction of points with relative error above 15 %.
+    n_points:
+        Evaluated (reconstructed ∩ valid-GT) point count.
+    density:
+        Points per sensor pixel — semi-dense completeness proxy.
+    """
+
+    absrel: float
+    rmse: float
+    outlier_ratio: float
+    n_points: int
+    density: float
+
+    def __str__(self) -> str:
+        return (
+            f"AbsRel={self.absrel:.4f} RMSE={self.rmse:.4f} "
+            f"outliers={self.outlier_ratio:.3f} n={self.n_points}"
+        )
+
+
+def compute_metrics(
+    estimated: np.ndarray,
+    ground_truth: np.ndarray,
+    sensor_pixels: int,
+    outlier_threshold: float = 0.15,
+) -> DepthMetrics:
+    """Full metric bundle for aligned estimate/GT point depth arrays."""
+    estimated = np.asarray(estimated, dtype=float)
+    ground_truth = np.asarray(ground_truth, dtype=float)
+    valid = np.isfinite(estimated) & np.isfinite(ground_truth) & (ground_truth > 0)
+    if not np.any(valid):
+        raise ValueError("no valid points to evaluate")
+    e = estimated[valid]
+    g = ground_truth[valid]
+    rel = np.abs(e - g) / g
+    return DepthMetrics(
+        absrel=float(np.mean(rel)),
+        rmse=float(np.sqrt(np.mean((e - g) ** 2))),
+        outlier_ratio=float(np.mean(rel > outlier_threshold)),
+        n_points=int(valid.sum()),
+        density=float(valid.sum()) / sensor_pixels,
+    )
+
+
+def evaluate_reconstruction(result: EMVSResult, sequence) -> DepthMetrics:
+    """Evaluate a pipeline result against a sequence's analytic ground truth.
+
+    Every key-frame depth map is compared with the scene depth ray-cast at
+    its own reference view; metrics are aggregated over all points of all
+    key frames (weighted by point count, as a pooled mean).
+    """
+    if not result.keyframes:
+        raise ValueError("result contains no keyframe reconstructions")
+    est_parts: list[np.ndarray] = []
+    gt_parts: list[np.ndarray] = []
+    for kf in result.keyframes:
+        pixels = kf.depth_map.pixels()
+        if pixels.shape[0] == 0:
+            continue
+        est_parts.append(kf.depth_map.depths())
+        gt_parts.append(sequence.gt_depth_at(kf.T_w_ref, pixels))
+    if not est_parts:
+        raise ValueError("no reconstructed points in any keyframe")
+    camera = sequence.camera
+    return compute_metrics(
+        np.concatenate(est_parts),
+        np.concatenate(gt_parts),
+        sensor_pixels=camera.width * camera.height,
+    )

@@ -1,0 +1,80 @@
+"""Text rendering of tables and simple figures.
+
+The benchmark harness prints every reproduced table/figure as an aligned
+text table with a paper-value column where applicable, so runs are
+self-documenting (and EXPERIMENTS.md is generated from the same output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def format_ratio(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}x"
+
+
+@dataclass
+class Table:
+    """Aligned text table with a title, used by the bench harness."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        cells = [str(c) for c in cells]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells):
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [f"== {self.title} ==", line(self.columns), sep]
+        parts.extend(line(row) for row in self.rows)
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def show(self) -> None:
+        print("\n" + self.render() + "\n")
+
+
+def bar_chart(title: str, labels: list[str], series: dict[str, list[float]],
+              unit: str = "%", width: int = 40) -> str:
+    """ASCII grouped bar chart (stand-in for the paper's figure panels)."""
+    all_values = [v for vs in series.values() for v in vs]
+    if not all_values:
+        raise ValueError("no data")
+    peak = max(all_values) or 1.0
+    lines = [f"== {title} =="]
+    label_w = max(len(l) for l in labels)
+    name_w = max(len(n) for n in series)
+    for i, label in enumerate(labels):
+        for name, values in series.items():
+            v = values[i]
+            bar = "#" * max(1, int(round(width * v / peak)))
+            lines.append(
+                f"{label.ljust(label_w)}  {name.ljust(name_w)}  "
+                f"{bar} {v:.2f}{unit}"
+            )
+        lines.append("")
+    return "\n".join(lines)

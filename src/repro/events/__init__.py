@@ -1,0 +1,46 @@
+"""Event-camera substrate.
+
+Provides the event containers, frame aggregation, dataset IO, a synthetic
+event-camera simulator and procedural replicas of the four Event Camera
+Dataset sequences the paper evaluates on (``simulation_3planes``,
+``simulation_3walls``, ``slider_close``, ``slider_far``).
+"""
+
+from repro.events.containers import EventArray, EVENT_DTYPE
+from repro.events.packetizer import EventFrame, Packetizer, aggregate_frames
+from repro.events.davis_io import (
+    load_events_txt,
+    save_events_txt,
+    load_groundtruth_txt,
+    save_groundtruth_txt,
+    load_calib_txt,
+    save_calib_txt,
+    load_dataset_dir,
+    save_dataset_dir,
+)
+from repro.events.simulator import EventCameraSimulator, SimulatorConfig
+from repro.events.scenes import PlanarScene, TexturedPlane
+from repro.events.datasets import Sequence, load_sequence, SEQUENCE_NAMES
+
+__all__ = [
+    "EventArray",
+    "EVENT_DTYPE",
+    "EventFrame",
+    "Packetizer",
+    "aggregate_frames",
+    "load_events_txt",
+    "save_events_txt",
+    "load_groundtruth_txt",
+    "save_groundtruth_txt",
+    "load_calib_txt",
+    "save_calib_txt",
+    "load_dataset_dir",
+    "save_dataset_dir",
+    "EventCameraSimulator",
+    "SimulatorConfig",
+    "PlanarScene",
+    "TexturedPlane",
+    "Sequence",
+    "load_sequence",
+    "SEQUENCE_NAMES",
+]

@@ -1,0 +1,188 @@
+"""Event containers.
+
+An *event* ``e_k = <x_k, y_k, t_k, p_k>`` encodes a logarithmic-brightness
+change at pixel ``(x_k, y_k)`` at time ``t_k`` with polarity ``p_k``
+(+1 brighter, -1 darker).  :class:`EventArray` stores a time-sorted batch of
+events as a numpy structured array for cache-friendly bulk processing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+#: Structured dtype of one event.  ``x``/``y`` are float32 because the
+#: reformulated dataflow stores *undistorted* (sub-pixel) coordinates.
+EVENT_DTYPE = np.dtype(
+    [("t", np.float64), ("x", np.float32), ("y", np.float32), ("p", np.int8)]
+)
+
+
+class EventArray:
+    """Immutable time-sorted array of events.
+
+    Construction validates monotonic timestamps and polarity values; all
+    accessors return views where possible.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: np.ndarray, *, validate: bool = True, sort: bool = False):
+        data = np.asarray(data)
+        if data.dtype != EVENT_DTYPE:
+            raise TypeError(
+                f"EventArray requires dtype {EVENT_DTYPE}, got {data.dtype}; "
+                "use EventArray.from_arrays to build from columns"
+            )
+        if sort and len(data) > 1 and np.any(np.diff(data["t"]) < 0):
+            data = data[np.argsort(data["t"], kind="stable")]
+        if validate and len(data) > 1 and np.any(np.diff(data["t"]) < 0):
+            raise ValueError("event timestamps must be non-decreasing")
+        if validate and len(data) > 0:
+            p = data["p"]
+            if not np.all((p == 1) | (p == -1)):
+                raise ValueError("event polarity must be +1 or -1")
+        self._data = data
+        self._data.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_arrays(
+        t: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        p: np.ndarray,
+        *,
+        sort: bool = False,
+    ) -> "EventArray":
+        t = np.asarray(t, dtype=np.float64)
+        n = t.shape[0]
+        data = np.empty(n, dtype=EVENT_DTYPE)
+        data["t"] = t
+        data["x"] = np.asarray(x, dtype=np.float32)
+        data["y"] = np.asarray(y, dtype=np.float32)
+        data["p"] = np.asarray(p, dtype=np.int8)
+        return EventArray(data, sort=sort)
+
+    @staticmethod
+    def empty() -> "EventArray":
+        return EventArray(np.empty(0, dtype=EVENT_DTYPE))
+
+    @staticmethod
+    def concatenate(parts: Sequence["EventArray"]) -> "EventArray":
+        """Concatenate time-ordered parts (their spans must not interleave)."""
+        if not parts:
+            return EventArray.empty()
+        data = np.concatenate([p.data for p in parts])
+        return EventArray(data)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def t(self) -> np.ndarray:
+        return self._data["t"]
+
+    @property
+    def x(self) -> np.ndarray:
+        return self._data["x"]
+
+    @property
+    def y(self) -> np.ndarray:
+        return self._data["y"]
+
+    @property
+    def p(self) -> np.ndarray:
+        return self._data["p"]
+
+    @property
+    def xy(self) -> np.ndarray:
+        """``(N, 2)`` float64 pixel coordinates (copy)."""
+        return np.stack(
+            [self._data["x"].astype(float), self._data["y"].astype(float)], axis=1
+        )
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, key) -> "EventArray":
+        result = self._data[key]
+        if result.ndim == 0:  # single event: keep container semantics
+            result = result.reshape(1)
+        return EventArray(np.ascontiguousarray(result), validate=False)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EventArray):
+            return NotImplemented
+        return len(self) == len(other) and bool(np.all(self._data == other._data))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if len(self) == 0:
+            return "EventArray(empty)"
+        return (
+            f"EventArray(n={len(self)}, "
+            f"t=[{self.t[0]:.6f}, {self.t[-1]:.6f}])"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def t_start(self) -> float:
+        if len(self) == 0:
+            raise ValueError("empty event array has no time span")
+        return float(self._data["t"][0])
+
+    @property
+    def t_end(self) -> float:
+        if len(self) == 0:
+            raise ValueError("empty event array has no time span")
+        return float(self._data["t"][-1])
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start if len(self) else 0.0
+
+    def event_rate(self) -> float:
+        """Mean event rate in events/second."""
+        if len(self) < 2 or self.duration == 0.0:
+            return 0.0
+        return len(self) / self.duration
+
+    def time_slice(self, t0: float, t1: float) -> "EventArray":
+        """Events with ``t0 <= t < t1`` (binary search, O(log n) + view)."""
+        ts = self._data["t"]
+        i0 = int(np.searchsorted(ts, t0, side="left"))
+        i1 = int(np.searchsorted(ts, t1, side="left"))
+        return EventArray(self._data[i0:i1], validate=False)
+
+    def crop_to_sensor(self, width: int, height: int) -> "EventArray":
+        """Drop events outside the sensor (can appear after undistortion)."""
+        x, y = self._data["x"], self._data["y"]
+        keep = (x >= 0) & (x <= width - 1) & (y >= 0) & (y <= height - 1)
+        return EventArray(np.ascontiguousarray(self._data[keep]), validate=False)
+
+    def with_coordinates(self, xy: np.ndarray) -> "EventArray":
+        """Copy with replaced pixel coordinates (e.g. after undistortion)."""
+        xy = np.asarray(xy, dtype=float)
+        if xy.shape != (len(self), 2):
+            raise ValueError(f"expected coordinates of shape ({len(self)}, 2)")
+        data = self._data.copy()
+        data["x"] = xy[:, 0].astype(np.float32)
+        data["y"] = xy[:, 1].astype(np.float32)
+        return EventArray(data, validate=False)
+
+    def polarity_split(self) -> tuple["EventArray", "EventArray"]:
+        """(positive, negative) event sub-arrays."""
+        pos = self._data["p"] == 1
+        return (
+            EventArray(np.ascontiguousarray(self._data[pos]), validate=False),
+            EventArray(np.ascontiguousarray(self._data[~pos]), validate=False),
+        )

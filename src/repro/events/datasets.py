@@ -1,0 +1,204 @@
+"""Procedural replicas of the four evaluation sequences.
+
+The paper evaluates on four sequences of the Event Camera Dataset
+(Mueggler et al., IJRR 2017): ``simulation_3planes`` and
+``simulation_3walls`` (simulated), ``slider_close`` and ``slider_far``
+(recorded on a motorized linear slider).  The dataset itself is not
+available offline, so this module synthesizes sequences with the same
+structure: identical sensor (240x180 DAVIS), analogous scene geometry,
+slider-style trajectories, and exact ground-truth depth via the scene ray
+caster.  See DESIGN.md §2 for the substitution argument.
+
+Sequences are deterministic for a given (name, quality) pair and cached
+in-process, since generating one takes a couple of seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.events.containers import EventArray
+from repro.events.scenes import (
+    PlanarScene,
+    slider_scene,
+    three_planes_scene,
+    three_walls_scene,
+)
+from repro.events.simulator import EventCameraSimulator, SimulatorConfig
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3, Quaternion
+from repro.geometry.trajectory import Trajectory, linear_trajectory
+
+#: Names accepted by :func:`load_sequence`, in the paper's order.
+SEQUENCE_NAMES = (
+    "simulation_3planes",
+    "simulation_3walls",
+    "slider_close",
+    "slider_far",
+)
+
+#: Short labels used in the paper's figures.
+SHORT_NAMES = {
+    "simulation_3planes": "3planes",
+    "simulation_3walls": "3walls",
+    "slider_close": "close",
+    "slider_far": "far",
+}
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """A loaded evaluation sequence.
+
+    Attributes
+    ----------
+    name:
+        One of :data:`SEQUENCE_NAMES`.
+    events:
+        Raw sensor events (integer pixel coordinates, time sorted).
+    trajectory:
+        Ground-truth camera trajectory ``T_wc``.
+    camera:
+        Sensor calibration (240x180; the slider replicas carry lens
+        distortion like the real recordings).
+    scene:
+        The generating scene — provides analytic ground-truth depth.
+    depth_range:
+        ``(z_min, z_max)`` bounds for the DSI, analogous to the dataset's
+        published scene depth ranges.
+    """
+
+    name: str
+    events: EventArray
+    trajectory: Trajectory
+    camera: PinholeCamera
+    scene: PlanarScene
+    depth_range: tuple[float, float]
+
+    @property
+    def short_name(self) -> str:
+        return SHORT_NAMES[self.name]
+
+    def gt_depth_at(self, T_wc: SE3, pixels: np.ndarray) -> np.ndarray:
+        """Ground-truth depth at (sub-pixel) positions of an arbitrary view."""
+        return self.scene.depth_at_pixels(self.camera, T_wc, pixels)
+
+
+def _quality_steps(quality: str, full: int) -> int:
+    """Render-step count for a quality preset (``fast`` for unit tests)."""
+    if quality == "full":
+        return full
+    if quality == "fast":
+        return max(40, full // 4)
+    raise ValueError(f"unknown quality {quality!r}; use 'full' or 'fast'")
+
+
+def _build_simulation_3planes(quality: str) -> Sequence:
+    scene = three_planes_scene()
+    camera = PinholeCamera.davis240c(distorted=False)
+    trajectory = linear_trajectory(
+        start=[-0.25, 0.02, 0.0],
+        end=[0.25, -0.02, 0.0],
+        duration=2.0,
+        n_poses=201,
+    )
+    config = SimulatorConfig(
+        contrast_threshold=0.15,
+        n_render_steps=_quality_steps(quality, 320),
+        seed=1,
+    )
+    events = EventCameraSimulator(scene, camera, trajectory, config).run()
+    return Sequence(
+        name="simulation_3planes",
+        events=events,
+        trajectory=trajectory,
+        camera=camera,
+        scene=scene,
+        depth_range=(0.6, 3.6),
+    )
+
+
+def _build_simulation_3walls(quality: str) -> Sequence:
+    scene = three_walls_scene()
+    camera = PinholeCamera.davis240c(distorted=False)
+    trajectory = linear_trajectory(
+        start=[-0.35, 0.0, 0.0],
+        end=[0.35, 0.05, 0.1],
+        duration=2.0,
+        n_poses=201,
+    )
+    config = SimulatorConfig(
+        contrast_threshold=0.15,
+        n_render_steps=_quality_steps(quality, 320),
+        seed=2,
+    )
+    events = EventCameraSimulator(scene, camera, trajectory, config).run()
+    return Sequence(
+        name="simulation_3walls",
+        events=events,
+        trajectory=trajectory,
+        camera=camera,
+        scene=scene,
+        depth_range=(0.8, 4.0),
+    )
+
+
+def _build_slider(name: str, mean_depth: float, seed: int, quality: str) -> Sequence:
+    scene = slider_scene(mean_depth, seed=seed)
+    camera = PinholeCamera.davis240c(distorted=False)
+    # The physical slider is ~40 cm long; keep the baseline proportional to
+    # the scene depth so both sequences sweep comparable parallax.
+    half_span = min(0.2, 0.45 * mean_depth)
+    trajectory = linear_trajectory(
+        start=[-half_span, 0.0, 0.0],
+        end=[half_span, 0.0, 0.0],
+        duration=1.6,
+        n_poses=161,
+        rotation=Quaternion.identity(),
+    )
+    config = SimulatorConfig(
+        contrast_threshold=0.17,
+        n_render_steps=_quality_steps(quality, 280),
+        threshold_mismatch=0.03,  # real-sensor non-idealities
+        noise_rate=0.05,
+        seed=seed,
+    )
+    events = EventCameraSimulator(scene, camera, trajectory, config).run()
+    return Sequence(
+        name=name,
+        events=events,
+        trajectory=trajectory,
+        camera=camera,
+        scene=scene,
+        depth_range=(0.55 * mean_depth, 2.2 * mean_depth),
+    )
+
+
+_BUILDERS = {
+    "simulation_3planes": lambda q: _build_simulation_3planes(q),
+    "simulation_3walls": lambda q: _build_simulation_3walls(q),
+    "slider_close": lambda q: _build_slider("slider_close", 0.45, seed=3, quality=q),
+    "slider_far": lambda q: _build_slider("slider_far", 1.3, seed=4, quality=q),
+}
+
+
+@lru_cache(maxsize=8)
+def load_sequence(name: str, quality: str = "full") -> Sequence:
+    """Load (generate) one of the four evaluation sequences.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SEQUENCE_NAMES`.
+    quality:
+        ``"full"`` for evaluation fidelity, ``"fast"`` for quick tests
+        (coarser temporal sampling, ~4x fewer events).
+    """
+    if name not in _BUILDERS:
+        raise KeyError(
+            f"unknown sequence {name!r}; available: {', '.join(SEQUENCE_NAMES)}"
+        )
+    return _BUILDERS[name](quality)

@@ -1,0 +1,158 @@
+"""Event aggregation (the paper's stage ``A``).
+
+The event stream is divided into fixed-size *event frames* (the paper uses
+1024 events per frame, "determined according to the sensor's event rate and
+storage").  Each frame carries the camera pose at its representative
+timestamp; all events of a frame are back-projected with that single pose,
+which is the approximation both the original EMVS implementation and the
+accelerator make.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+from repro.events.containers import EventArray
+from repro.geometry.se3 import SE3
+from repro.geometry.trajectory import Trajectory
+
+#: Frame size used throughout the paper's evaluation.
+DEFAULT_FRAME_SIZE = 1024
+
+
+@dataclass
+class EventFrame:
+    """A fixed-size packet of events with its camera pose.
+
+    Attributes
+    ----------
+    events:
+        The aggregated events.
+    T_wc:
+        Camera pose at :attr:`timestamp` (camera-to-world).
+    timestamp:
+        Representative time of the frame (midpoint of its span).
+    index:
+        Position of the frame in the stream.
+    is_keyframe:
+        Set by key-frame selection (:mod:`repro.core.keyframes`); a key
+        frame resets the DSI to a new reference view.
+    """
+
+    events: EventArray
+    T_wc: SE3
+    timestamp: float
+    index: int = 0
+    is_keyframe: bool = False
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class Packetizer:
+    """Streaming aggregator: push events, emit fixed-size frames.
+
+    Mirrors the behaviour of the hardware ingest path: events accumulate in
+    a buffer and a frame is emitted whenever ``frame_size`` events are
+    available.  The trailing partial frame can be flushed explicitly.
+    """
+
+    def __init__(self, trajectory: Trajectory, frame_size: int = DEFAULT_FRAME_SIZE):
+        if frame_size < 1:
+            raise ValueError("frame_size must be >= 1")
+        self._trajectory = trajectory
+        self._frame_size = frame_size
+        self._pending: list[EventArray] = []
+        self._pending_count = 0
+        self._emitted = 0
+
+    @property
+    def frame_size(self) -> int:
+        return self._frame_size
+
+    def push(self, events: EventArray) -> list[EventFrame]:
+        """Add events to the buffer; return every completed frame."""
+        if len(events) == 0:
+            return []
+        self._pending.append(events)
+        self._pending_count += len(events)
+        if self._pending_count < self._frame_size:
+            return []
+        # Merge once, then emit frame-sized slices (views, no re-copy).
+        merged = (
+            self._pending[0]
+            if len(self._pending) == 1
+            else EventArray.concatenate(self._pending)
+        )
+        n_full = self._pending_count // self._frame_size
+        frames = [
+            self._make_frame(merged[i * self._frame_size : (i + 1) * self._frame_size])
+            for i in range(n_full)
+        ]
+        tail = merged[n_full * self._frame_size :]
+        self._pending = [tail] if len(tail) else []
+        self._pending_count = len(tail)
+        return frames
+
+    def flush(self) -> EventFrame | None:
+        """Emit the trailing partial frame, if any."""
+        if self._pending_count == 0:
+            return None
+        merged = EventArray.concatenate(self._pending)
+        self._pending = []
+        self._pending_count = 0
+        return self._make_frame(merged)
+
+    def _make_frame(self, events: EventArray) -> EventFrame:
+        t_mid = 0.5 * (events.t_start + events.t_end)
+        frame = EventFrame(
+            events=events,
+            T_wc=self._trajectory.sample(t_mid),
+            timestamp=t_mid,
+            index=self._emitted,
+        )
+        self._emitted += 1
+        return frame
+
+
+def aggregate_frames(
+    events: EventArray,
+    trajectory: Trajectory,
+    frame_size: int = DEFAULT_FRAME_SIZE,
+    drop_partial: bool = True,
+) -> list[EventFrame]:
+    """Split an event stream into pose-stamped frames.
+
+    Parameters
+    ----------
+    events:
+        Full time-sorted event stream.
+    trajectory:
+        Known camera trajectory for pose lookup.
+    frame_size:
+        Events per frame (1024 in the paper).
+    drop_partial:
+        Drop the trailing frame if it has fewer than ``frame_size`` events
+        (matches the fixed-size hardware buffers).
+    """
+    packetizer = Packetizer(trajectory, frame_size)
+    frames = packetizer.push(events)
+    if not drop_partial:
+        tail = packetizer.flush()
+        if tail is not None:
+            frames.append(tail)
+    return frames
+
+
+def iter_frames(
+    events: EventArray,
+    trajectory: Trajectory,
+    frame_size: int = DEFAULT_FRAME_SIZE,
+) -> Iterator[EventFrame]:
+    """Generator variant of :func:`aggregate_frames` for streaming use."""
+    n_full = len(events) // frame_size
+    packetizer = Packetizer(trajectory, frame_size)
+    for i in range(n_full):
+        chunk = events[i * frame_size : (i + 1) * frame_size]
+        yield from packetizer.push(chunk)

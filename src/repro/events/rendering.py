@@ -1,0 +1,89 @@
+"""Event visualization: accumulation images and activity maps.
+
+The standard debugging views for event streams (the "event frames" of the
+paper's Fig. 1): per-pixel polarity accumulation over a time window, event
+counts, and timestamp surfaces.  All return plain numpy arrays so they
+compose with :mod:`repro.io.pgm` for export.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.events.containers import EventArray
+
+
+def _bin_pixels(events: EventArray, width: int, height: int) -> tuple[np.ndarray, np.ndarray]:
+    """Integer pixel bins with an in-sensor mask."""
+    ix = np.floor(events.x + 0.5).astype(np.int64)
+    iy = np.floor(events.y + 0.5).astype(np.int64)
+    ok = (ix >= 0) & (ix < width) & (iy >= 0) & (iy < height)
+    return iy[ok] * width + ix[ok], ok
+
+
+def accumulate_polarity(
+    events: EventArray, width: int, height: int
+) -> np.ndarray:
+    """Signed polarity accumulation image (``sum of p`` per pixel).
+
+    Positive values mark brightening edges, negative darkening — the
+    classic red/blue event-frame view, as a float array.
+    """
+    lin, ok = _bin_pixels(events, width, height)
+    image = np.zeros(height * width, dtype=np.float64)
+    np.add.at(image, lin, events.p[ok].astype(np.float64))
+    return image.reshape(height, width)
+
+
+def event_count_map(events: EventArray, width: int, height: int) -> np.ndarray:
+    """Per-pixel event count over the stream (activity map)."""
+    lin, _ = _bin_pixels(events, width, height)
+    counts = np.bincount(lin, minlength=height * width)
+    return counts.reshape(height, width)
+
+
+def timestamp_surface(
+    events: EventArray, width: int, height: int
+) -> np.ndarray:
+    """Surface of most-recent event timestamps (NaN where none fired).
+
+    Time surfaces encode local motion direction as a gradient; widely used
+    as an event-stream feature and handy for eyeballing simulator output.
+    """
+    lin, ok = _bin_pixels(events, width, height)
+    surface = np.full(height * width, np.nan)
+    # Events are time sorted: later assignments overwrite earlier ones.
+    surface[lin] = events.t[ok]
+    return surface.reshape(height, width)
+
+
+def polarity_to_rgb(image: np.ndarray) -> np.ndarray:
+    """Map a signed accumulation image to an (H, W, 3) uint8 visualization.
+
+    Positive polarity renders red, negative blue, zero white — matching
+    the event-camera literature's convention.
+    """
+    peak = np.abs(image).max() or 1.0
+    norm = np.clip(image / peak, -1.0, 1.0)
+    h, w = image.shape
+    rgb = np.full((h, w, 3), 255, dtype=np.uint8)
+    pos = norm > 0
+    neg = norm < 0
+    # Fade the complementary channels with magnitude.
+    fade_pos = (255 * (1.0 - norm[pos])).astype(np.uint8)
+    rgb[pos, 1] = fade_pos
+    rgb[pos, 2] = fade_pos
+    fade_neg = (255 * (1.0 + norm[neg])).astype(np.uint8)
+    rgb[neg, 0] = fade_neg
+    rgb[neg, 1] = fade_neg
+    return rgb
+
+
+def save_ppm(path: str, rgb: np.ndarray) -> None:
+    """Write an (H, W, 3) uint8 array as binary PPM (P6)."""
+    rgb = np.asarray(rgb)
+    if rgb.ndim != 3 or rgb.shape[2] != 3 or rgb.dtype != np.uint8:
+        raise ValueError("PPM wants an (H, W, 3) uint8 array")
+    with open(path, "wb") as f:
+        f.write(f"P6\n{rgb.shape[1]} {rgb.shape[0]}\n255\n".encode())
+        f.write(rgb.tobytes())

@@ -1,0 +1,118 @@
+"""Procedural textures for synthetic scenes.
+
+Event cameras respond to brightness *gradients* sweeping across pixels, so
+the textures here are chosen for rich, band-limited edge content: checker
+boards, stripe patterns, and multi-octave value noise.  A texture is a
+callable ``tex(u, v) -> intensity`` over plane-local metric coordinates,
+vectorized over numpy arrays, returning values in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Texture = "callable[[np.ndarray, np.ndarray], np.ndarray]"
+
+
+def constant(value: float = 0.5):
+    """Uniform brightness (produces no events — useful for backgrounds)."""
+
+    def tex(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        return np.full(np.broadcast(u, v).shape, float(value))
+
+    return tex
+
+
+def checkerboard(period: float = 0.1, low: float = 0.15, high: float = 0.9):
+    """Checkerboard with the given square size in metres."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+
+    def tex(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        iu = np.floor(np.asarray(u) / period).astype(np.int64)
+        iv = np.floor(np.asarray(v) / period).astype(np.int64)
+        return np.where((iu + iv) % 2 == 0, high, low)
+
+    return tex
+
+
+def stripes(period: float = 0.08, axis: int = 0, low: float = 0.2, high: float = 0.85):
+    """Hard-edged stripes along ``axis`` (0 = vary with u, 1 = with v)."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+
+    def tex(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        coord = np.asarray(u if axis == 0 else v)
+        return np.where(np.floor(coord / period).astype(np.int64) % 2 == 0, high, low)
+
+    return tex
+
+
+def line_grid(period: float = 0.12, line_width: float = 0.015,
+              low: float = 0.1, high: float = 0.85):
+    """Bright background with a grid of dark lines (poster-like edges)."""
+
+    def tex(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        du = np.mod(np.asarray(u), period)
+        dv = np.mod(np.asarray(v), period)
+        on_line = (du < line_width) | (dv < line_width)
+        return np.where(on_line, low, high)
+
+    return tex
+
+
+def smooth_noise(seed: int = 0, scale: float = 0.15, octaves: int = 3,
+                 low: float = 0.1, high: float = 0.9):
+    """Multi-octave value noise (natural-texture stand-in, e.g. rocks).
+
+    A fixed random grid is sampled with bilinear interpolation; octaves
+    halve the wavelength and amplitude.  Deterministic for a given seed.
+    """
+    rng = np.random.default_rng(seed)
+    grids = [rng.random((64, 64)) for _ in range(octaves)]
+
+    def sample_grid(grid: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        gu = np.mod(u, 64.0)
+        gv = np.mod(v, 64.0)
+        iu = np.floor(gu).astype(np.int64) % 64
+        iv = np.floor(gv).astype(np.int64) % 64
+        fu = gu - np.floor(gu)
+        fv = gv - np.floor(gv)
+        iu1 = (iu + 1) % 64
+        iv1 = (iv + 1) % 64
+        top = grid[iv, iu] * (1 - fu) + grid[iv, iu1] * fu
+        bot = grid[iv1, iu] * (1 - fu) + grid[iv1, iu1] * fu
+        return top * (1 - fv) + bot * fv
+
+    def tex(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        u = np.asarray(u, dtype=float) / scale
+        v = np.asarray(v, dtype=float) / scale
+        total = np.zeros(np.broadcast(u, v).shape)
+        amplitude = 1.0
+        norm = 0.0
+        for i, grid in enumerate(grids):
+            freq = 2.0**i
+            total = total + amplitude * sample_grid(grid, u * freq, v * freq)
+            norm += amplitude
+            amplitude *= 0.5
+        total = total / norm
+        return low + (high - low) * total
+
+    return tex
+
+
+def quantized_noise(seed: int = 0, scale: float = 0.15, levels: int = 4,
+                    low: float = 0.1, high: float = 0.9):
+    """Posterized value noise: flat regions separated by sharp edges.
+
+    Sharp iso-contours make this the most event-dense natural texture; it is
+    what the slider-sequence replicas use.
+    """
+    base = smooth_noise(seed=seed, scale=scale, octaves=3, low=0.0, high=1.0)
+
+    def tex(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        raw = base(u, v)
+        q = np.floor(raw * levels) / max(levels - 1, 1)
+        return low + (high - low) * np.clip(q, 0.0, 1.0)
+
+    return tex

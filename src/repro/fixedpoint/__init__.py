@@ -1,0 +1,31 @@
+"""Fixed-point arithmetic substrate.
+
+Implements the hybrid data quantization of the paper (Table 1): generic
+Q-format descriptions (:mod:`repro.fixedpoint.qformat`), quantized array
+arithmetic (:mod:`repro.fixedpoint.fxp`), and the concrete per-signal schema
+Eventor uses (:mod:`repro.fixedpoint.quantize`).
+"""
+
+from repro.fixedpoint.qformat import QFormat, Rounding, Overflow
+from repro.fixedpoint.fxp import FxpArray
+from repro.fixedpoint.quantize import (
+    QuantizationSchema,
+    EVENTOR_SCHEMA,
+    FLOAT_SCHEMA,
+    quantize_events,
+    quantize_homography,
+    quantize_phi,
+)
+
+__all__ = [
+    "QFormat",
+    "Rounding",
+    "Overflow",
+    "FxpArray",
+    "QuantizationSchema",
+    "EVENTOR_SCHEMA",
+    "FLOAT_SCHEMA",
+    "quantize_events",
+    "quantize_homography",
+    "quantize_phi",
+]

@@ -1,0 +1,124 @@
+"""Fixed-point array arithmetic.
+
+:class:`FxpArray` pairs a raw int64 numpy array with a :class:`QFormat` and
+implements the bit-growth rules of binary fixed-point arithmetic:
+
+* ``a + b`` aligns binary points and grows one integer bit;
+* ``a * b`` adds word lengths and fractional bits;
+* :meth:`resize` narrows to a target format with explicit rounding/overflow.
+
+This is what the hardware model uses to execute PE datapaths bit-true: a
+product of the paper's uQ9.7 coordinates with sQ11.21 homography terms is a
+41-bit sQ20.28 value, well inside the int64 backing store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.qformat import Overflow, QFormat, Rounding
+
+
+class FxpArray:
+    """Immutable fixed-point array: raw int64 payload + format."""
+
+    __slots__ = ("raw", "fmt")
+
+    def __init__(self, raw: np.ndarray, fmt: QFormat):
+        raw = np.asarray(raw, dtype=np.int64)
+        if np.any(raw < fmt.raw_min) or np.any(raw > fmt.raw_max):
+            raise ValueError(f"raw payload exceeds the range of {fmt}")
+        self.raw = raw
+        self.raw.setflags(write=False)
+        self.fmt = fmt
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_float(
+        values: np.ndarray,
+        fmt: QFormat,
+        rounding: Rounding = Rounding.NEAREST,
+        overflow: Overflow = Overflow.SATURATE,
+    ) -> "FxpArray":
+        return FxpArray(fmt.to_raw(values, rounding, overflow), fmt)
+
+    def to_float(self) -> np.ndarray:
+        return self.fmt.from_raw(self.raw)
+
+    @property
+    def shape(self):
+        return self.raw.shape
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __getitem__(self, key) -> "FxpArray":
+        return FxpArray(np.atleast_1d(self.raw[key]), self.fmt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FxpArray({self.fmt}, shape={self.raw.shape})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic with bit growth
+    # ------------------------------------------------------------------
+    def _aligned(self, other: "FxpArray") -> tuple[np.ndarray, np.ndarray, int]:
+        """Align binary points; returns raws at the wider fractional width."""
+        frac = max(self.fmt.frac_bits, other.fmt.frac_bits)
+        a = self.raw << (frac - self.fmt.frac_bits)
+        b = other.raw << (frac - other.fmt.frac_bits)
+        return a, b, frac
+
+    def __add__(self, other: "FxpArray") -> "FxpArray":
+        a, b, frac = self._aligned(other)
+        signed = self.fmt.signed or other.fmt.signed
+        int_bits = max(self.fmt.int_bits, other.fmt.int_bits) + 1
+        fmt = QFormat(int_bits + frac + (1 if signed else 0), frac, signed)
+        return FxpArray(a + b, fmt)
+
+    def __sub__(self, other: "FxpArray") -> "FxpArray":
+        a, b, frac = self._aligned(other)
+        int_bits = max(self.fmt.int_bits, other.fmt.int_bits) + 1
+        fmt = QFormat(int_bits + frac + 1, frac, True)
+        return FxpArray(a - b, fmt)
+
+    def __mul__(self, other: "FxpArray") -> "FxpArray":
+        frac = self.fmt.frac_bits + other.fmt.frac_bits
+        signed = self.fmt.signed or other.fmt.signed
+        total = self.fmt.total_bits + other.fmt.total_bits
+        if total > 63:
+            raise OverflowError(
+                f"product of {self.fmt} and {other.fmt} exceeds the int64 store"
+            )
+        fmt = QFormat(total, frac, signed)
+        return FxpArray(self.raw * other.raw, fmt)
+
+    def resize(
+        self,
+        fmt: QFormat,
+        rounding: Rounding = Rounding.NEAREST,
+        overflow: Overflow = Overflow.SATURATE,
+    ) -> "FxpArray":
+        """Narrow (or widen) to ``fmt`` with explicit rounding and overflow."""
+        shift = self.fmt.frac_bits - fmt.frac_bits
+        if shift <= 0:
+            raw = self.raw << (-shift)
+        elif rounding is Rounding.NEAREST:
+            # Round half away from zero on the dropped bits.
+            half = np.int64(1) << np.int64(shift - 1)
+            raw = np.where(
+                self.raw >= 0,
+                (self.raw + half) >> np.int64(shift),
+                -((-self.raw + half) >> np.int64(shift)),
+            )
+        else:
+            raw = self.raw >> np.int64(shift)
+        if overflow is Overflow.SATURATE:
+            raw = np.clip(raw, fmt.raw_min, fmt.raw_max)
+        else:
+            span = fmt.raw_max - fmt.raw_min + 1
+            raw = (raw - fmt.raw_min) % span + fmt.raw_min
+        return FxpArray(raw, fmt)
+
+    def overflow_mask(self, fmt: QFormat) -> np.ndarray:
+        """Which elements would saturate when resized to ``fmt``."""
+        return fmt.overflows(self.to_float())

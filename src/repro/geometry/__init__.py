@@ -1,0 +1,35 @@
+"""Geometry substrate: rotations, rigid transforms, cameras and homographies.
+
+Everything in :mod:`repro` that touches 3D geometry goes through this
+package.  Conventions:
+
+* Rotations are 3x3 orthonormal matrices or unit quaternions ``(w, x, y, z)``.
+* Rigid transforms :class:`SE3` map points from one frame to another;
+  ``T_wc`` maps camera-frame points into the world frame (i.e. it stores the
+  camera pose).
+* Image coordinates are ``(x, y)`` pixels with the origin at the centre of
+  the top-left pixel, x to the right, y down.
+"""
+
+from repro.geometry.se3 import SO3, SE3, Quaternion
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.distortion import RadialTangentialDistortion, NoDistortion
+from repro.geometry.homography import (
+    plane_homography,
+    canonical_plane_homography,
+    proportional_coefficients,
+)
+from repro.geometry.trajectory import Trajectory
+
+__all__ = [
+    "SO3",
+    "SE3",
+    "Quaternion",
+    "PinholeCamera",
+    "RadialTangentialDistortion",
+    "NoDistortion",
+    "plane_homography",
+    "canonical_plane_homography",
+    "proportional_coefficients",
+    "Trajectory",
+]

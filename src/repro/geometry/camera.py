@@ -1,0 +1,197 @@
+"""Pinhole camera model.
+
+The DAVIS240C sensor used by the paper has a resolution of 240x180 pixels;
+:func:`PinholeCamera.davis240c` builds the calibration shipped with the
+Event Camera Dataset (Mueggler et al., IJRR 2017).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.distortion import Distortion, NoDistortion
+
+
+@dataclass(frozen=True)
+class PinholeCamera:
+    """Pinhole camera with optional lens distortion.
+
+    Attributes
+    ----------
+    width, height:
+        Sensor resolution in pixels.
+    fx, fy:
+        Focal lengths in pixels.
+    cx, cy:
+        Principal point in pixels.
+    distortion:
+        Lens distortion model applied between the normalized image plane
+        and the pixel grid.
+    """
+
+    width: int
+    height: int
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+    distortion: Distortion = field(default_factory=NoDistortion)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("camera resolution must be positive")
+        if self.fx <= 0 or self.fy <= 0:
+            raise ValueError("focal length must be positive")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def davis240c(distorted: bool = False) -> "PinholeCamera":
+        """Calibration of the DAVIS240C from the Event Camera Dataset.
+
+        Parameters
+        ----------
+        distorted:
+            When True, attach the radial-tangential distortion coefficients
+            published with the ``slider_*`` sequences; the ideal (simulated)
+            sequences use a distortion-free model.
+        """
+        from repro.geometry.distortion import RadialTangentialDistortion
+
+        dist: Distortion = NoDistortion()
+        if distorted:
+            dist = RadialTangentialDistortion(
+                k1=-0.368436, k2=0.150947, p1=-0.000296, p2=-0.000439
+            )
+        return PinholeCamera(
+            width=240,
+            height=180,
+            fx=199.092,
+            fy=198.828,
+            cx=132.192,
+            cy=110.712,
+            distortion=dist,
+        )
+
+    @staticmethod
+    def ideal(width: int, height: int, fov_deg: float = 60.0) -> "PinholeCamera":
+        """Distortion-free camera with a given horizontal field of view."""
+        fov = np.deg2rad(fov_deg)
+        fx = (width / 2.0) / np.tan(fov / 2.0)
+        return PinholeCamera(
+            width=width,
+            height=height,
+            fx=fx,
+            fy=fx,
+            cx=(width - 1) / 2.0,
+            cy=(height - 1) / 2.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Intrinsics
+    # ------------------------------------------------------------------
+    @property
+    def K(self) -> np.ndarray:
+        """3x3 intrinsic matrix."""
+        return np.array(
+            [[self.fx, 0.0, self.cx], [0.0, self.fy, self.cy], [0.0, 0.0, 1.0]]
+        )
+
+    @property
+    def K_inv(self) -> np.ndarray:
+        return np.array(
+            [
+                [1.0 / self.fx, 0.0, -self.cx / self.fx],
+                [0.0, 1.0 / self.fy, -self.cy / self.fy],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+
+    @property
+    def resolution(self) -> tuple[int, int]:
+        return (self.width, self.height)
+
+    def scaled(self, factor: float) -> "PinholeCamera":
+        """Camera for an image resampled by ``factor`` (e.g. 0.5 = half-res)."""
+        return PinholeCamera(
+            width=int(round(self.width * factor)),
+            height=int(round(self.height * factor)),
+            fx=self.fx * factor,
+            fy=self.fy * factor,
+            cx=self.cx * factor,
+            cy=self.cy * factor,
+            distortion=self.distortion,
+        )
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+    def project(self, points: np.ndarray, apply_distortion: bool = True) -> np.ndarray:
+        """Project camera-frame 3D points to pixels.
+
+        Parameters
+        ----------
+        points:
+            ``(N, 3)`` array of points in the camera frame (Z forward).
+        apply_distortion:
+            Apply the lens distortion model (True reproduces what the real
+            sensor observes).
+
+        Returns
+        -------
+        ``(N, 2)`` pixel coordinates.  Points with non-positive depth yield
+        non-finite pixels.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        z = points[:, 2]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            xn = np.where(z > 0, points[:, 0] / z, np.nan)
+            yn = np.where(z > 0, points[:, 1] / z, np.nan)
+        if apply_distortion:
+            xn, yn = self.distortion.distort(xn, yn)
+        return np.stack([self.fx * xn + self.cx, self.fy * yn + self.cy], axis=1)
+
+    def back_project(self, pixels: np.ndarray, undistort: bool = True) -> np.ndarray:
+        """Unit-depth rays for pixel coordinates.
+
+        Returns ``(N, 3)`` points on the ``Z = 1`` plane in the camera frame;
+        multiplying by a depth gives the 3D point.
+        """
+        pixels = np.atleast_2d(np.asarray(pixels, dtype=float))
+        xn = (pixels[:, 0] - self.cx) / self.fx
+        yn = (pixels[:, 1] - self.cy) / self.fy
+        if undistort:
+            xn, yn = self.distortion.undistort(xn, yn)
+        return np.stack([xn, yn, np.ones_like(xn)], axis=1)
+
+    def undistort_pixels(self, pixels: np.ndarray) -> np.ndarray:
+        """Map raw (distorted) pixels to ideal pinhole pixels.
+
+        This is the *Event Distortion Correction* stage of the paper; the
+        reformulated dataflow runs it per event before aggregation.
+        """
+        rays = self.back_project(pixels, undistort=True)
+        return np.stack(
+            [self.fx * rays[:, 0] + self.cx, self.fy * rays[:, 1] + self.cy], axis=1
+        )
+
+    def contains(self, pixels: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Boolean mask of pixels inside the sensor (with optional margin)."""
+        pixels = np.atleast_2d(np.asarray(pixels, dtype=float))
+        x, y = pixels[:, 0], pixels[:, 1]
+        ok = np.isfinite(x) & np.isfinite(y)
+        return (
+            ok
+            & (x >= -0.5 + margin)
+            & (x <= self.width - 0.5 - margin)
+            & (y >= -0.5 + margin)
+            & (y <= self.height - 0.5 - margin)
+        )
+
+    def pixel_grid(self) -> np.ndarray:
+        """All pixel centres as an ``(H*W, 2)`` array, row-major."""
+        xs, ys = np.meshgrid(np.arange(self.width), np.arange(self.height))
+        return np.stack([xs.ravel(), ys.ravel()], axis=1).astype(float)

@@ -1,0 +1,201 @@
+"""Plane-induced homographies and proportional back-projection coefficients.
+
+This module contains the geometric identities that make Eventor's dataflow
+reformulation possible.
+
+Canonical back-projection ``P(Z0)``
+    Each event pixel is transferred from the event camera to the *virtual*
+    (reference) camera through the canonical depth plane ``Z = Z0`` of the
+    virtual frame, using the plane-induced homography ``H_Z0``.
+
+Proportional back-projection ``P(Z0 -> Zi)``
+    A ray through the event camera centre ``c`` (expressed in the virtual
+    frame) intersects depth plane ``Z = Zi`` at a point whose virtual-camera
+    image is an *affine* function of its image on the canonical plane:
+
+        x(Zi) = alpha_i * x(Z0) + beta_i
+        y(Zi) = alpha_i * y(Z0) + gamma_i
+
+    with, in normalized camera coordinates,
+
+        alpha_i = Z0 * (Zi - c_z) / (Zi * (Z0 - c_z))
+        beta_i  = c_x * (Z0 - Zi) / (Zi * (Z0 - c_z))
+        gamma_i = c_y * (Z0 - Zi) / (Zi * (Z0 - c_z))
+
+    *Proof sketch.*  Points on the ray are ``P(l) = c + l*d``.  The image of
+    the intersection with ``Z = Zi`` is ``x_i = a_x + b_x / Zi`` where
+    ``a_x = d_x / d_z`` and ``b_x = c_x - c_z * a_x`` — affine in inverse
+    depth.  Eliminating the per-event ``a_x`` using the canonical-plane image
+    ``x_0 = a_x + b_x / Z0`` yields the affine relation above, whose
+    coefficients depend only on ``c`` and the plane depths — i.e. they are
+    *per-frame* constants (the paper's φ, 3 scalars per depth plane), which
+    is exactly why the FPGA can pre-compute them once per event frame and
+    reduce the per-event per-plane work to two scalar MACs.
+
+Because the pixel map ``u = fx*x + cx`` is affine, the same relation holds in
+pixel coordinates with adjusted offsets; :func:`proportional_coefficients`
+returns the pixel-space φ used by both the software reference and the
+hardware model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3
+
+_PLANE_NORMAL = np.array([0.0, 0.0, 1.0])
+
+
+def plane_homography(
+    T_dst_src: SE3,
+    plane_normal: np.ndarray,
+    plane_distance: float,
+    K_src: np.ndarray,
+    K_dst: np.ndarray,
+) -> np.ndarray:
+    """Homography mapping source pixels to destination pixels via a plane.
+
+    The plane is expressed in the *source* frame as
+    ``plane_normal . X = plane_distance``.
+
+    Parameters
+    ----------
+    T_dst_src:
+        Transform taking source-frame points to the destination frame.
+    plane_normal, plane_distance:
+        Plane in the source frame.
+    K_src, K_dst:
+        Intrinsic matrices of the two cameras.
+
+    Returns
+    -------
+    3x3 homography ``H`` with ``u_dst ~ H @ u_src`` (homogeneous pixels).
+    """
+    n = np.asarray(plane_normal, dtype=float).reshape(3)
+    if plane_distance == 0.0:
+        raise ValueError("plane through the camera centre induces no homography")
+    R = T_dst_src.rotation
+    t = T_dst_src.translation
+    H_metric = R + np.outer(t, n) / plane_distance
+    return K_dst @ H_metric @ np.linalg.inv(K_src)
+
+
+def canonical_plane_homography(
+    T_w_virtual: SE3,
+    T_w_event: SE3,
+    camera: PinholeCamera,
+    z0: float,
+) -> np.ndarray:
+    """``H_Z0``: event-camera pixels -> virtual-camera pixels via ``Z = Z0``.
+
+    ``Z = Z0`` is the canonical depth plane of the *virtual* frame.  This is
+    the matrix computed once per event frame by the paper's
+    *Compute Homography Matrix* sub-task and applied per event by
+    *Canonical Event Back-Projection* (PE_Z0 in hardware).
+    """
+    if z0 <= 0:
+        raise ValueError(f"canonical plane depth must be positive, got {z0}")
+    T_event_virtual = T_w_event.inverse() @ T_w_virtual
+    # Homography virtual -> event via the plane n.X = z0 in the virtual frame,
+    # inverted to obtain the event -> virtual map applied to each event.
+    H_ev = plane_homography(T_event_virtual, _PLANE_NORMAL, z0, camera.K, camera.K)
+    return np.linalg.inv(H_ev)
+
+
+def apply_homography(H: np.ndarray, pixels: np.ndarray) -> np.ndarray:
+    """Apply a 3x3 homography to ``(N, 2)`` pixels with perspective division."""
+    uv, _ = apply_homography_with_scale(H, pixels)
+    return uv
+
+
+def apply_homography_with_scale(
+    H: np.ndarray, pixels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Homography application that also returns the homogeneous scale ``w``.
+
+    ``w <= 0`` marks a point mapped from behind the inducing plane — the
+    hardware's normalization unit sees the same sign on its divisor and
+    flags the event as a projection miss.
+    """
+    pixels = np.atleast_2d(np.asarray(pixels, dtype=float))
+    ones = np.ones((pixels.shape[0], 1))
+    hom = np.hstack([pixels, ones]) @ H.T
+    w = hom[:, 2]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        uv = hom[:, :2] / hom[:, 2:3]
+    return uv, w
+
+
+def event_camera_center_in_virtual(T_w_virtual: SE3, T_w_event: SE3) -> np.ndarray:
+    """Event-camera optical centre expressed in the virtual frame."""
+    return T_w_virtual.inverse().transform(T_w_event.translation)
+
+
+def proportional_coefficients(
+    camera_center: np.ndarray,
+    z0: float,
+    depths: np.ndarray,
+    camera: PinholeCamera,
+) -> np.ndarray:
+    """Per-frame proportional back-projection parameters φ, in pixel space.
+
+    Parameters
+    ----------
+    camera_center:
+        Event camera centre ``c`` in the virtual frame (see
+        :func:`event_camera_center_in_virtual`).
+    z0:
+        Canonical plane depth.
+    depths:
+        ``(Nz,)`` depth-plane positions ``Z_i`` in the virtual frame.
+    camera:
+        Shared intrinsics of the event and virtual cameras.
+
+    Returns
+    -------
+    ``(Nz, 3)`` array of rows ``(alpha_i, beta_i, gamma_i)`` such that for a
+    canonical-plane *pixel* ``(u0, v0)``:
+
+        u(Zi) = alpha_i * u0 + beta_i
+        v(Zi) = alpha_i * v0 + gamma_i
+    """
+    c = np.asarray(camera_center, dtype=float).reshape(3)
+    depths = np.asarray(depths, dtype=float)
+    denom = depths * (z0 - c[2])
+    if np.any(np.abs(denom) < 1e-12):
+        raise ValueError(
+            "degenerate geometry: camera centre lies on the canonical plane"
+        )
+    alpha = z0 * (depths - c[2]) / denom
+    beta_n = c[0] * (z0 - depths) / denom
+    gamma_n = c[1] * (z0 - depths) / denom
+    # Lift normalized-coordinate offsets to pixel space:
+    #   u_i = fx*x_i + cx = alpha*(fx*x_0 + cx) + fx*beta + cx*(1 - alpha)
+    beta = camera.fx * beta_n + camera.cx * (1.0 - alpha)
+    gamma = camera.fy * gamma_n + camera.cy * (1.0 - alpha)
+    return np.stack([alpha, beta, gamma], axis=1)
+
+
+def apply_proportional(phi: np.ndarray, uv0: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Back-project canonical-plane pixels onto every depth plane.
+
+    Parameters
+    ----------
+    phi:
+        ``(Nz, 3)`` coefficients from :func:`proportional_coefficients`.
+    uv0:
+        ``(N, 2)`` canonical-plane pixel coordinates.
+
+    Returns
+    -------
+    ``(u, v)`` arrays of shape ``(N, Nz)``: the pixel footprint of each event
+    on each depth plane.  This is the dense operation PE_Zi performs with two
+    scalar MACs per (event, plane) pair.
+    """
+    uv0 = np.atleast_2d(np.asarray(uv0, dtype=float))
+    alpha = phi[:, 0][None, :]
+    u = uv0[:, 0:1] * alpha + phi[:, 1][None, :]
+    v = uv0[:, 1:2] * alpha + phi[:, 2][None, :]
+    return u, v

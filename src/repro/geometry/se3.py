@@ -1,0 +1,344 @@
+"""Rotations and rigid-body transforms.
+
+Implements :class:`Quaternion`, :class:`SO3` and :class:`SE3` with the small
+set of operations EMVS needs: composition, inversion, point transforms,
+exponential/logarithm maps and interpolation.  All operations are
+numpy-based and accept batched point arrays of shape ``(N, 3)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Quaternion:
+    """Unit quaternion ``(w, x, y, z)`` representing a rotation.
+
+    The storage order is scalar-first, matching the Event Camera Dataset
+    ground-truth files (``tx ty tz qx qy qz qw`` reordered on load).
+    """
+
+    w: float
+    x: float
+    y: float
+    z: float
+
+    def __post_init__(self) -> None:
+        norm = math.sqrt(self.w**2 + self.x**2 + self.y**2 + self.z**2)
+        if norm < _EPS:
+            raise ValueError("zero-norm quaternion cannot represent a rotation")
+        if abs(norm - 1.0) > 1e-9:
+            object.__setattr__(self, "w", self.w / norm)
+            object.__setattr__(self, "x", self.x / norm)
+            object.__setattr__(self, "y", self.y / norm)
+            object.__setattr__(self, "z", self.z / norm)
+
+    @staticmethod
+    def identity() -> "Quaternion":
+        return Quaternion(1.0, 0.0, 0.0, 0.0)
+
+    @staticmethod
+    def from_axis_angle(axis: np.ndarray, angle: float) -> "Quaternion":
+        axis = np.asarray(axis, dtype=float)
+        norm = np.linalg.norm(axis)
+        if norm < _EPS:
+            return Quaternion.identity()
+        axis = axis / norm
+        half = 0.5 * angle
+        s = math.sin(half)
+        return Quaternion(math.cos(half), axis[0] * s, axis[1] * s, axis[2] * s)
+
+    @staticmethod
+    def from_matrix(matrix: np.ndarray) -> "Quaternion":
+        """Convert a rotation matrix via Shepperd's numerically-stable method."""
+        m = np.asarray(matrix, dtype=float)
+        if m.shape != (3, 3):
+            raise ValueError(f"rotation matrix must be 3x3, got {m.shape}")
+        trace = m[0, 0] + m[1, 1] + m[2, 2]
+        if trace > 0.0:
+            s = math.sqrt(trace + 1.0) * 2.0
+            w = 0.25 * s
+            x = (m[2, 1] - m[1, 2]) / s
+            y = (m[0, 2] - m[2, 0]) / s
+            z = (m[1, 0] - m[0, 1]) / s
+        elif m[0, 0] > m[1, 1] and m[0, 0] > m[2, 2]:
+            s = math.sqrt(1.0 + m[0, 0] - m[1, 1] - m[2, 2]) * 2.0
+            w = (m[2, 1] - m[1, 2]) / s
+            x = 0.25 * s
+            y = (m[0, 1] + m[1, 0]) / s
+            z = (m[0, 2] + m[2, 0]) / s
+        elif m[1, 1] > m[2, 2]:
+            s = math.sqrt(1.0 + m[1, 1] - m[0, 0] - m[2, 2]) * 2.0
+            w = (m[0, 2] - m[2, 0]) / s
+            x = (m[0, 1] + m[1, 0]) / s
+            y = 0.25 * s
+            z = (m[1, 2] + m[2, 1]) / s
+        else:
+            s = math.sqrt(1.0 + m[2, 2] - m[0, 0] - m[1, 1]) * 2.0
+            w = (m[1, 0] - m[0, 1]) / s
+            x = (m[0, 2] + m[2, 0]) / s
+            y = (m[1, 2] + m[2, 1]) / s
+            z = 0.25 * s
+        return Quaternion(w, x, y, z)
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.w, self.x, self.y, self.z], dtype=float)
+
+    def to_matrix(self) -> np.ndarray:
+        w, x, y, z = self.w, self.x, self.y, self.z
+        return np.array(
+            [
+                [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+                [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+                [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+            ],
+            dtype=float,
+        )
+
+    def conjugate(self) -> "Quaternion":
+        return Quaternion(self.w, -self.x, -self.y, -self.z)
+
+    def __mul__(self, other: "Quaternion") -> "Quaternion":
+        w1, x1, y1, z1 = self.w, self.x, self.y, self.z
+        w2, x2, y2, z2 = other.w, other.x, other.y, other.z
+        return Quaternion(
+            w1 * w2 - x1 * x2 - y1 * y2 - z1 * z2,
+            w1 * x2 + x1 * w2 + y1 * z2 - z1 * y2,
+            w1 * y2 - x1 * z2 + y1 * w2 + z1 * x2,
+            w1 * z2 + x1 * y2 - y1 * x2 + z1 * w2,
+        )
+
+    def rotate(self, points: np.ndarray) -> np.ndarray:
+        """Rotate an ``(N, 3)`` or ``(3,)`` array of points."""
+        return points @ self.to_matrix().T
+
+    def slerp(self, other: "Quaternion", alpha: float) -> "Quaternion":
+        """Spherical linear interpolation; ``alpha=0`` gives ``self``."""
+        q0 = self.as_array()
+        q1 = other.as_array()
+        dot = float(np.dot(q0, q1))
+        if dot < 0.0:  # take the short arc
+            q1 = -q1
+            dot = -dot
+        if dot > 1.0 - 1e-10:  # nearly parallel: fall back to nlerp
+            q = (1.0 - alpha) * q0 + alpha * q1
+            q = q / np.linalg.norm(q)
+            return Quaternion(*q)
+        theta = math.acos(min(1.0, dot))
+        sin_theta = math.sin(theta)
+        w0 = math.sin((1.0 - alpha) * theta) / sin_theta
+        w1 = math.sin(alpha * theta) / sin_theta
+        q = w0 * q0 + w1 * q1
+        return Quaternion(*q)
+
+    def angle_to(self, other: "Quaternion") -> float:
+        """Geodesic angle (radians) between the two rotations."""
+        dot = abs(float(np.dot(self.as_array(), other.as_array())))
+        return 2.0 * math.acos(min(1.0, dot))
+
+
+class SO3:
+    """Rotation represented by a 3x3 matrix with exp/log maps."""
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: np.ndarray | None = None):
+        if matrix is None:
+            matrix = np.eye(3)
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (3, 3):
+            raise ValueError(f"SO3 matrix must be 3x3, got {matrix.shape}")
+        self.matrix = matrix
+
+    @staticmethod
+    def identity() -> "SO3":
+        return SO3(np.eye(3))
+
+    @staticmethod
+    def exp(omega: np.ndarray) -> "SO3":
+        """Rodrigues' formula: axis-angle vector to rotation matrix."""
+        omega = np.asarray(omega, dtype=float)
+        theta = float(np.linalg.norm(omega))
+        if theta < _EPS:
+            return SO3(np.eye(3) + SO3.hat(omega))
+        axis = omega / theta
+        k = SO3.hat(axis)
+        m = np.eye(3) + math.sin(theta) * k + (1.0 - math.cos(theta)) * (k @ k)
+        return SO3(m)
+
+    def log(self) -> np.ndarray:
+        """Inverse of :meth:`exp`: rotation matrix to axis-angle vector."""
+        m = self.matrix
+        cos_theta = max(-1.0, min(1.0, (np.trace(m) - 1.0) / 2.0))
+        theta = math.acos(cos_theta)
+        if theta < _EPS:
+            return np.array([m[2, 1] - m[1, 2], m[0, 2] - m[2, 0], m[1, 0] - m[0, 1]]) / 2.0
+        if abs(theta - math.pi) < 1e-6:
+            # Near pi the standard formula is singular; recover the axis from
+            # the diagonal of (m + I)/2 = axis axis^T near theta = pi.
+            a = np.sqrt(np.maximum(0.0, (np.diag(m) + 1.0) / 2.0))
+            # Fix signs using the largest component.
+            i = int(np.argmax(a))
+            if a[i] < _EPS:
+                return np.zeros(3)
+            signs = np.ones(3)
+            for j in range(3):
+                if j != i and m[i, j] < 0:
+                    signs[j] = -1.0
+            axis = signs * a
+            axis /= np.linalg.norm(axis)
+            return theta * axis
+        return theta * np.array(
+            [m[2, 1] - m[1, 2], m[0, 2] - m[2, 0], m[1, 0] - m[0, 1]]
+        ) / (2.0 * math.sin(theta))
+
+    @staticmethod
+    def hat(v: np.ndarray) -> np.ndarray:
+        """Skew-symmetric matrix such that ``hat(v) @ w == cross(v, w)``."""
+        v = np.asarray(v, dtype=float)
+        return np.array(
+            [[0.0, -v[2], v[1]], [v[2], 0.0, -v[0]], [-v[1], v[0], 0.0]]
+        )
+
+    def inverse(self) -> "SO3":
+        return SO3(self.matrix.T)
+
+    def __matmul__(self, other):
+        if isinstance(other, SO3):
+            return SO3(self.matrix @ other.matrix)
+        return np.asarray(other, dtype=float) @ self.matrix.T
+
+    def to_quaternion(self) -> Quaternion:
+        return Quaternion.from_matrix(self.matrix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SO3({self.matrix.tolist()})"
+
+
+class SE3:
+    """Rigid transform ``p_out = R @ p_in + t``.
+
+    ``SE3`` composes with ``@`` and transforms batched point arrays with
+    :meth:`transform`.  The convention throughout the code base is that the
+    pose of a camera is ``T_wc`` (camera-to-world).
+    """
+
+    __slots__ = ("rotation", "translation")
+
+    def __init__(self, rotation=None, translation=None):
+        if rotation is None:
+            rotation = np.eye(3)
+        if isinstance(rotation, Quaternion):
+            rotation = rotation.to_matrix()
+        elif isinstance(rotation, SO3):
+            rotation = rotation.matrix
+        rotation = np.asarray(rotation, dtype=float)
+        if rotation.shape != (3, 3):
+            raise ValueError(f"rotation must be 3x3, got {rotation.shape}")
+        if translation is None:
+            translation = np.zeros(3)
+        translation = np.asarray(translation, dtype=float).reshape(3)
+        self.rotation = rotation
+        self.translation = translation
+
+    @staticmethod
+    def identity() -> "SE3":
+        return SE3()
+
+    @staticmethod
+    def from_matrix(matrix: np.ndarray) -> "SE3":
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (4, 4):
+            raise ValueError(f"homogeneous matrix must be 4x4, got {matrix.shape}")
+        return SE3(matrix[:3, :3], matrix[:3, 3])
+
+    @staticmethod
+    def from_quaternion_translation(q: Quaternion, t: np.ndarray) -> "SE3":
+        return SE3(q.to_matrix(), t)
+
+    @staticmethod
+    def exp(xi: np.ndarray) -> "SE3":
+        """se(3) exponential: ``xi = (rho, omega)`` with rho translational."""
+        xi = np.asarray(xi, dtype=float).reshape(6)
+        rho, omega = xi[:3], xi[3:]
+        rot = SO3.exp(omega)
+        theta = float(np.linalg.norm(omega))
+        if theta < _EPS:
+            v_mat = np.eye(3) + 0.5 * SO3.hat(omega)
+        else:
+            k = SO3.hat(omega / theta)
+            v_mat = (
+                np.eye(3)
+                + ((1.0 - math.cos(theta)) / theta) * k
+                + ((theta - math.sin(theta)) / theta) * (k @ k)
+            )
+        return SE3(rot.matrix, v_mat @ rho)
+
+    def log(self) -> np.ndarray:
+        omega = SO3(self.rotation).log()
+        theta = float(np.linalg.norm(omega))
+        if theta < _EPS:
+            v_inv = np.eye(3) - 0.5 * SO3.hat(omega)
+        else:
+            k = SO3.hat(omega / theta)
+            half = theta / 2.0
+            cot_half = 1.0 / math.tan(half)
+            v_inv = (
+                np.eye(3)
+                - (theta / 2.0) * k
+                + (1.0 - half * cot_half) * (k @ k)
+            )
+        return np.concatenate([v_inv @ self.translation, omega])
+
+    def matrix(self) -> np.ndarray:
+        m = np.eye(4)
+        m[:3, :3] = self.rotation
+        m[:3, 3] = self.translation
+        return m
+
+    def inverse(self) -> "SE3":
+        rt = self.rotation.T
+        return SE3(rt, -rt @ self.translation)
+
+    def __matmul__(self, other: "SE3") -> "SE3":
+        if not isinstance(other, SE3):
+            raise TypeError("SE3 composes only with SE3; use transform() for points")
+        return SE3(
+            self.rotation @ other.rotation,
+            self.rotation @ other.translation + self.translation,
+        )
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Apply to ``(N, 3)`` or ``(3,)`` points."""
+        points = np.asarray(points, dtype=float)
+        return points @ self.rotation.T + self.translation
+
+    def quaternion(self) -> Quaternion:
+        return Quaternion.from_matrix(self.rotation)
+
+    def distance_to(self, other: "SE3") -> float:
+        """Euclidean distance between the two translations.
+
+        This is the key-frame selection metric of the paper (Sec. 2.1): a new
+        key frame fires when the camera has moved farther than a threshold
+        from the previous key reference view.
+        """
+        return float(np.linalg.norm(self.translation - other.translation))
+
+    def rotation_angle_to(self, other: "SE3") -> float:
+        return self.quaternion().angle_to(other.quaternion())
+
+    def interpolate(self, other: "SE3", alpha: float) -> "SE3":
+        """Pose interpolation: lerp on translation, slerp on rotation."""
+        q = self.quaternion().slerp(other.quaternion(), alpha)
+        t = (1.0 - alpha) * self.translation + alpha * other.translation
+        return SE3(q.to_matrix(), t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SE3(t={self.translation.tolist()})"

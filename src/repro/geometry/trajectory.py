@@ -1,0 +1,213 @@
+"""Camera trajectories with pose interpolation.
+
+EMVS assumes a *known* trajectory (from ground truth, a motion-capture
+system, or the tracking half of a SLAM system).  The Event Camera Dataset
+provides poses at ~200 Hz; events arrive at MHz rates, so poses at event
+timestamps are interpolated (lerp on translation, slerp on rotation).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.se3 import SE3, Quaternion
+
+
+class Trajectory:
+    """Time-indexed sequence of camera poses ``T_wc``.
+
+    Timestamps must be strictly increasing.  Sampling outside the time range
+    clamps to the first/last pose (events slightly outside the ground-truth
+    span are common in the real sequences).
+    """
+
+    def __init__(self, timestamps: Sequence[float], poses: Sequence[SE3]):
+        timestamps = np.asarray(timestamps, dtype=float)
+        poses = list(poses)
+        if timestamps.ndim != 1:
+            raise ValueError("timestamps must be a 1-D sequence")
+        if len(timestamps) != len(poses):
+            raise ValueError(
+                f"{len(timestamps)} timestamps but {len(poses)} poses"
+            )
+        if len(timestamps) == 0:
+            raise ValueError("trajectory must contain at least one pose")
+        if np.any(np.diff(timestamps) <= 0):
+            raise ValueError("timestamps must be strictly increasing")
+        self._timestamps = timestamps
+        self._poses = poses
+        # Cache quaternions and translations for vectorized interpolation.
+        self._quats = np.array([p.quaternion().as_array() for p in poses])
+        # Enforce hemisphere continuity so vectorized slerp takes short arcs.
+        for i in range(1, len(self._quats)):
+            if np.dot(self._quats[i], self._quats[i - 1]) < 0.0:
+                self._quats[i] = -self._quats[i]
+        self._trans = np.array([p.translation for p in poses])
+
+    # ------------------------------------------------------------------
+    @property
+    def timestamps(self) -> np.ndarray:
+        return self._timestamps
+
+    @property
+    def poses(self) -> list[SE3]:
+        return list(self._poses)
+
+    @property
+    def t_start(self) -> float:
+        return float(self._timestamps[0])
+
+    @property
+    def t_end(self) -> float:
+        return float(self._timestamps[-1])
+
+    def __len__(self) -> int:
+        return len(self._poses)
+
+    def __iter__(self) -> Iterable[tuple[float, SE3]]:
+        return iter(zip(self._timestamps, self._poses))
+
+    # ------------------------------------------------------------------
+    def sample(self, t: float) -> SE3:
+        """Interpolated pose at time ``t`` (clamped to the trajectory span)."""
+        ts = self._timestamps
+        if t <= ts[0]:
+            return self._poses[0]
+        if t >= ts[-1]:
+            return self._poses[-1]
+        i = int(np.searchsorted(ts, t, side="right")) - 1
+        alpha = (t - ts[i]) / (ts[i + 1] - ts[i])
+        return self._poses[i].interpolate(self._poses[i + 1], float(alpha))
+
+    def sample_many(self, times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized pose interpolation.
+
+        Returns
+        -------
+        ``(R, t)`` with ``R`` of shape ``(N, 3, 3)`` and ``t`` of shape
+        ``(N, 3)``; row ``k`` is the interpolated ``T_wc`` at ``times[k]``.
+        """
+        times = np.asarray(times, dtype=float)
+        ts = self._timestamps
+        idx = np.clip(np.searchsorted(ts, times, side="right") - 1, 0, len(ts) - 2)
+        t0 = ts[idx]
+        t1 = ts[idx + 1]
+        alpha = np.clip((times - t0) / (t1 - t0), 0.0, 1.0)
+
+        trans = (1.0 - alpha)[:, None] * self._trans[idx] + alpha[:, None] * self._trans[
+            idx + 1
+        ]
+        quats = _batch_slerp(self._quats[idx], self._quats[idx + 1], alpha)
+        return _quat_to_matrix(quats), trans
+
+    def subsampled(self, step: int) -> "Trajectory":
+        """Every ``step``-th pose (always keeping the last one)."""
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        idx = list(range(0, len(self._poses), step))
+        if idx[-1] != len(self._poses) - 1:
+            idx.append(len(self._poses) - 1)
+        return Trajectory(self._timestamps[idx], [self._poses[i] for i in idx])
+
+    def path_length(self) -> float:
+        """Total translational distance travelled."""
+        return float(np.sum(np.linalg.norm(np.diff(self._trans, axis=0), axis=1)))
+
+    def perturbed(
+        self,
+        translation_std: float = 0.0,
+        rotation_std: float = 0.0,
+        seed: int = 0,
+    ) -> "Trajectory":
+        """Trajectory with zero-mean Gaussian pose noise.
+
+        Models the pose error of a real tracking front-end (EMVS assumes a
+        *known* trajectory; its sensitivity to pose error bounds how good
+        the tracker feeding it must be).  ``translation_std`` is in metres
+        per axis; ``rotation_std`` is the std-dev of a random axis-angle
+        perturbation in radians.
+        """
+        if translation_std < 0 or rotation_std < 0:
+            raise ValueError("noise magnitudes must be non-negative")
+        rng = np.random.default_rng(seed)
+        poses = []
+        for pose in self._poses:
+            t = pose.translation + translation_std * rng.standard_normal(3)
+            rot = pose.rotation
+            if rotation_std > 0:
+                axis = rng.standard_normal(3)
+                axis /= max(np.linalg.norm(axis), 1e-12)
+                angle = rotation_std * rng.standard_normal()
+                rot = (
+                    Quaternion.from_axis_angle(axis, angle).to_matrix() @ rot
+                )
+            poses.append(SE3(rot, t))
+        return Trajectory(self._timestamps, poses)
+
+
+def _batch_slerp(q0: np.ndarray, q1: np.ndarray, alpha: np.ndarray) -> np.ndarray:
+    """Vectorized slerp on ``(N, 4)`` scalar-first quaternion arrays."""
+    dot = np.sum(q0 * q1, axis=1)
+    flip = dot < 0.0
+    q1 = np.where(flip[:, None], -q1, q1)
+    dot = np.abs(dot)
+
+    out = np.empty_like(q0)
+    near = dot > 1.0 - 1e-10
+    if np.any(near):  # nlerp fallback for nearly-identical rotations
+        a = alpha[near][:, None]
+        q = (1.0 - a) * q0[near] + a * q1[near]
+        out[near] = q / np.linalg.norm(q, axis=1, keepdims=True)
+    far = ~near
+    if np.any(far):
+        theta = np.arccos(np.clip(dot[far], -1.0, 1.0))
+        sin_theta = np.sin(theta)
+        a = alpha[far]
+        w0 = np.sin((1.0 - a) * theta) / sin_theta
+        w1 = np.sin(a * theta) / sin_theta
+        q = w0[:, None] * q0[far] + w1[:, None] * q1[far]
+        out[far] = q / np.linalg.norm(q, axis=1, keepdims=True)
+    return out
+
+
+def _quat_to_matrix(q: np.ndarray) -> np.ndarray:
+    """Vectorized quaternion-to-matrix for ``(N, 4)`` scalar-first arrays."""
+    w, x, y, z = q[:, 0], q[:, 1], q[:, 2], q[:, 3]
+    R = np.empty((q.shape[0], 3, 3))
+    R[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    R[:, 0, 1] = 2 * (x * y - w * z)
+    R[:, 0, 2] = 2 * (x * z + w * y)
+    R[:, 1, 0] = 2 * (x * y + w * z)
+    R[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    R[:, 1, 2] = 2 * (y * z - w * x)
+    R[:, 2, 0] = 2 * (x * z - w * y)
+    R[:, 2, 1] = 2 * (y * z + w * x)
+    R[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    return R
+
+
+def linear_trajectory(
+    start: np.ndarray,
+    end: np.ndarray,
+    duration: float,
+    n_poses: int = 100,
+    rotation: Quaternion | None = None,
+    t_start: float = 0.0,
+) -> Trajectory:
+    """Straight-line constant-velocity trajectory (the ``slider_*`` motion).
+
+    The Event Camera Dataset's slider sequences move a DAVIS on a motorized
+    linear slider with fixed orientation; this helper reproduces that motion
+    profile exactly.
+    """
+    if n_poses < 2:
+        raise ValueError("need at least two poses")
+    rot = (rotation or Quaternion.identity()).to_matrix()
+    start = np.asarray(start, dtype=float)
+    end = np.asarray(end, dtype=float)
+    times = t_start + np.linspace(0.0, duration, n_poses)
+    alphas = np.linspace(0.0, 1.0, n_poses)
+    poses = [SE3(rot, (1 - a) * start + a * end) for a in alphas]
+    return Trajectory(times, poses)

@@ -1,0 +1,163 @@
+"""On-chip buffers with double-buffering (Sec. 3.1).
+
+All streaming buffers of Eventor (Buf_E, Buf_P, Buf_I, Buf_V) are built as
+*double buffers*: one bank is filled by the producer while the consumer
+drains the other, and a synchronized swap flips the roles — so transfer and
+compute overlap without pipeline stalls.  Buf_H is a plain register file
+(one 3x3 homography per frame).
+
+The models here are functional (they hold the actual payloads the PEs
+consume) and track occupancy/swap statistics the tests and the resource
+model use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class BufferError(RuntimeError):
+    """Raised on protocol violations (overfill, read-before-ready)."""
+
+
+@dataclass
+class BufferStats:
+    writes: int = 0
+    reads: int = 0
+    swaps: int = 0
+    peak_words: int = 0
+
+
+class DoubleBuffer:
+    """Two-bank ping-pong buffer.
+
+    The *load* bank accepts :meth:`write`; the *process* bank serves
+    :meth:`read`.  :meth:`swap` flips them and is only legal when the load
+    bank holds data — mirroring the FSM synchronization state that keeps
+    the Canonical and Proportional controllers in lock step.
+    """
+
+    def __init__(self, name: str, capacity_words: int, word_bytes: int):
+        if capacity_words < 1:
+            raise ValueError("capacity must be at least one word")
+        self.name = name
+        self.capacity_words = capacity_words
+        self.word_bytes = word_bytes
+        self._banks: list[list[np.ndarray]] = [[], []]
+        self._bank_words = [0, 0]
+        self._load_bank = 0
+        self._process_ready = False
+        self.stats = BufferStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Physical size: two banks of ``capacity_words`` each."""
+        return 2 * self.capacity_words * self.word_bytes
+
+    @property
+    def load_occupancy(self) -> int:
+        return self._bank_words[self._load_bank]
+
+    @property
+    def process_ready(self) -> bool:
+        return self._process_ready
+
+    # ------------------------------------------------------------------
+    def write(self, words: np.ndarray) -> None:
+        """Producer side: append words to the load bank."""
+        words = np.atleast_1d(words)
+        n = words.shape[0]
+        if self._bank_words[self._load_bank] + n > self.capacity_words:
+            raise BufferError(
+                f"{self.name}: writing {n} words overflows the "
+                f"{self.capacity_words}-word bank"
+            )
+        self._banks[self._load_bank].append(words)
+        self._bank_words[self._load_bank] += n
+        self.stats.writes += n
+        self.stats.peak_words = max(self.stats.peak_words, self._bank_words[self._load_bank])
+
+    def swap(self) -> None:
+        """Flip load/process banks (the controllers' SYNC state)."""
+        if self._bank_words[self._load_bank] == 0:
+            raise BufferError(f"{self.name}: swap with an empty load bank")
+        self._load_bank ^= 1
+        self._process_ready = True
+        self.stats.swaps += 1
+        # The new load bank must start empty.
+        self._banks[self._load_bank] = []
+        self._bank_words[self._load_bank] = 0
+
+    def read_all(self) -> np.ndarray:
+        """Consumer side: drain the process bank."""
+        if not self._process_ready:
+            raise BufferError(f"{self.name}: read before any swap")
+        bank = self._load_bank ^ 1
+        if not self._banks[bank]:
+            raise BufferError(f"{self.name}: process bank already drained")
+        data = np.concatenate(self._banks[bank])
+        self._banks[bank] = []
+        self._bank_words[bank] = 0
+        self.stats.reads += data.shape[0]
+        return data
+
+    def reset(self) -> None:
+        self._banks = [[], []]
+        self._bank_words = [0, 0]
+        self._load_bank = 0
+        self._process_ready = False
+
+
+class RegisterFile:
+    """Small register bank (Buf_H: one 3x3 homography per frame)."""
+
+    def __init__(self, name: str, n_words: int, word_bytes: int = 4):
+        self.name = name
+        self.n_words = n_words
+        self.word_bytes = word_bytes
+        self._value: np.ndarray | None = None
+        self.stats = BufferStats()
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_words * self.word_bytes
+
+    def load(self, value: np.ndarray) -> None:
+        value = np.asarray(value)
+        if value.size > self.n_words:
+            raise BufferError(
+                f"{self.name}: {value.size} words exceed {self.n_words} registers"
+            )
+        self._value = value
+        self.stats.writes += value.size
+
+    def read(self) -> np.ndarray:
+        if self._value is None:
+            raise BufferError(f"{self.name}: read before load")
+        self.stats.reads += self._value.size
+        return self._value
+
+
+def make_eventor_buffers(frame_size: int, n_planes: int) -> dict[str, object]:
+    """The buffer complement of Fig. 5, sized for a configuration.
+
+    ======  =============================================  ==============
+    Buffer  Contents                                       Words per bank
+    ======  =============================================  ==============
+    Buf_E   input event coordinate words (32-bit packed)   ``frame_size``
+    Buf_P   phi coefficients (3 x 32-bit per plane)        ``3 * Nz``
+    Buf_I   canonical coordinates (32-bit packed pairs)    ``frame_size``
+    Buf_V   vote addresses (32-bit DSI linear addresses)   ``2 * frame_size``
+    Buf_H   homography registers (9 x 32-bit)              9 (registers)
+    ======  =============================================  ==============
+    """
+    return {
+        "Buf_E": DoubleBuffer("Buf_E", frame_size, word_bytes=4),
+        "Buf_P": DoubleBuffer("Buf_P", 3 * n_planes, word_bytes=4),
+        "Buf_I": DoubleBuffer("Buf_I", frame_size, word_bytes=4),
+        "Buf_V": DoubleBuffer("Buf_V", 2 * frame_size, word_bytes=4),
+        "Buf_H": RegisterFile("Buf_H", 9, word_bytes=4),
+    }

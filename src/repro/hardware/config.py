@@ -1,0 +1,104 @@
+"""Accelerator configuration and the target FPGA part.
+
+Defaults reproduce the prototype of Sec. 4.1: Xilinx Zynq XC7Z020, 130 MHz
+fabric clock, 533 MHz DDR3, two PE_Zi, 1024-event frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FPGAPartSpec:
+    """Device capacities used for utilization percentages."""
+
+    name: str
+    luts: int
+    flip_flops: int
+    bram_kbytes: int
+    dsp_slices: int
+
+
+#: The paper's device.  LUT/FF capacities are the XC7Z020 datasheet values
+#: (53 200 LUT, 106 400 FF); the BRAM capacity is the 560 KB figure implied
+#: by the paper's own utilization arithmetic (64 KB = 11.43 %).
+ZYNQ_7020 = FPGAPartSpec(
+    name="Xilinx Zynq XC7Z020",
+    luts=53200,
+    flip_flops=106400,
+    bram_kbytes=560,
+    dsp_slices=220,
+)
+
+
+@dataclass(frozen=True)
+class EventorConfig:
+    """Architecture parameters of the Eventor prototype.
+
+    Attributes
+    ----------
+    clock_hz:
+        PL fabric clock (130 MHz in the prototype).
+    ddr_clock_hz:
+        DDR3 interface clock (533 MHz).
+    frame_size:
+        Events per frame (1024; sized from the sensor event rate and the
+        on-chip buffer budget).
+    n_planes:
+        DSI depth planes ``Nz``.  128 with two PE_Zi reproduces the
+        published per-frame runtimes (see ``repro.hardware.timing``).
+    n_pe_zi:
+        Parallel proportional-projection PEs (2 in the prototype).
+    n_vote_ports:
+        AXI-HP ports of the Vote Execute Unit (2).
+    pe_z0_latency:
+        Pipeline depth of PE_Z0 (MAC tree + normalization divider), in
+        cycles; II = 1.
+    pe_zi_latency:
+        Pipeline depth of a PE_Zi, in cycles; II = 1 per (event, plane).
+    vote_stall_fraction:
+        Average extra cycles per vote (fractional) spent on DDR3
+        read-modify-write turnaround and refresh — the calibrated value
+        0.094 reproduces Table 3's 551.58 us proportional+vote runtime.
+    dma_bus_bits:
+        AXI data width between DRAM and the input buffers (32-bit).
+    dram_bytes:
+        External memory capacity (1 GB DDR3).
+    """
+
+    clock_hz: float = 130e6
+    ddr_clock_hz: float = 533e6
+    frame_size: int = 1024
+    n_planes: int = 128
+    n_pe_zi: int = 2
+    n_vote_ports: int = 2
+    pe_z0_latency: int = 47
+    pe_zi_latency: int = 12
+    vote_stall_fraction: float = 0.094
+    dma_bus_bits: int = 32
+    dram_bytes: int = 1 << 30
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0 or self.ddr_clock_hz <= 0:
+            raise ValueError("clock rates must be positive")
+        if self.frame_size < 1:
+            raise ValueError("frame_size must be positive")
+        if self.n_pe_zi < 1 or self.n_vote_ports < 1:
+            raise ValueError("need at least one PE_Zi and one vote port")
+        if self.n_planes % self.n_pe_zi != 0:
+            raise ValueError(
+                "n_planes must divide evenly across PE_Zi "
+                f"(got Nz={self.n_planes}, PEs={self.n_pe_zi})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def planes_per_pe(self) -> int:
+        return self.n_planes // self.n_pe_zi
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.clock_hz

@@ -1,0 +1,125 @@
+"""FSM controllers for the two computation modules (Sec. 3.1-3.2).
+
+The Canonical and Proportional Projection Controllers are finite-state
+machines with an explicit synchronization state: the canonical side may
+only swap Buf_I (publishing a frame's canonical coordinates) when the
+proportional side has drained the previous bank, and the proportional side
+only starts once a bank is published — the handshake that keeps the two
+modules pipelined without overrunning each other (Fig. 6).
+
+The models here enforce legal transitions (tests drive illegal ones to
+prove the protocol) and log every transition for timeline inspection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CtrlState(enum.Enum):
+    IDLE = "idle"
+    CONFIG = "config"    # receiving start instruction + parameters from ARM
+    LOAD = "load"        # waiting on DMA / input buffer fill
+    RUN = "run"          # PE pipeline streaming
+    SYNC = "sync"        # double-buffer handshake with the peer module
+    DONE = "done"        # frame retired
+
+
+class FSMError(RuntimeError):
+    """Raised on an illegal state transition."""
+
+
+@dataclass
+class Transition:
+    cycle: float
+    source: CtrlState
+    target: CtrlState
+
+
+@dataclass
+class _FSMBase:
+    name: str
+    state: CtrlState = CtrlState.IDLE
+    log: list[Transition] = field(default_factory=list)
+
+    _ALLOWED: dict[CtrlState, tuple[CtrlState, ...]] = field(default_factory=dict, repr=False)
+
+    def _go(self, target: CtrlState, cycle: float) -> None:
+        allowed = self._ALLOWED.get(self.state, ())
+        if target not in allowed:
+            raise FSMError(
+                f"{self.name}: illegal transition {self.state.value} -> {target.value}"
+            )
+        self.log.append(Transition(cycle, self.state, target))
+        self.state = target
+
+    def frames_retired(self) -> int:
+        return sum(1 for t in self.log if t.target is CtrlState.DONE)
+
+
+class CanonicalProjectionController(_FSMBase):
+    """FSM of the Canonical Projection Module."""
+
+    def __init__(self, name: str = "canonical-ctrl"):
+        super().__init__(name=name)
+        self._ALLOWED = {
+            CtrlState.IDLE: (CtrlState.CONFIG,),
+            CtrlState.CONFIG: (CtrlState.LOAD,),
+            CtrlState.LOAD: (CtrlState.RUN,),
+            CtrlState.RUN: (CtrlState.SYNC,),
+            CtrlState.SYNC: (CtrlState.DONE,),
+            CtrlState.DONE: (CtrlState.CONFIG, CtrlState.IDLE),
+        }
+
+    def configure(self, cycle: float) -> None:
+        if self.state is CtrlState.DONE:
+            self._go(CtrlState.CONFIG, cycle)
+        else:
+            self._go(CtrlState.CONFIG, cycle)
+
+    def start_load(self, cycle: float) -> None:
+        self._go(CtrlState.LOAD, cycle)
+
+    def start_run(self, cycle: float) -> None:
+        self._go(CtrlState.RUN, cycle)
+
+    def request_sync(self, cycle: float) -> None:
+        """Enter the Buf_I swap handshake with the proportional side."""
+        self._go(CtrlState.SYNC, cycle)
+
+    def complete(self, cycle: float) -> None:
+        self._go(CtrlState.DONE, cycle)
+
+    def park(self, cycle: float) -> None:
+        self._go(CtrlState.IDLE, cycle)
+
+
+class ProportionalProjectionController(_FSMBase):
+    """FSM of the Proportional Projection Module."""
+
+    def __init__(self, name: str = "proportional-ctrl"):
+        super().__init__(name=name)
+        self._ALLOWED = {
+            CtrlState.IDLE: (CtrlState.CONFIG,),
+            CtrlState.CONFIG: (CtrlState.SYNC,),
+            CtrlState.SYNC: (CtrlState.RUN,),
+            CtrlState.RUN: (CtrlState.DONE,),
+            CtrlState.DONE: (CtrlState.SYNC, CtrlState.IDLE),
+        }
+
+    def configure(self, cycle: float) -> None:
+        self._go(CtrlState.CONFIG, cycle)
+
+    def wait_input(self, cycle: float) -> None:
+        """Block until the canonical side publishes a Buf_I bank."""
+        self._go(CtrlState.SYNC, cycle)
+
+    def start_run(self, cycle: float) -> None:
+        self._go(CtrlState.RUN, cycle)
+
+    def complete(self, cycle: float) -> None:
+        self._go(CtrlState.DONE, cycle)
+
+    def park(self, cycle: float) -> None:
+        self._go(CtrlState.IDLE, cycle)

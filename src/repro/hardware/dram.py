@@ -1,0 +1,116 @@
+"""External DDR3 DRAM model.
+
+Holds the DSI score volume (the only large data structure: a 240x180x128
+DSI of 16-bit scores is ~10.5 MB, far beyond the 4.9 Mb of on-chip BRAM —
+the reason the Vote Execute Unit talks to DRAM directly through AXI-HP
+ports without ARM intervention).
+
+The model is functional (it owns the score array and applies saturating
+read-modify-write votes) and keeps byte-traffic counters from which the
+timing model derives bandwidth-related stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class DRAMStats:
+    bytes_read: int = 0
+    bytes_written: int = 0
+    vote_rmw_ops: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+
+class DRAMModel:
+    """1 GB, 32-bit DDR3-1066 external memory with a resident DSI volume."""
+
+    def __init__(self, capacity_bytes: int = 1 << 30, bus_bits: int = 32,
+                 clock_hz: float = 533e6):
+        self.capacity_bytes = capacity_bytes
+        self.bus_bits = bus_bits
+        self.clock_hz = clock_hz
+        self.stats = DRAMStats()
+        self._dsi_scores: np.ndarray | None = None
+        self._score_limit = 0xFFFF
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_bandwidth_bytes_per_s(self) -> float:
+        """DDR transfers on both clock edges."""
+        return 2.0 * self.clock_hz * self.bus_bits / 8.0
+
+    # ------------------------------------------------------------------
+    # DSI storage
+    # ------------------------------------------------------------------
+    def allocate_dsi(self, shape: tuple[int, int, int], score_bits: int = 16) -> None:
+        """Allocate (and zero) the DSI score volume.
+
+        ``score_bits`` follows the Table 1 quantization (16-bit scores);
+        32-bit float mode exists only for ablation studies.
+        """
+        n_bytes = int(np.prod(shape)) * score_bits // 8
+        if n_bytes > self.capacity_bytes:
+            raise MemoryError(
+                f"DSI of {n_bytes} bytes exceeds DRAM capacity {self.capacity_bytes}"
+            )
+        self._score_limit = (1 << score_bits) - 1
+        # int64 backing with explicit saturation keeps the scatter-add fast
+        # while preserving exact 16-bit saturating semantics (votes are
+        # non-negative, so clamping at readout equals per-add saturation).
+        self._dsi_scores = np.zeros(int(np.prod(shape)), dtype=np.int64)
+        self._dsi_shape = shape
+        self._dsi_score_bytes = score_bits // 8
+        self.stats.bytes_written += n_bytes  # the reset sweep
+
+    @property
+    def dsi_allocated(self) -> bool:
+        return self._dsi_scores is not None
+
+    def reset_dsi(self) -> None:
+        if self._dsi_scores is None:
+            raise RuntimeError("DSI not allocated")
+        self._dsi_scores[...] = 0
+        self.stats.bytes_written += self._dsi_scores.size * self._dsi_score_bytes
+
+    def vote(self, addresses: np.ndarray) -> int:
+        """Saturating read-modify-write +1 at the given linear addresses.
+
+        Returns the number of votes applied.  Each vote reads and writes
+        one score word (the traffic the AXI-HP ports must sustain).
+        """
+        if self._dsi_scores is None:
+            raise RuntimeError("DSI not allocated")
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if addresses.size and (
+            addresses.min() < 0 or addresses.max() >= self._dsi_scores.size
+        ):
+            raise IndexError("vote address outside the DSI volume")
+        np.add.at(self._dsi_scores, addresses, 1)
+        n = int(addresses.size)
+        self.stats.vote_rmw_ops += n
+        self.stats.bytes_read += n * self._dsi_score_bytes
+        self.stats.bytes_written += n * self._dsi_score_bytes
+        return n
+
+    def read_dsi(self) -> np.ndarray:
+        """Read the full (saturated) DSI volume back to the host (ARM)."""
+        if self._dsi_scores is None:
+            raise RuntimeError("DSI not allocated")
+        self.stats.bytes_read += self._dsi_scores.size * self._dsi_score_bytes
+        return np.minimum(self._dsi_scores, self._score_limit).reshape(self._dsi_shape)
+
+    # ------------------------------------------------------------------
+    # Generic traffic accounting (event/parameter streams)
+    # ------------------------------------------------------------------
+    def stream_read(self, n_bytes: int) -> None:
+        self.stats.bytes_read += int(n_bytes)
+
+    def stream_write(self, n_bytes: int) -> None:
+        self.stats.bytes_written += int(n_bytes)

@@ -1,0 +1,138 @@
+"""PE_Z0: the Canonical Projection processing element (Sec. 3.1).
+
+Executes ``P(Z0)`` — one event per cycle (II = 1) through a fully
+pipelined datapath:
+
+1. **MV MAC units** — three dot products against the rows of the quantized
+   homography ``H_Z0`` (sQ11.21) with the event coordinates (uQ9.7).
+   Products are exact 47-bit integers; the three-term sums are exact
+   49-bit integers.  No intermediate rounding occurs, exactly as a DSP
+   cascade computes them.
+2. **Normalization function unit** — divides the x/y accumulators by the
+   homogeneous accumulator (a fully pipelined divider, correctly rounded),
+   and rounds the quotient into the uQ9.7 canonical-coordinate format.
+3. **Projection-miss judgement** — events whose divisor is non-positive
+   (mapped from behind the canonical plane) or whose quotient saturates
+   the unsigned coordinate format are flagged invalid.
+
+The integer datapath is bit-exact with the double-precision path of
+:class:`repro.core.backprojection.BackProjector` because every intermediate
+(products < 2^47, sums < 2^49) is exactly representable in a float64 and
+both sides use the same correctly-rounded division and final rounding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.quantize import (
+    CANONICAL_COORD_FORMAT,
+    EVENT_COORD_FORMAT,
+    HOMOGRAPHY_FORMAT,
+)
+
+
+@dataclass
+class PEZ0Stats:
+    events_in: int = 0
+    events_valid: int = 0
+    frames: int = 0
+
+
+class PEZ0:
+    """Canonical-projection PE.
+
+    Parameters
+    ----------
+    latency:
+        Pipeline depth in cycles (MAC tree + divider + rounding stages).
+    event_format, homography_format, output_format:
+        Fixed-point formats (Table 1 defaults).
+    """
+
+    def __init__(
+        self,
+        latency: int = 47,
+        event_format: QFormat = EVENT_COORD_FORMAT,
+        homography_format: QFormat = HOMOGRAPHY_FORMAT,
+        output_format: QFormat = CANONICAL_COORD_FORMAT,
+    ):
+        if latency < 1:
+            raise ValueError("pipeline latency must be at least 1 cycle")
+        self.latency = latency
+        self.event_format = event_format
+        self.homography_format = homography_format
+        self.output_format = output_format
+        self.stats = PEZ0Stats()
+
+    # ------------------------------------------------------------------
+    # Functional model (bit-true)
+    # ------------------------------------------------------------------
+    def process(
+        self, h_raw: np.ndarray, xy_raw: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Project one frame's events onto the canonical plane.
+
+        Parameters
+        ----------
+        h_raw:
+            ``(3, 3)`` raw integer payload of the quantized ``H_Z0``.
+        xy_raw:
+            ``(N, 2)`` raw integer payloads of the quantized event
+            coordinates.
+
+        Returns
+        -------
+        ``(uv0_raw, valid)``: raw canonical-coordinate payloads (``(N, 2)``
+        in the output format; zero where invalid) and the validity mask.
+        """
+        h_raw = np.asarray(h_raw, dtype=np.int64)
+        xy_raw = np.asarray(xy_raw, dtype=np.int64)
+        if h_raw.shape != (3, 3):
+            raise ValueError("homography payload must be 3x3")
+        if xy_raw.ndim != 2 or xy_raw.shape[1] != 2:
+            raise ValueError("event payload must be (N, 2)")
+
+        ef = self.event_format.frac_bits
+        x = xy_raw[:, 0]
+        y = xy_raw[:, 1]
+        one = np.int64(1) << ef  # the constant '1' aligned to event frac bits
+
+        # MAC rows: frac bits = event.frac + homography.frac, all exact.
+        num_x = h_raw[0, 0] * x + h_raw[0, 1] * y + h_raw[0, 2] * one
+        num_y = h_raw[1, 0] * x + h_raw[1, 1] * y + h_raw[1, 2] * one
+        den = h_raw[2, 0] * x + h_raw[2, 1] * y + h_raw[2, 2] * one
+
+        valid = den > 0
+        # Normalization unit: correctly-rounded division.  Same-format
+        # numerator/denominator makes the quotient a pure (dimensionless)
+        # pixel value; int64 operands up to 2^49 are exact in float64.
+        safe_den = np.where(valid, den, 1)
+        quotient_x = num_x / safe_den
+        quotient_y = num_y / safe_den
+
+        out = self.output_format
+        valid &= ~out.overflows(quotient_x) & ~out.overflows(quotient_y)
+        uv0_raw = np.stack(
+            [
+                out.to_raw(np.where(valid, quotient_x, 0.0)),
+                out.to_raw(np.where(valid, quotient_y, 0.0)),
+            ],
+            axis=1,
+        )
+        self.stats.events_in += xy_raw.shape[0]
+        self.stats.events_valid += int(valid.sum())
+        self.stats.frames += 1
+        return uv0_raw, valid
+
+    # ------------------------------------------------------------------
+    # Timing model
+    # ------------------------------------------------------------------
+    def cycles(self, n_events: int) -> int:
+        """Cycles to stream ``n_events`` through the II=1 pipeline."""
+        if n_events <= 0:
+            return 0
+        return self.latency + n_events

@@ -1,0 +1,129 @@
+"""Parametric FPGA resource model (Table 2).
+
+Estimates LUT/FF/BRAM/DSP usage per architectural block as a function of
+the configuration, so the default prototype reproduces the published
+utilization (17 538 LUT / 22 830 FF / 64 KB BRAM on the XC7Z020) and
+ablations (more PE_Zi, wider buffers) scale sensibly.
+
+Block cost constants come from typical 7-series synthesis results for the
+corresponding structures (pipelined 16x32 multipliers folded into DSPs with
+LUT-based alignment/control, a radix-2 pipelined divider, AXI DMA and HP
+port adapters) and are calibrated so the default configuration sums to the
+published report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.config import EventorConfig, FPGAPartSpec, ZYNQ_7020
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Resource cost of one block instance."""
+
+    name: str
+    luts: int
+    flip_flops: int
+    bram_bytes: int = 0
+    dsps: int = 0
+
+
+@dataclass(frozen=True)
+class FPGAPart:
+    """Wrapper pairing a part spec with utilization arithmetic."""
+
+    spec: FPGAPartSpec = ZYNQ_7020
+
+    def utilization(self, luts: int, ffs: int, bram_bytes: int) -> dict[str, float]:
+        return {
+            "lut": luts / self.spec.luts,
+            "ff": ffs / self.spec.flip_flops,
+            "bram": bram_bytes / (self.spec.bram_kbytes * 1024),
+        }
+
+
+class ResourceModel:
+    """Composable per-block resource estimates."""
+
+    def __init__(self, config: EventorConfig, part: FPGAPart | None = None):
+        self.config = config
+        self.part = part or FPGAPart()
+
+    # ------------------------------------------------------------------
+    def blocks(self) -> list[BlockCost]:
+        cfg = self.config
+        frame = cfg.frame_size
+        nz = cfg.n_planes
+
+        # Double-buffered BRAM allocations (two banks each, 32-bit words).
+        buf_e = 2 * frame * 4                 # packed input events
+        buf_i = 2 * frame * 4 * cfg.n_pe_zi   # canonical coords, per PE_Zi
+        buf_p = 2 * 3 * nz * 4                # phi coefficients
+        buf_v = 2 * 2 * frame * 4 * 2         # vote addresses, two banks x2
+        fifo = 5 * 1024                       # DMA / HP port FIFOs
+
+        return [
+            BlockCost("PE_Z0 MV-MAC array", luts=2610, flip_flops=3640, dsps=9),
+            BlockCost("PE_Z0 normalization divider", luts=2420, flip_flops=3010),
+            *[
+                BlockCost(
+                    f"PE_Zi[{i}] (MACs + voxel finder + addr gen)",
+                    luts=1890,
+                    flip_flops=2460,
+                    dsps=4,
+                )
+                for i in range(cfg.n_pe_zi)
+            ],
+            BlockCost("Vote Execute Unit (2x AXI-HP RMW)", luts=1530, flip_flops=2280),
+            BlockCost("Data Allocator", luts=840, flip_flops=1110),
+            BlockCost("DMA + AXI interface", luts=2740, flip_flops=3560),
+            BlockCost("Canonical controller FSM", luts=480, flip_flops=640),
+            BlockCost("Proportional controller FSM", luts=480, flip_flops=640),
+            BlockCost(
+                "Buffers (Buf_E/I/P/V + FIFOs)",
+                luts=620,
+                flip_flops=850,
+                bram_bytes=buf_e + buf_i + buf_p + buf_v + fifo,
+            ),
+            BlockCost("Top-level interconnect & CDC", luts=2038, flip_flops=2180),
+        ]
+
+    # ------------------------------------------------------------------
+    def totals(self) -> BlockCost:
+        blocks = self.blocks()
+        return BlockCost(
+            name="total",
+            luts=sum(b.luts for b in blocks),
+            flip_flops=sum(b.flip_flops for b in blocks),
+            bram_bytes=sum(b.bram_bytes for b in blocks),
+            dsps=sum(b.dsps for b in blocks),
+        )
+
+    def utilization(self) -> dict[str, float]:
+        t = self.totals()
+        return self.part.utilization(t.luts, t.flip_flops, t.bram_bytes)
+
+    def fits(self) -> bool:
+        """Whether the configuration fits the part."""
+        return all(v <= 1.0 for v in self.utilization().values())
+
+    def report(self) -> str:
+        t = self.totals()
+        u = self.utilization()
+        lines = [f"Resource estimate on {self.part.spec.name}:"]
+        for b in self.blocks():
+            lines.append(
+                f"  {b.name:<42} {b.luts:>6} LUT {b.flip_flops:>6} FF"
+                + (f" {b.bram_bytes // 1024:>4} KB" if b.bram_bytes else "")
+            )
+        lines.append(
+            f"  {'TOTAL':<42} {t.luts:>6} LUT {t.flip_flops:>6} FF "
+            f"{t.bram_bytes // 1024:>4} KB"
+        )
+        lines.append(
+            f"  utilization: LUT {u['lut']:.2%}  FF {u['ff']:.2%}  "
+            f"BRAM {u['bram']:.2%}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Pipelined frame scheduler (Fig. 6).
+
+Builds the execution timeline of the two computation modules:
+
+* **Normal frames** — the Canonical Projection Module starts frame N+1 as
+  soon as the Proportional Projection Module has accepted frame N's Buf_I
+  bank, so ``P(Z0)`` is fully overlapped and the frame period equals the
+  proportional stage time.
+* **Key frames** — a key frame re-seats the DSI, so the canonical module
+  must wait for the proportional module to finish the *previous* frame
+  before it may start; the key frame's period is the serial sum of both
+  stages.
+
+The scheduler consumes per-frame :class:`~repro.hardware.timing.FrameTiming`
+records and produces a timeline (for Gantt-style rendering and the Fig. 6
+bench) plus aggregate statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.timing import FrameTiming
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One module-occupancy interval, in fabric cycles."""
+
+    module: str          # "canonical" | "proportional"
+    frame_index: int
+    start: float
+    end: float
+    is_keyframe: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ScheduleResult:
+    timeline: list[TimelineEntry]
+    total_cycles: float
+    canonical_busy: float
+    proportional_busy: float
+
+    def frame_period(self, frame_index: int) -> float:
+        """Completion-to-completion period of a frame (steady-state rate)."""
+        ends = [e.end for e in self.timeline if e.module == "proportional"]
+        if frame_index <= 0 or frame_index >= len(ends):
+            raise IndexError("need a predecessor frame for a period")
+        return ends[frame_index] - ends[frame_index - 1]
+
+    def utilization(self) -> dict[str, float]:
+        if self.total_cycles <= 0:
+            return {"canonical": 0.0, "proportional": 0.0}
+        return {
+            "canonical": self.canonical_busy / self.total_cycles,
+            "proportional": self.proportional_busy / self.total_cycles,
+        }
+
+
+class FrameScheduler:
+    """Builds the Fig. 6 timeline from a stream of frame timings."""
+
+    def __init__(self) -> None:
+        self._timeline: list[TimelineEntry] = []
+        self._canonical_free = 0.0     # when the canonical module can start
+        self._proportional_free = 0.0  # when the proportional module can start
+        self._pending_canonical_end = 0.0
+        self._frame_index = 0
+
+    # ------------------------------------------------------------------
+    def add_frame(self, timing: FrameTiming) -> None:
+        """Schedule one frame after all previously added frames."""
+        if timing.is_keyframe:
+            # The DSI is reset: the canonical module waits for the
+            # proportional module to retire the previous frame entirely.
+            canonical_start = max(self._canonical_free, self._proportional_free)
+        else:
+            canonical_start = self._canonical_free
+        canonical_end = canonical_start + timing.canonical_cycles
+        self._timeline.append(
+            TimelineEntry(
+                "canonical",
+                self._frame_index,
+                canonical_start,
+                canonical_end,
+                timing.is_keyframe,
+            )
+        )
+
+        prop_start = max(canonical_end, self._proportional_free)
+        prop_end = prop_start + timing.proportional_cycles
+        self._timeline.append(
+            TimelineEntry(
+                "proportional",
+                self._frame_index,
+                prop_start,
+                prop_end,
+                timing.is_keyframe,
+            )
+        )
+
+        # Buf_I is double-buffered: the canonical module may begin the next
+        # frame once the proportional module has *started* this one (its
+        # bank is then free for reloading).
+        self._canonical_free = max(canonical_end, prop_start)
+        self._proportional_free = prop_end
+        self._frame_index += 1
+
+    # ------------------------------------------------------------------
+    def result(self) -> ScheduleResult:
+        canonical_busy = sum(
+            e.duration for e in self._timeline if e.module == "canonical"
+        )
+        proportional_busy = sum(
+            e.duration for e in self._timeline if e.module == "proportional"
+        )
+        total = max((e.end for e in self._timeline), default=0.0)
+        return ScheduleResult(
+            timeline=list(self._timeline),
+            total_cycles=total,
+            canonical_busy=canonical_busy,
+            proportional_busy=proportional_busy,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def render_gantt(result: ScheduleResult, clock_hz: float, width: int = 72) -> str:
+        """ASCII Gantt chart of the timeline (the Fig. 6 reproduction)."""
+        if not result.timeline:
+            return "(empty schedule)"
+        total = result.total_cycles
+        scale = width / total
+        rows = {"canonical": [" "] * width, "proportional": [" "] * width}
+        for entry in result.timeline:
+            a = int(entry.start * scale)
+            b = max(a + 1, int(entry.end * scale))
+            mark = "K" if entry.is_keyframe else str(entry.frame_index % 10)
+            for i in range(a, min(b, width)):
+                rows[entry.module][i] = mark
+        us = total / clock_hz * 1e6
+        lines = [
+            f"== Fig. 6 pipeline timeline ({us:.1f} us total) ==",
+            "canonical    |" + "".join(rows["canonical"]) + "|",
+            "proportional |" + "".join(rows["proportional"]) + "|",
+            "(digits = frame index, K = key frame)",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""File exporters/importers for reconstruction outputs.
+
+Dependency-free writers for the formats downstream tools expect:
+PLY point clouds (:mod:`repro.io.ply`), PGM/PFM depth and confidence
+images (:mod:`repro.io.pgm`) and plain-text XYZ clouds
+(:mod:`repro.io.xyz`).
+"""
+
+from repro.io.ply import save_ply, load_ply
+from repro.io.pgm import save_pgm, save_pfm, load_pfm, depth_to_image
+from repro.io.xyz import save_xyz, load_xyz
+
+__all__ = [
+    "save_ply",
+    "load_ply",
+    "save_pgm",
+    "save_pfm",
+    "load_pfm",
+    "depth_to_image",
+    "save_xyz",
+    "load_xyz",
+]

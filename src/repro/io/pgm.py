@@ -1,0 +1,81 @@
+"""PGM / PFM image IO for depth and confidence maps.
+
+PGM (8/16-bit greyscale) is the quick-look format; PFM stores the float
+depth losslessly (including NaN for undetected pixels, encoded as the
+conventional -1 sentinel on write).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def depth_to_image(
+    depth: np.ndarray,
+    z_range: tuple[float, float] | None = None,
+    invalid_value: int = 0,
+) -> np.ndarray:
+    """Map a (possibly NaN-holed) depth map to a uint16 image.
+
+    Near depths map bright, far dark (the usual depth-map convention);
+    invalid pixels get ``invalid_value``.
+    """
+    depth = np.asarray(depth, dtype=float)
+    valid = np.isfinite(depth)
+    if z_range is None:
+        if not valid.any():
+            return np.full(depth.shape, invalid_value, dtype=np.uint16)
+        z_range = (float(depth[valid].min()), float(depth[valid].max()))
+    lo, hi = z_range
+    span = max(hi - lo, 1e-12)
+    norm = np.clip((np.nan_to_num(depth, nan=hi) - lo) / span, 0.0, 1.0)
+    image = ((1.0 - norm) * 65534 + 1).astype(np.uint16)
+    image[~valid] = invalid_value
+    return image
+
+
+def save_pgm(path: str, image: np.ndarray) -> None:
+    """Write an 8- or 16-bit binary PGM (P5)."""
+    image = np.asarray(image)
+    if image.ndim != 2:
+        raise ValueError("PGM images are 2-D")
+    if image.dtype == np.uint8:
+        maxval = 255
+        payload = image.tobytes()
+    elif image.dtype == np.uint16:
+        maxval = 65535
+        payload = image.astype(">u2").tobytes()  # PGM is big-endian
+    else:
+        raise ValueError("PGM supports uint8/uint16 only")
+    with open(path, "wb") as f:
+        f.write(f"P5\n{image.shape[1]} {image.shape[0]}\n{maxval}\n".encode())
+        f.write(payload)
+
+
+def save_pfm(path: str, data: np.ndarray) -> None:
+    """Write a float32 PFM (single channel, little-endian).
+
+    NaNs (undetected pixels) are stored as -1, the common PFM sentinel.
+    """
+    data = np.asarray(data, dtype=np.float32)
+    if data.ndim != 2:
+        raise ValueError("PFM images are 2-D")
+    out = np.where(np.isfinite(data), data, np.float32(-1.0))
+    with open(path, "wb") as f:
+        f.write(f"Pf\n{data.shape[1]} {data.shape[0]}\n-1.0\n".encode())
+        # PFM stores rows bottom-up.
+        f.write(np.ascontiguousarray(out[::-1], dtype="<f4").tobytes())
+
+
+def load_pfm(path: str) -> np.ndarray:
+    """Read a PFM written by :func:`save_pfm` (-1 decoded back to NaN)."""
+    with open(path, "rb") as f:
+        magic = f.readline().strip()
+        if magic != b"Pf":
+            raise ValueError("only single-channel PFM is supported")
+        width, height = map(int, f.readline().split())
+        scale = float(f.readline())
+        dtype = "<f4" if scale < 0 else ">f4"
+        data = np.frombuffer(f.read(), dtype=dtype, count=width * height)
+    image = data.reshape(height, width)[::-1].astype(float)
+    return np.where(image == -1.0, np.nan, image)

@@ -1,0 +1,29 @@
+"""Plain-text XYZ point-cloud IO (one ``x y z`` triple per line)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pointcloud import PointCloud
+
+
+def save_xyz(path: str, cloud: PointCloud | np.ndarray, precision: int = 6) -> None:
+    """Write a cloud as whitespace-separated XYZ text."""
+    points = cloud.points if isinstance(cloud, PointCloud) else np.asarray(cloud)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError("points must be (N, 3)")
+    np.savetxt(path, points, fmt=f"%.{precision}f")
+
+
+def load_xyz(path: str) -> PointCloud:
+    """Read an XYZ text file into a :class:`PointCloud`."""
+    import os
+
+    if os.path.getsize(path) == 0:
+        return PointCloud()
+    data = np.loadtxt(path, dtype=float, ndmin=2)
+    if data.size == 0:
+        return PointCloud()
+    if data.shape[1] != 3:
+        raise ValueError(f"XYZ files have 3 columns, got {data.shape[1]}")
+    return PointCloud(data)

@@ -1,0 +1,62 @@
+"""Shared fixtures.
+
+Unit tests use small synthetic inputs; integration tests share the
+session-scoped "fast" replicas of the paper's sequences (generation takes
+a couple of seconds each, and :func:`repro.events.datasets.load_sequence`
+caches them in-process).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.events.datasets import load_sequence
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3, Quaternion
+from repro.geometry.trajectory import Trajectory, linear_trajectory
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_camera() -> PinholeCamera:
+    """A small ideal camera for cheap unit tests."""
+    return PinholeCamera.ideal(64, 48, fov_deg=60.0)
+
+
+@pytest.fixture
+def davis_camera() -> PinholeCamera:
+    return PinholeCamera.davis240c()
+
+
+@pytest.fixture
+def davis_camera_distorted() -> PinholeCamera:
+    return PinholeCamera.davis240c(distorted=True)
+
+
+@pytest.fixture
+def simple_trajectory() -> Trajectory:
+    """0.4 m lateral translation over 2 s, identity orientation."""
+    return linear_trajectory(
+        start=[-0.2, 0.0, 0.0], end=[0.2, 0.0, 0.0], duration=2.0, n_poses=41
+    )
+
+
+@pytest.fixture
+def random_pose(rng) -> SE3:
+    q = Quaternion.from_axis_angle(rng.standard_normal(3), rng.uniform(0, 0.5))
+    return SE3.from_quaternion_translation(q, rng.uniform(-1, 1, 3))
+
+
+@pytest.fixture(scope="session")
+def seq_3planes_fast():
+    return load_sequence("simulation_3planes", quality="fast")
+
+
+@pytest.fixture(scope="session")
+def seq_slider_close_fast():
+    return load_sequence("slider_close", quality="fast")

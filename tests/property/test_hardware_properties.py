@@ -1,0 +1,116 @@
+"""Property-based co-simulation: hardware datapaths vs. golden reference.
+
+Random-stimulus equivalence checks between the integer PE models and the
+quantized double-precision reference path — the software analogue of RTL
+co-simulation against a golden model.
+"""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.backprojection import BackProjector
+from repro.core.dsi import depth_planes
+from repro.core.voting import vote_nearest
+from repro.fixedpoint.quantize import EVENTOR_SCHEMA
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3, Quaternion
+from repro.hardware.pe_z0 import PEZ0
+from repro.hardware.pe_zi import PEZi, split_planes
+
+CAMERA = PinholeCamera.davis240c()
+DEPTHS = depth_planes(0.8, 4.0, 8)
+
+poses = st.tuples(
+    st.floats(-0.25, 0.25), st.floats(-0.25, 0.25), st.floats(-0.4, 0.4),
+    st.floats(-1.0, 1.0), st.floats(-1.0, 1.0), st.floats(-1.0, 1.0),
+    st.floats(0.0, 0.12),
+)
+pixel_batches = st.lists(
+    st.tuples(st.floats(0.0, 239.0), st.floats(0.0, 179.0)),
+    min_size=1,
+    max_size=32,
+).map(np.array)
+
+
+def make_pose(raw):
+    tx, ty, tz, ax, ay, az, angle = raw
+    axis = np.array([ax, ay, az])
+    if np.linalg.norm(axis) < 1e-3:
+        axis = np.array([0.0, 0.0, 1.0])
+    return SE3.from_quaternion_translation(
+        Quaternion.from_axis_angle(axis, angle), [tx, ty, tz]
+    )
+
+
+class TestPEZ0CoSimulation:
+    @given(poses, pixel_batches)
+    @settings(max_examples=40, deadline=None)
+    def test_integer_datapath_matches_reference(self, pose_raw, xy):
+        pose = make_pose(pose_raw)
+        assume(abs(pose.translation[2] - DEPTHS[0]) > 0.05)
+        proj = BackProjector(CAMERA, SE3.identity(), DEPTHS, schema=EVENTOR_SCHEMA)
+        params = proj.frame_parameters(pose)
+
+        ref_uv0, ref_valid = proj.canonical(params, xy)
+
+        pe = PEZ0()
+        h_raw = EVENTOR_SCHEMA.homography.to_raw(params.H_Z0)
+        xy_raw = EVENTOR_SCHEMA.event_coord.to_raw(
+            EVENTOR_SCHEMA.quantize_event_coords(xy)
+        )
+        hw_uv0_raw, hw_valid = pe.process(h_raw, xy_raw)
+
+        np.testing.assert_array_equal(hw_valid, ref_valid)
+        np.testing.assert_array_equal(
+            EVENTOR_SCHEMA.canonical_coord.from_raw(hw_uv0_raw), ref_uv0
+        )
+
+
+class TestPEZiCoSimulation:
+    @given(poses, pixel_batches, st.sampled_from([1, 2, 4]))
+    @settings(max_examples=40, deadline=None)
+    def test_vote_volume_matches_reference(self, pose_raw, xy, n_pe):
+        pose = make_pose(pose_raw)
+        assume(abs(pose.translation[2] - DEPTHS[0]) > 0.05)
+        proj = BackProjector(CAMERA, SE3.identity(), DEPTHS, schema=EVENTOR_SCHEMA)
+        params = proj.frame_parameters(pose)
+        uv0, valid = proj.canonical(params, xy)
+        assume(np.any(valid))
+
+        u, v = proj.proportional(params, uv0)
+        u[~valid] = np.nan
+        v[~valid] = np.nan
+        ref = vote_nearest(u, v, (8, CAMERA.height, CAMERA.width))
+
+        phi_raw = EVENTOR_SCHEMA.phi.to_raw(params.phi)
+        uv0_raw = EVENTOR_SCHEMA.canonical_coord.to_raw(uv0)
+        hw = np.zeros(8 * CAMERA.height * CAMERA.width, dtype=np.int64)
+        for planes in split_planes(8, n_pe):
+            pe = PEZi(planes, CAMERA.width, CAMERA.height)
+            np.add.at(hw, pe.process(phi_raw, uv0_raw, valid), 1)
+
+        np.testing.assert_array_equal(hw.reshape(ref.shape), ref)
+
+    @given(pixel_batches)
+    @settings(max_examples=30, deadline=None)
+    def test_pe_partition_invariance(self, xy):
+        """The vote multiset is independent of how planes split across PEs."""
+        pose = SE3(translation=[0.07, -0.02, 0.0])
+        proj = BackProjector(CAMERA, SE3.identity(), DEPTHS, schema=EVENTOR_SCHEMA)
+        params = proj.frame_parameters(pose)
+        uv0, valid = proj.canonical(params, xy)
+        phi_raw = EVENTOR_SCHEMA.phi.to_raw(params.phi)
+        uv0_raw = EVENTOR_SCHEMA.canonical_coord.to_raw(uv0)
+
+        def all_addresses(n_pe):
+            parts = [
+                PEZi(p, CAMERA.width, CAMERA.height).process(
+                    phi_raw, uv0_raw, valid
+                )
+                for p in split_planes(8, n_pe)
+            ]
+            return np.sort(np.concatenate(parts))
+
+        np.testing.assert_array_equal(all_addresses(1), all_addresses(2))
+        np.testing.assert_array_equal(all_addresses(2), all_addresses(4))

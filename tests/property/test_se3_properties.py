@@ -1,0 +1,97 @@
+"""Property-based tests for the SE(3)/SO(3)/quaternion algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.se3 import SE3, SO3, Quaternion
+
+finite = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+angle = st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False)
+axis = st.tuples(finite, finite, finite).filter(
+    lambda v: 0.1 < np.linalg.norm(v) < 30.0
+)
+vec3 = st.tuples(finite, finite, finite).map(np.array)
+
+
+def random_quat(axis_v, ang):
+    return Quaternion.from_axis_angle(np.array(axis_v), ang)
+
+
+class TestQuaternionGroup:
+    @given(axis, angle)
+    @settings(max_examples=60)
+    def test_unit_norm_invariant(self, ax, ang):
+        q = random_quat(ax, ang)
+        assert abs(np.linalg.norm(q.as_array()) - 1.0) < 1e-9
+
+    @given(axis, angle, vec3)
+    @settings(max_examples=60)
+    def test_rotation_preserves_norm(self, ax, ang, v):
+        q = random_quat(ax, ang)
+        np.testing.assert_allclose(
+            np.linalg.norm(q.rotate(v)), np.linalg.norm(v), atol=1e-9
+        )
+
+    @given(axis, angle, axis, angle, vec3)
+    @settings(max_examples=60)
+    def test_composition_homomorphism(self, ax1, a1, ax2, a2, v):
+        qa = random_quat(ax1, a1)
+        qb = random_quat(ax2, a2)
+        np.testing.assert_allclose(
+            (qa * qb).rotate(v), qa.rotate(qb.rotate(v)), atol=1e-9
+        )
+
+    @given(axis, angle)
+    @settings(max_examples=60)
+    def test_matrix_is_orthonormal(self, ax, ang):
+        m = random_quat(ax, ang).to_matrix()
+        np.testing.assert_allclose(m @ m.T, np.eye(3), atol=1e-9)
+        assert np.linalg.det(m) > 0.999
+
+    @given(axis, angle, st.floats(0.0, 1.0))
+    @settings(max_examples=60)
+    def test_slerp_angle_proportional(self, ax, ang, alpha):
+        qa = Quaternion.identity()
+        qb = random_quat(ax, ang)
+        full = qa.angle_to(qb)
+        part = qa.angle_to(qa.slerp(qb, alpha))
+        assert part <= full + 1e-6
+        np.testing.assert_allclose(part, alpha * full, atol=1e-6)
+
+
+class TestSE3Group:
+    @given(axis, angle, vec3, vec3)
+    @settings(max_examples=60)
+    def test_inverse_composition_is_identity(self, ax, ang, t, p):
+        pose = SE3.from_quaternion_translation(random_quat(ax, ang), t)
+        np.testing.assert_allclose(
+            pose.inverse().transform(pose.transform(p)), p, atol=1e-8
+        )
+
+    @given(axis, angle, vec3, vec3)
+    @settings(max_examples=60)
+    def test_distance_preserved(self, ax, ang, t, p):
+        pose = SE3.from_quaternion_translation(random_quat(ax, ang), t)
+        q = p + np.array([1.0, 0.0, 0.0])
+        d_before = np.linalg.norm(p - q)
+        d_after = np.linalg.norm(pose.transform(p) - pose.transform(q))
+        np.testing.assert_allclose(d_after, d_before, atol=1e-9)
+
+    @given(
+        st.tuples(
+            st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1),
+            st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1),
+        ).map(np.array)
+    )
+    @settings(max_examples=60)
+    def test_exp_log_round_trip(self, xi):
+        np.testing.assert_allclose(SE3.exp(xi).log(), xi, atol=1e-7)
+
+    @given(axis, angle, vec3)
+    @settings(max_examples=60)
+    def test_matrix_round_trip(self, ax, ang, t):
+        pose = SE3.from_quaternion_translation(random_quat(ax, ang), t)
+        np.testing.assert_allclose(
+            SE3.from_matrix(pose.matrix()).matrix(), pose.matrix(), atol=1e-12
+        )

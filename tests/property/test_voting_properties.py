@@ -1,0 +1,94 @@
+"""Property-based tests for DSI voting invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.voting import vote_bilinear, vote_nearest
+
+SHAPE = (4, 12, 16)  # (Nz, H, W)
+
+coord_arrays = st.integers(1, 12).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.lists(st.floats(-3.0, 18.0, allow_nan=False), min_size=4, max_size=4),
+            min_size=n, max_size=n,
+        ).map(np.array),
+        st.lists(
+            st.lists(st.floats(-3.0, 14.0, allow_nan=False), min_size=4, max_size=4),
+            min_size=n, max_size=n,
+        ).map(np.array),
+    )
+)
+
+
+class TestVotingInvariants:
+    @given(coord_arrays)
+    @settings(max_examples=80)
+    def test_nearest_votes_bounded_by_points(self, uv):
+        u, v = uv
+        volume = vote_nearest(u, v, SHAPE)
+        assert volume.sum() <= u.size
+        assert np.all(volume >= 0)
+
+    @given(coord_arrays)
+    @settings(max_examples=80)
+    def test_bilinear_mass_conservation(self, uv):
+        """Total bilinear weight equals the number of fully-interior points,
+        and never exceeds the number of points."""
+        u, v = uv
+        volume = vote_bilinear(u, v, SHAPE)
+        interior = (
+            (u >= 0) & (u <= SHAPE[2] - 1) & (v >= 0) & (v <= SHAPE[1] - 1)
+        ).sum()
+        assert volume.sum() <= u.size + 1e-9
+        assert volume.sum() >= interior - 1e-9
+
+    @given(coord_arrays)
+    @settings(max_examples=80)
+    def test_nearest_agrees_with_bilinear_support(self, uv):
+        """Every nearest-voted voxel lies in the bilinear footprint
+        (the nearest voxel is always one of the four corners)."""
+        u, v = uv
+        near = vote_nearest(u, v, SHAPE)
+        bil = vote_bilinear(u, v, SHAPE)
+        # Wherever nearest voted and the point wasn't exactly on the border,
+        # bilinear must have placed weight nearby (same voxel).
+        voted = near > 0
+        assert np.all(bil[voted] >= 0)
+
+    @given(coord_arrays)
+    @settings(max_examples=80)
+    def test_order_invariance(self, uv):
+        """Voting is a sum: permuting events changes nothing."""
+        u, v = uv
+        perm = np.random.default_rng(0).permutation(u.shape[0])
+        np.testing.assert_array_equal(
+            vote_nearest(u, v, SHAPE), vote_nearest(u[perm], v[perm], SHAPE)
+        )
+        np.testing.assert_allclose(
+            vote_bilinear(u, v, SHAPE),
+            vote_bilinear(u[perm], v[perm], SHAPE),
+            atol=1e-9,
+        )
+
+    @given(coord_arrays)
+    @settings(max_examples=80)
+    def test_additivity(self, uv):
+        """Voting a batch equals the sum of voting its halves."""
+        u, v = uv
+        k = u.shape[0] // 2
+        whole = vote_nearest(u, v, SHAPE)
+        parts = vote_nearest(u[:k], v[:k], SHAPE) + vote_nearest(u[k:], v[k:], SHAPE)
+        np.testing.assert_array_equal(whole, parts)
+
+    @given(coord_arrays)
+    @settings(max_examples=40)
+    def test_integer_positions_make_methods_agree(self, uv):
+        """On exact integer coordinates bilinear degenerates to nearest."""
+        u, v = uv
+        u_int = np.clip(np.round(u), 0, SHAPE[2] - 1).astype(float)
+        v_int = np.clip(np.round(v), 0, SHAPE[1] - 1).astype(float)
+        near = vote_nearest(u_int, v_int, SHAPE)
+        bil = vote_bilinear(u_int, v_int, SHAPE)
+        np.testing.assert_allclose(bil, near, atol=1e-9)

@@ -1,0 +1,60 @@
+"""Unit tests for the DMA/AXI transfer model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.axi import DMAEngine
+from repro.hardware.buffers import DoubleBuffer, RegisterFile
+
+
+class TestTransferCycles:
+    def test_single_burst(self):
+        dma = DMAEngine(bus_bits=32, burst_beats=256, setup_cycles=4)
+        # 256 words = one burst: 256 beats + 4 setup.
+        assert dma.transfer_cycles(256 * 4) == 260
+
+    def test_multiple_bursts(self):
+        dma = DMAEngine(bus_bits=32, burst_beats=256, setup_cycles=4)
+        # 1024 words = 4 bursts.
+        assert dma.transfer_cycles(1024 * 4) == 1024 + 16
+
+    def test_partial_word_rounds_up(self):
+        dma = DMAEngine(bus_bits=32)
+        assert dma.transfer_cycles(5) == dma.transfer_cycles(8)
+
+    def test_zero_bytes_zero_cycles(self):
+        assert DMAEngine().transfer_cycles(0) == 0.0
+
+    def test_wider_bus_fewer_cycles(self):
+        narrow = DMAEngine(bus_bits=32)
+        wide = DMAEngine(bus_bits=64)
+        assert wide.transfer_cycles(4096) < narrow.transfer_cycles(4096)
+
+    def test_bus_width_validation(self):
+        with pytest.raises(ValueError):
+            DMAEngine(bus_bits=12)
+
+
+class TestBufferTransfers:
+    def test_to_buffer_moves_payload(self):
+        dma = DMAEngine()
+        buf = DoubleBuffer("Buf_E", 16, 4)
+        cycles = dma.to_buffer(buf, np.arange(10))
+        assert cycles > 0
+        buf.swap()
+        np.testing.assert_array_equal(buf.read_all(), np.arange(10))
+
+    def test_to_registers(self):
+        dma = DMAEngine()
+        regs = RegisterFile("Buf_H", 9)
+        dma.to_registers(regs, np.arange(9))
+        np.testing.assert_array_equal(regs.read(), np.arange(9))
+
+    def test_stats_accumulate(self):
+        dma = DMAEngine()
+        buf = DoubleBuffer("b", 64, 4)
+        dma.to_buffer(buf, np.arange(10))
+        dma.to_buffer(buf, np.arange(10))
+        assert dma.stats.transfers == 2
+        assert dma.stats.bytes_moved == 80
+        assert dma.stats.cycles > 0

@@ -1,0 +1,128 @@
+"""Unit tests for the frame back-projector."""
+
+import numpy as np
+import pytest
+
+from repro.core.backprojection import BackProjector
+from repro.core.dsi import depth_planes
+from repro.fixedpoint.quantize import EVENTOR_SCHEMA, FLOAT_SCHEMA
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3
+
+
+@pytest.fixture
+def camera():
+    return PinholeCamera.davis240c()
+
+
+@pytest.fixture
+def depths():
+    return depth_planes(0.8, 4.0, 16)
+
+
+@pytest.fixture
+def event_pose():
+    return SE3(translation=[0.08, -0.02, 0.0])
+
+
+class TestFrameParameters:
+    def test_phi_shape_and_alpha_at_z0(self, camera, depths, event_pose):
+        proj = BackProjector(camera, SE3.identity(), depths)
+        params = proj.frame_parameters(event_pose)
+        assert params.phi.shape == (16, 3)
+        # First plane is the canonical plane: identity coefficients.
+        assert params.phi[0, 0] == pytest.approx(1.0)
+        assert params.phi[0, 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_homography_normalized(self, camera, depths, event_pose):
+        proj = BackProjector(camera, SE3.identity(), depths)
+        params = proj.frame_parameters(event_pose)
+        assert np.abs(params.H_Z0).max() == pytest.approx(1.0, abs=1e-6)
+
+    def test_quantized_parameters_on_grid(self, camera, depths, event_pose):
+        proj = BackProjector(camera, SE3.identity(), depths, schema=EVENTOR_SCHEMA)
+        params = proj.frame_parameters(event_pose)
+        scale = 1 << 21
+        np.testing.assert_array_equal(
+            params.H_Z0 * scale, np.round(params.H_Z0 * scale)
+        )
+        np.testing.assert_array_equal(
+            params.phi * scale, np.round(params.phi * scale)
+        )
+
+
+class TestCanonicalProjection:
+    def test_identity_pose_identity_map(self, camera, depths):
+        """Event camera at the virtual pose: events map to themselves."""
+        proj = BackProjector(camera, SE3.identity(), depths)
+        params = proj.frame_parameters(SE3.identity())
+        xy = np.array([[10.0, 20.0], [120.0, 90.0], [230.0, 170.0]])
+        uv0, valid = proj.canonical(params, xy)
+        assert np.all(valid)
+        np.testing.assert_allclose(uv0, xy, atol=1e-9)
+
+    def test_translation_shifts_canonical_points(self, camera, depths, event_pose):
+        proj = BackProjector(camera, SE3.identity(), depths)
+        params = proj.frame_parameters(event_pose)
+        xy = np.array([[120.0, 90.0]])
+        uv0, valid = proj.canonical(params, xy)
+        assert valid[0]
+        # Camera moved +x: the scene (and the canonical image point) shifts +x.
+        assert uv0[0, 0] > xy[0, 0]
+
+    def test_far_out_events_flagged_invalid(self, camera, depths):
+        """A large lateral displacement pushes border events off the
+        canonical plane's unsigned coordinate range."""
+        proj = BackProjector(
+            camera, SE3.identity(), depths, schema=EVENTOR_SCHEMA
+        )
+        params = proj.frame_parameters(SE3(translation=[-3.0, 0.0, 0.0]))
+        xy = np.array([[2.0, 90.0]])
+        uv0, valid = proj.canonical(params, xy)
+        assert not valid[0]
+        np.testing.assert_allclose(uv0[~valid], 0.0)
+
+    def test_quantized_output_on_grid(self, camera, depths, event_pose):
+        proj = BackProjector(camera, SE3.identity(), depths, schema=EVENTOR_SCHEMA)
+        params = proj.frame_parameters(event_pose)
+        xy = np.array([[11.5, 23.25], [100.0, 50.0]])
+        uv0, _ = proj.canonical(params, xy)
+        np.testing.assert_array_equal(uv0 * 128, np.round(uv0 * 128))
+
+
+class TestFullProjection:
+    def test_project_frame_shapes(self, camera, depths, event_pose):
+        proj = BackProjector(camera, SE3.identity(), depths)
+        xy = np.array([[10.0, 20.0], [120.0, 90.0]])
+        u, v, valid = proj.project_frame(event_pose, xy)
+        assert u.shape == (2, 16)
+        assert v.shape == (2, 16)
+        assert valid.shape == (2,)
+
+    def test_invalid_rows_are_nan(self, camera, depths):
+        proj = BackProjector(camera, SE3.identity(), depths, schema=EVENTOR_SCHEMA)
+        u, v, valid = proj.project_frame(
+            SE3(translation=[-3.0, 0.0, 0.0]), np.array([[2.0, 90.0]])
+        )
+        assert not valid[0]
+        assert np.all(np.isnan(u[0]))
+
+    def test_epipolar_consistency(self, camera, depths, event_pose):
+        """Back-projected points across planes lie on a line (the image of
+        the viewing ray in the reference view)."""
+        proj = BackProjector(camera, SE3.identity(), depths)
+        u, v, valid = proj.project_frame(event_pose, np.array([[60.0, 120.0]]))
+        assert valid[0]
+        pts = np.stack([u[0], v[0]], axis=1)
+        # Fit a line through the first/last and check middle points.
+        d = pts[-1] - pts[0]
+        d /= np.linalg.norm(d)
+        rel = pts - pts[0]
+        cross = rel[:, 0] * d[1] - rel[:, 1] * d[0]
+        np.testing.assert_allclose(cross, 0.0, atol=1e-6)
+
+    def test_zero_baseline_constant_across_planes(self, camera, depths):
+        proj = BackProjector(camera, SE3.identity(), depths)
+        u, v, _ = proj.project_frame(SE3.identity(), np.array([[77.0, 55.0]]))
+        np.testing.assert_allclose(u[0], 77.0, atol=1e-9)
+        np.testing.assert_allclose(v[0], 55.0, atol=1e-9)

@@ -1,0 +1,109 @@
+"""Unit tests for on-chip buffers and double-buffering protocol."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.buffers import (
+    BufferError,
+    DoubleBuffer,
+    RegisterFile,
+    make_eventor_buffers,
+)
+
+
+class TestDoubleBuffer:
+    def test_write_swap_read(self):
+        buf = DoubleBuffer("b", capacity_words=8, word_bytes=4)
+        buf.write(np.arange(5))
+        buf.swap()
+        np.testing.assert_array_equal(buf.read_all(), np.arange(5))
+
+    def test_read_before_swap_rejected(self):
+        buf = DoubleBuffer("b", 8, 4)
+        buf.write(np.arange(3))
+        with pytest.raises(BufferError):
+            buf.read_all()
+
+    def test_swap_empty_rejected(self):
+        buf = DoubleBuffer("b", 8, 4)
+        with pytest.raises(BufferError):
+            buf.swap()
+
+    def test_overfill_rejected(self):
+        buf = DoubleBuffer("b", 4, 4)
+        with pytest.raises(BufferError):
+            buf.write(np.arange(5))
+
+    def test_overfill_across_writes_rejected(self):
+        buf = DoubleBuffer("b", 4, 4)
+        buf.write(np.arange(3))
+        with pytest.raises(BufferError):
+            buf.write(np.arange(2))
+
+    def test_ping_pong_overlap(self):
+        """Producer fills bank B while consumer drains bank A."""
+        buf = DoubleBuffer("b", 8, 4)
+        buf.write(np.array([1, 2]))
+        buf.swap()
+        buf.write(np.array([3, 4]))  # load new data before draining old
+        np.testing.assert_array_equal(buf.read_all(), [1, 2])
+        buf.swap()
+        np.testing.assert_array_equal(buf.read_all(), [3, 4])
+
+    def test_double_drain_rejected(self):
+        buf = DoubleBuffer("b", 8, 4)
+        buf.write(np.array([1]))
+        buf.swap()
+        buf.read_all()
+        with pytest.raises(BufferError):
+            buf.read_all()
+
+    def test_total_bytes_counts_both_banks(self):
+        buf = DoubleBuffer("b", 1024, 4)
+        assert buf.total_bytes == 2 * 1024 * 4
+
+    def test_stats(self):
+        buf = DoubleBuffer("b", 8, 4)
+        buf.write(np.arange(5))
+        buf.swap()
+        buf.read_all()
+        assert buf.stats.writes == 5
+        assert buf.stats.reads == 5
+        assert buf.stats.swaps == 1
+        assert buf.stats.peak_words == 5
+
+    def test_reset(self):
+        buf = DoubleBuffer("b", 8, 4)
+        buf.write(np.arange(5))
+        buf.reset()
+        assert buf.load_occupancy == 0
+        assert not buf.process_ready
+
+
+class TestRegisterFile:
+    def test_load_read(self):
+        regs = RegisterFile("Buf_H", 9)
+        h = np.arange(9)
+        regs.load(h)
+        np.testing.assert_array_equal(regs.read(), h)
+
+    def test_read_before_load_rejected(self):
+        with pytest.raises(BufferError):
+            RegisterFile("Buf_H", 9).read()
+
+    def test_capacity_enforced(self):
+        with pytest.raises(BufferError):
+            RegisterFile("Buf_H", 4).load(np.arange(9))
+
+
+class TestEventorBufferComplement:
+    def test_fig5_buffers_present(self):
+        bufs = make_eventor_buffers(1024, 128)
+        assert set(bufs) == {"Buf_E", "Buf_P", "Buf_I", "Buf_V", "Buf_H"}
+
+    def test_sizes_follow_configuration(self):
+        bufs = make_eventor_buffers(1024, 128)
+        assert bufs["Buf_E"].capacity_words == 1024
+        assert bufs["Buf_P"].capacity_words == 3 * 128
+        assert bufs["Buf_V"].capacity_words == 2048
+        assert bufs["Buf_H"].n_words == 9

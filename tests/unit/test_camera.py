@@ -1,0 +1,103 @@
+"""Unit tests for the pinhole camera model."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.distortion import RadialTangentialDistortion
+
+
+class TestConstruction:
+    def test_davis240c_resolution(self):
+        cam = PinholeCamera.davis240c()
+        assert cam.resolution == (240, 180)
+
+    def test_davis240c_distorted_carries_coefficients(self):
+        cam = PinholeCamera.davis240c(distorted=True)
+        assert isinstance(cam.distortion, RadialTangentialDistortion)
+
+    def test_ideal_fov(self):
+        cam = PinholeCamera.ideal(100, 80, fov_deg=90.0)
+        # 90 degree hfov: fx = w/2.
+        assert cam.fx == pytest.approx(50.0)
+
+    def test_rejects_nonpositive_resolution(self):
+        with pytest.raises(ValueError):
+            PinholeCamera(0, 10, 100, 100, 5, 5)
+
+    def test_rejects_nonpositive_focal(self):
+        with pytest.raises(ValueError):
+            PinholeCamera(10, 10, -1.0, 100, 5, 5)
+
+    def test_K_and_K_inv_are_inverse(self, davis_camera):
+        np.testing.assert_allclose(
+            davis_camera.K @ davis_camera.K_inv, np.eye(3), atol=1e-12
+        )
+
+
+class TestProjection:
+    def test_principal_axis_projects_to_principal_point(self, davis_camera):
+        p = davis_camera.project(np.array([[0.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(p[0], [davis_camera.cx, davis_camera.cy])
+
+    def test_project_backproject_round_trip(self, davis_camera, rng):
+        pixels = np.stack(
+            [rng.uniform(0, 239, 100), rng.uniform(0, 179, 100)], axis=1
+        )
+        rays = davis_camera.back_project(pixels)
+        depths = rng.uniform(0.5, 5.0, 100)[:, None]
+        reprojected = davis_camera.project(rays * depths)
+        np.testing.assert_allclose(reprojected, pixels, atol=1e-9)
+
+    def test_negative_depth_yields_nonfinite(self, davis_camera):
+        p = davis_camera.project(np.array([[0.1, 0.1, -1.0]]))
+        assert not np.all(np.isfinite(p))
+
+    def test_back_project_unit_depth(self, davis_camera):
+        rays = davis_camera.back_project(np.array([[10.0, 20.0]]))
+        assert rays[0, 2] == pytest.approx(1.0)
+
+    def test_projection_is_scale_invariant(self, davis_camera):
+        p1 = davis_camera.project(np.array([[0.2, 0.1, 1.0]]))
+        p2 = davis_camera.project(np.array([[0.4, 0.2, 2.0]]))
+        np.testing.assert_allclose(p1, p2, atol=1e-12)
+
+
+class TestUndistortion:
+    def test_undistort_identity_without_distortion(self, davis_camera, rng):
+        pixels = np.stack([rng.uniform(0, 239, 50), rng.uniform(0, 179, 50)], axis=1)
+        np.testing.assert_allclose(
+            davis_camera.undistort_pixels(pixels), pixels, atol=1e-9
+        )
+
+    def test_undistort_moves_corner_pixels(self, davis_camera_distorted):
+        corners = np.array([[0.0, 0.0], [239.0, 179.0]])
+        moved = davis_camera_distorted.undistort_pixels(corners)
+        assert np.all(np.linalg.norm(moved - corners, axis=1) > 1.0)
+
+    def test_undistort_fixed_point_near_center(self, davis_camera_distorted):
+        cam = davis_camera_distorted
+        center = np.array([[cam.cx, cam.cy]])
+        np.testing.assert_allclose(cam.undistort_pixels(center), center, atol=1e-6)
+
+
+class TestHelpers:
+    def test_contains(self, davis_camera):
+        pixels = np.array([[0.0, 0.0], [239.4, 179.4], [-1.0, 5.0], [120.0, 200.0]])
+        np.testing.assert_array_equal(
+            davis_camera.contains(pixels), [True, True, False, False]
+        )
+
+    def test_contains_rejects_nonfinite(self, davis_camera):
+        assert not davis_camera.contains(np.array([[np.nan, 5.0]]))[0]
+
+    def test_pixel_grid_shape_and_corners(self, small_camera):
+        grid = small_camera.pixel_grid()
+        assert grid.shape == (64 * 48, 2)
+        np.testing.assert_allclose(grid[0], [0.0, 0.0])
+        np.testing.assert_allclose(grid[-1], [63.0, 47.0])
+
+    def test_scaled_halves_intrinsics(self, davis_camera):
+        half = davis_camera.scaled(0.5)
+        assert half.width == 120
+        assert half.fx == pytest.approx(davis_camera.fx / 2)

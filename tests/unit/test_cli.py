@@ -1,0 +1,98 @@
+"""Unit tests for the command-line interface."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_reconstruct_defaults(self):
+        args = build_parser().parse_args(["reconstruct", "-s", "slider_far"])
+        assert args.pipeline == "reformulated"
+        assert args.planes == 100
+        assert args.frame_size == 1024
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "simulation_3planes" in out
+        assert "slider_far" in out
+
+    def test_models_runs(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "17538" in out
+        assert "24.2x" in out
+
+    def test_simulate_writes_dataset(self, tmp_path, capsys):
+        out_dir = os.path.join(tmp_path, "seq")
+        code = main(
+            ["simulate", "-s", "simulation_3planes", "-o", out_dir,
+             "--quality", "fast"]
+        )
+        assert code == 0
+        assert sorted(os.listdir(out_dir)) == [
+            "calib.txt", "events.txt", "groundtruth.txt",
+        ]
+
+    def test_reconstruct_sequence_with_outputs(self, tmp_path, capsys):
+        ply = os.path.join(tmp_path, "cloud.ply")
+        pgm = os.path.join(tmp_path, "depth.pgm")
+        code = main(
+            [
+                "reconstruct", "-s", "simulation_3planes",
+                "--quality", "fast",
+                "--planes", "48",
+                "--t-start", "0.95", "--t-end", "1.1",
+                "-o", ply, "--depth-map", pgm,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reconstructed" in out
+        assert "AbsRel" in out
+        from repro.io.ply import load_ply
+
+        points, _ = load_ply(ply)
+        assert points.shape[0] > 100
+        assert os.path.getsize(pgm) > 100
+
+    def test_reconstruct_from_dataset_dir(self, tmp_path, capsys):
+        # First write a dataset, then reconstruct from it.
+        seq_dir = os.path.join(tmp_path, "seq")
+        main(["simulate", "-s", "simulation_3planes", "-o", seq_dir,
+              "--quality", "fast"])
+        xyz = os.path.join(tmp_path, "cloud.xyz")
+        code = main(
+            [
+                "reconstruct", "-d", seq_dir,
+                "--planes", "48",
+                "--z-min", "0.6", "--z-max", "3.6",
+                "--t-start", "0.95", "--t-end", "1.1",
+                "-o", xyz,
+            ]
+        )
+        assert code == 0
+        data = np.loadtxt(xyz)
+        assert data.shape[1] == 3
+
+    def test_reconstruct_requires_an_input(self):
+        with pytest.raises(SystemExit):
+            main(["reconstruct"])
+
+    def test_reconstruct_rejects_both_inputs(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["reconstruct", "-s", "x", "-d", str(tmp_path)])

@@ -1,0 +1,89 @@
+"""Unit tests for the module FSM controllers."""
+
+import pytest
+
+from repro.hardware.controller import (
+    CanonicalProjectionController,
+    CtrlState,
+    FSMError,
+    ProportionalProjectionController,
+)
+
+
+class TestCanonicalFSM:
+    def test_nominal_frame_sequence(self):
+        fsm = CanonicalProjectionController()
+        fsm.configure(0)
+        fsm.start_load(1)
+        fsm.start_run(2)
+        fsm.request_sync(3)
+        fsm.complete(4)
+        assert fsm.state is CtrlState.DONE
+        assert fsm.frames_retired() == 1
+
+    def test_back_to_back_frames(self):
+        fsm = CanonicalProjectionController()
+        for i in range(3):
+            fsm.configure(i)
+            fsm.start_load(i)
+            fsm.start_run(i)
+            fsm.request_sync(i)
+            fsm.complete(i)
+        assert fsm.frames_retired() == 3
+
+    def test_run_before_load_rejected(self):
+        fsm = CanonicalProjectionController()
+        fsm.configure(0)
+        with pytest.raises(FSMError):
+            fsm.start_run(1)
+
+    def test_sync_before_run_rejected(self):
+        fsm = CanonicalProjectionController()
+        fsm.configure(0)
+        fsm.start_load(1)
+        with pytest.raises(FSMError):
+            fsm.request_sync(2)
+
+    def test_park_only_from_done(self):
+        fsm = CanonicalProjectionController()
+        with pytest.raises(FSMError):
+            fsm.park(0)
+
+    def test_transition_log(self):
+        fsm = CanonicalProjectionController()
+        fsm.configure(5)
+        assert fsm.log[0].cycle == 5
+        assert fsm.log[0].source is CtrlState.IDLE
+        assert fsm.log[0].target is CtrlState.CONFIG
+
+
+class TestProportionalFSM:
+    def test_nominal_sequence(self):
+        fsm = ProportionalProjectionController()
+        fsm.configure(0)
+        fsm.wait_input(1)
+        fsm.start_run(2)
+        fsm.complete(3)
+        assert fsm.state is CtrlState.DONE
+
+    def test_pipelined_frames_skip_config(self):
+        """After the first frame the module loops SYNC -> RUN -> DONE."""
+        fsm = ProportionalProjectionController()
+        fsm.configure(0)
+        for i in range(3):
+            fsm.wait_input(i)
+            fsm.start_run(i)
+            fsm.complete(i)
+        assert fsm.frames_retired() == 3
+
+    def test_run_without_sync_rejected(self):
+        fsm = ProportionalProjectionController()
+        fsm.configure(0)
+        with pytest.raises(FSMError):
+            fsm.start_run(1)
+
+    def test_double_configure_rejected(self):
+        fsm = ProportionalProjectionController()
+        fsm.configure(0)
+        with pytest.raises(FSMError):
+            fsm.configure(1)

@@ -1,0 +1,82 @@
+"""Unit tests for the CPU baseline timing model and workload profile."""
+
+import pytest
+
+from repro.baseline.cpu_model import CPUTimingModel, I5_7300HQ
+from repro.baseline.profile import WorkloadProfile, stage_breakdown
+
+
+class TestCPUTimingModel:
+    def test_calibrated_reproduces_paper(self):
+        cpu = CPUTimingModel.calibrated()
+        assert cpu.time_canonical(1024) * 1e6 == pytest.approx(22.40, abs=0.01)
+        assert cpu.time_proportional_and_vote(1024) * 1e6 == pytest.approx(
+            559.55, abs=0.01
+        )
+        assert cpu.time_frame() * 1e6 == pytest.approx(581.95, abs=0.05)
+        assert cpu.event_rate() / 1e6 == pytest.approx(1.76, abs=0.01)
+
+    def test_key_and_normal_frames_identical(self):
+        """No pipeline on the CPU: the frame cost never changes."""
+        cpu = CPUTimingModel.calibrated()
+        assert cpu.time_frame(1024) == cpu.time_frame(1024)
+
+    def test_scales_linearly_with_events(self):
+        cpu = CPUTimingModel.calibrated()
+        assert cpu.time_canonical(2048) == pytest.approx(2 * cpu.time_canonical(1024))
+
+    def test_scales_with_planes(self):
+        few = CPUTimingModel.calibrated(n_planes=64)
+        many = CPUTimingModel.calibrated(n_planes=128)
+        assert many.time_proportional_and_vote(1024) == pytest.approx(
+            2 * few.time_proportional_and_vote(1024)
+        )
+
+    def test_power_and_energy(self):
+        cpu = CPUTimingModel.calibrated()
+        assert cpu.power_watts == 45.0
+        # 45 W at 1.76 Mev/s: ~25.6 uJ/event.
+        assert cpu.energy_per_event() * 1e6 == pytest.approx(25.6, abs=0.2)
+
+    def test_spec_constants(self):
+        assert I5_7300HQ.n_cores == 4
+        assert I5_7300HQ.tdp_watts == 45.0
+
+    def test_plausible_cycle_costs(self):
+        """Calibration lands in a plausible x86 range (tens of cycles)."""
+        cpu = CPUTimingModel.calibrated()
+        assert 40 < cpu.cycles_canonical_per_event < 150
+        assert 5 < cpu.cycles_vote_per_plane_event < 40
+
+
+class TestWorkloadProfile:
+    def make(self, **kw):
+        defaults = dict(n_events=1024 * 100, n_frames=100, n_planes=128, n_keyframes=2)
+        defaults.update(kw)
+        return WorkloadProfile(**defaults)
+
+    def test_p_and_r_dominate(self):
+        """Sec. 2.1: P + R exceed 80 % of total runtime."""
+        assert self.make().p_and_r_fraction() > 0.80
+
+    def test_hot_subtasks_dominate_p_and_r(self):
+        """Sec. 2.2: the four per-event sub-tasks exceed 90 % of P + R."""
+        assert self.make().hot_subtask_fraction() > 0.90
+
+    def test_breakdown_sums_to_one(self):
+        breakdown = stage_breakdown(self.make())
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_voting_is_single_largest_stage(self):
+        breakdown = stage_breakdown(self.make())
+        assert max(breakdown, key=breakdown.get) == "V"
+
+    def test_keyframes_increase_detection_share(self):
+        few = stage_breakdown(self.make(n_keyframes=1))
+        many = stage_breakdown(self.make(n_keyframes=20))
+        assert many["D"] > few["D"]
+
+    def test_undistorted_stream_cheaper_aggregation(self):
+        dist = stage_breakdown(self.make(distorted=True))
+        ideal = stage_breakdown(self.make(distorted=False))
+        assert ideal["A"] < dist["A"]

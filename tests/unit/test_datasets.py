@@ -1,0 +1,68 @@
+"""Unit tests for the evaluation-sequence replicas."""
+
+import numpy as np
+import pytest
+
+from repro.events.datasets import SEQUENCE_NAMES, SHORT_NAMES, load_sequence
+
+
+class TestRegistry:
+    def test_four_paper_sequences(self):
+        assert SEQUENCE_NAMES == (
+            "simulation_3planes",
+            "simulation_3walls",
+            "slider_close",
+            "slider_far",
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            load_sequence("nope")
+
+    def test_unknown_quality_rejected(self):
+        with pytest.raises(ValueError):
+            load_sequence("simulation_3planes", quality="ultra")
+
+    def test_short_names(self):
+        assert SHORT_NAMES["slider_close"] == "close"
+
+
+class TestSequenceContents:
+    def test_3planes_fast(self, seq_3planes_fast):
+        seq = seq_3planes_fast
+        assert seq.camera.resolution == (240, 180)
+        assert len(seq.events) > 50_000
+        assert seq.events.t_start >= seq.trajectory.t_start - 1e-9
+        assert seq.events.t_end <= seq.trajectory.t_end + 1e-9
+
+    def test_depth_range_brackets_scene(self, seq_3planes_fast):
+        seq = seq_3planes_fast
+        mid_pose = seq.trajectory.sample(
+            0.5 * (seq.trajectory.t_start + seq.trajectory.t_end)
+        )
+        lo, hi = seq.scene.depth_extent(seq.camera, mid_pose)
+        assert seq.depth_range[0] <= lo
+        assert seq.depth_range[1] >= hi
+
+    def test_gt_depth_at_center(self, seq_3planes_fast):
+        seq = seq_3planes_fast
+        pose = seq.trajectory.sample(1.0)
+        d = seq.gt_depth_at(pose, np.array([[120.0, 90.0]]))
+        assert np.isfinite(d[0])
+        assert seq.depth_range[0] < d[0] < seq.depth_range[1]
+
+    def test_caching_returns_same_object(self):
+        a = load_sequence("simulation_3planes", quality="fast")
+        b = load_sequence("simulation_3planes", quality="fast")
+        assert a is b
+
+    def test_slider_has_sensor_noise(self, seq_slider_close_fast):
+        # The slider replicas model threshold mismatch + background noise;
+        # a tiny fraction of events lands on texture-free background pixels.
+        seq = seq_slider_close_fast
+        assert len(seq.events) > 50_000
+
+    def test_event_coordinates_integral(self, seq_3planes_fast):
+        # Raw sensor events have integer pixel coordinates.
+        x = seq_3planes_fast.events.x
+        np.testing.assert_array_equal(x, np.round(x))

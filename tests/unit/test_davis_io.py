@@ -1,0 +1,129 @@
+"""Unit tests for Event Camera Dataset file IO (round trips)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.events.containers import EventArray
+from repro.events.davis_io import (
+    load_calib_txt,
+    load_dataset_dir,
+    load_events_txt,
+    load_groundtruth_txt,
+    save_calib_txt,
+    save_dataset_dir,
+    save_events_txt,
+    save_groundtruth_txt,
+)
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.distortion import NoDistortion, RadialTangentialDistortion
+from repro.geometry.se3 import SE3, Quaternion
+from repro.geometry.trajectory import Trajectory
+
+
+@pytest.fixture
+def events():
+    return EventArray.from_arrays(
+        [0.001, 0.002, 0.0035],
+        [12.0, 100.0, 239.0],
+        [5.0, 90.0, 179.0],
+        [1, -1, 1],
+    )
+
+
+@pytest.fixture
+def trajectory():
+    poses = [
+        SE3.from_quaternion_translation(
+            Quaternion.from_axis_angle([0, 0, 1], 0.02 * i), [0.1 * i, 0.0, 0.0]
+        )
+        for i in range(5)
+    ]
+    return Trajectory(np.linspace(0, 1, 5), poses)
+
+
+class TestEventsIO:
+    def test_round_trip(self, tmp_path, events):
+        path = os.path.join(tmp_path, "events.txt")
+        save_events_txt(path, events)
+        loaded = load_events_txt(path)
+        np.testing.assert_allclose(loaded.t, events.t, atol=1e-9)
+        np.testing.assert_allclose(loaded.x, events.x, atol=1e-3)
+        np.testing.assert_array_equal(loaded.p, events.p)
+
+    def test_polarity_encoded_as_01(self, tmp_path, events):
+        path = os.path.join(tmp_path, "events.txt")
+        save_events_txt(path, events)
+        raw = np.loadtxt(path)
+        assert set(raw[:, 3].astype(int)) <= {0, 1}
+
+    def test_load_rejects_wrong_columns(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.txt")
+        with open(path, "w") as f:
+            f.write("0.0 1.0 2.0\n")
+        with pytest.raises(ValueError):
+            load_events_txt(path)
+
+    def test_load_sorts_unsorted_files(self, tmp_path):
+        path = os.path.join(tmp_path, "events.txt")
+        with open(path, "w") as f:
+            f.write("0.2 1 1 1\n0.1 2 2 0\n")
+        loaded = load_events_txt(path)
+        assert loaded.t[0] == pytest.approx(0.1)
+
+
+class TestGroundtruthIO:
+    def test_round_trip(self, tmp_path, trajectory):
+        path = os.path.join(tmp_path, "groundtruth.txt")
+        save_groundtruth_txt(path, trajectory)
+        loaded = load_groundtruth_txt(path)
+        assert len(loaded) == len(trajectory)
+        for (ta, pa), (tb, pb) in zip(trajectory, loaded):
+            assert ta == pytest.approx(tb, abs=1e-9)
+            np.testing.assert_allclose(pa.translation, pb.translation, atol=1e-8)
+            np.testing.assert_allclose(pa.rotation, pb.rotation, atol=1e-7)
+
+    def test_wrong_columns_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "gt.txt")
+        with open(path, "w") as f:
+            f.write("0.0 1.0 2.0 3.0\n")
+        with pytest.raises(ValueError):
+            load_groundtruth_txt(path)
+
+
+class TestCalibIO:
+    def test_round_trip_with_distortion(self, tmp_path):
+        cam = PinholeCamera.davis240c(distorted=True)
+        path = os.path.join(tmp_path, "calib.txt")
+        save_calib_txt(path, cam)
+        loaded = load_calib_txt(path)
+        assert loaded.fx == pytest.approx(cam.fx, abs=1e-5)
+        assert isinstance(loaded.distortion, RadialTangentialDistortion)
+        assert loaded.distortion.k1 == pytest.approx(cam.distortion.k1, abs=1e-8)
+
+    def test_round_trip_without_distortion(self, tmp_path):
+        cam = PinholeCamera.davis240c(distorted=False)
+        path = os.path.join(tmp_path, "calib.txt")
+        save_calib_txt(path, cam)
+        loaded = load_calib_txt(path)
+        assert isinstance(loaded.distortion, NoDistortion)
+
+    def test_too_few_values_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "calib.txt")
+        with open(path, "w") as f:
+            f.write("100.0 100.0\n")
+        with pytest.raises(ValueError):
+            load_calib_txt(path)
+
+
+class TestDatasetDir:
+    def test_full_round_trip(self, tmp_path, events, trajectory):
+        cam = PinholeCamera.davis240c()
+        root = os.path.join(tmp_path, "seq")
+        save_dataset_dir(root, events, trajectory, cam)
+        ev2, traj2, cam2 = load_dataset_dir(root)
+        assert len(ev2) == len(events)
+        assert len(traj2) == len(trajectory)
+        assert cam2.fx == pytest.approx(cam.fx, abs=1e-5)
+        assert sorted(os.listdir(root)) == ["calib.txt", "events.txt", "groundtruth.txt"]

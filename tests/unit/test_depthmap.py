@@ -1,0 +1,56 @@
+"""Unit tests for the semi-dense depth map container."""
+
+import numpy as np
+import pytest
+
+from repro.core.depthmap import SemiDenseDepthMap
+
+
+@pytest.fixture
+def depth_map():
+    depth = np.full((4, 5), np.nan)
+    mask = np.zeros((4, 5), dtype=bool)
+    confidence = np.zeros((4, 5))
+    depth[1, 2] = 2.0
+    depth[3, 4] = 4.0
+    mask[1, 2] = True
+    mask[3, 4] = True
+    confidence[1, 2] = 10.0
+    confidence[3, 4] = 5.0
+    return SemiDenseDepthMap(depth=depth, confidence=confidence, mask=mask)
+
+
+class TestSemiDenseDepthMap:
+    def test_counts_and_density(self, depth_map):
+        assert depth_map.n_points == 2
+        assert depth_map.density == pytest.approx(2 / 20)
+
+    def test_pixels_xy_order(self, depth_map):
+        pixels = depth_map.pixels()
+        # (x, y) ordering: first point at column 2, row 1.
+        assert pixels.shape == (2, 2)
+        np.testing.assert_array_equal(pixels[0], [2, 1])
+        np.testing.assert_array_equal(pixels[1], [4, 3])
+
+    def test_depths_aligned_with_pixels(self, depth_map):
+        np.testing.assert_allclose(depth_map.depths(), [2.0, 4.0])
+
+    def test_mean_depth(self, depth_map):
+        assert depth_map.mean_depth() == pytest.approx(3.0)
+
+    def test_empty_mean_raises(self):
+        empty = SemiDenseDepthMap(
+            depth=np.full((2, 2), np.nan),
+            confidence=np.zeros((2, 2)),
+            mask=np.zeros((2, 2), dtype=bool),
+        )
+        with pytest.raises(ValueError):
+            empty.mean_depth()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SemiDenseDepthMap(
+                depth=np.zeros((2, 2)),
+                confidence=np.zeros((2, 3)),
+                mask=np.zeros((2, 2), dtype=bool),
+            )

@@ -1,0 +1,62 @@
+"""Unit tests for lens distortion models."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.distortion import NoDistortion, RadialTangentialDistortion
+
+
+DAVIS_COEFFS = dict(k1=-0.368436, k2=0.150947, p1=-0.000296, p2=-0.000439)
+
+
+class TestNoDistortion:
+    def test_identity_both_ways(self, rng):
+        model = NoDistortion()
+        x = rng.uniform(-0.5, 0.5, 100)
+        y = rng.uniform(-0.5, 0.5, 100)
+        xd, yd = model.distort(x, y)
+        np.testing.assert_array_equal(xd, x)
+        xu, yu = model.undistort(x, y)
+        np.testing.assert_array_equal(yu, y)
+
+
+class TestRadialTangential:
+    def test_center_is_fixed_point(self):
+        model = RadialTangentialDistortion(**DAVIS_COEFFS)
+        xd, yd = model.distort(np.array([0.0]), np.array([0.0]))
+        assert xd[0] == pytest.approx(0.0)
+        assert yd[0] == pytest.approx(0.0)
+
+    def test_round_trip_accuracy(self, rng):
+        model = RadialTangentialDistortion(**DAVIS_COEFFS)
+        x = rng.uniform(-0.5, 0.5, 500)
+        y = rng.uniform(-0.4, 0.4, 500)
+        assert model.max_residual(x, y) < 1e-8
+
+    def test_barrel_distortion_pulls_inward(self):
+        # Negative k1 (barrel): distorted radius shrinks for off-axis points.
+        model = RadialTangentialDistortion(k1=-0.3)
+        xd, yd = model.distort(np.array([0.5]), np.array([0.0]))
+        assert abs(xd[0]) < 0.5
+
+    def test_pure_radial_preserves_angle(self):
+        model = RadialTangentialDistortion(k1=-0.2, k2=0.05)
+        x, y = np.array([0.3]), np.array([0.4])
+        xd, yd = model.distort(x, y)
+        assert np.arctan2(yd, xd)[0] == pytest.approx(np.arctan2(y, x)[0], abs=1e-12)
+
+    def test_tangential_term_breaks_symmetry(self):
+        model = RadialTangentialDistortion(p1=0.01)
+        xd_pos, yd_pos = model.distort(np.array([0.3]), np.array([0.3]))
+        xd_neg, yd_neg = model.distort(np.array([0.3]), np.array([-0.3]))
+        assert yd_pos[0] != pytest.approx(-yd_neg[0])
+
+    def test_undistort_inverts_distort_davis_range(self, rng):
+        model = RadialTangentialDistortion(**DAVIS_COEFFS)
+        # Normalized coordinates spanning the DAVIS sensor footprint.
+        x = rng.uniform(-0.67, 0.55, 200)  # (0-132)/199 .. (240-132)/199
+        y = rng.uniform(-0.56, 0.35, 200)
+        xd, yd = model.distort(x, y)
+        xu, yu = model.undistort(xd, yd)
+        np.testing.assert_allclose(xu, x, atol=1e-7)
+        np.testing.assert_allclose(yu, y, atol=1e-7)

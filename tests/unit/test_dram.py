@@ -1,0 +1,78 @@
+"""Unit tests for the DRAM model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.dram import DRAMModel
+
+
+@pytest.fixture
+def dram():
+    d = DRAMModel(capacity_bytes=1 << 30, bus_bits=32, clock_hz=533e6)
+    d.allocate_dsi((4, 6, 8), score_bits=16)
+    return d
+
+
+class TestAllocation:
+    def test_peak_bandwidth_ddr(self):
+        d = DRAMModel(bus_bits=32, clock_hz=533e6)
+        assert d.peak_bandwidth_bytes_per_s == pytest.approx(2 * 533e6 * 4)
+
+    def test_oversized_dsi_rejected(self):
+        d = DRAMModel(capacity_bytes=1024)
+        with pytest.raises(MemoryError):
+            d.allocate_dsi((100, 100, 100))
+
+    def test_vote_before_allocate_rejected(self):
+        with pytest.raises(RuntimeError):
+            DRAMModel().vote(np.array([0]))
+
+    def test_dsi_starts_zero(self, dram):
+        assert dram.read_dsi().sum() == 0
+
+
+class TestVoting:
+    def test_vote_increments(self, dram):
+        dram.vote(np.array([0, 0, 5]))
+        scores = dram.read_dsi()
+        assert scores.reshape(-1)[0] == 2
+        assert scores.reshape(-1)[5] == 1
+
+    def test_vote_out_of_range_rejected(self, dram):
+        with pytest.raises(IndexError):
+            dram.vote(np.array([4 * 6 * 8]))
+        with pytest.raises(IndexError):
+            dram.vote(np.array([-1]))
+
+    def test_saturation_at_16bit(self, dram):
+        addr = np.zeros(70000, dtype=np.int64)
+        dram.vote(addr)
+        assert dram.read_dsi().reshape(-1)[0] == 0xFFFF
+
+    def test_reset_clears(self, dram):
+        dram.vote(np.array([1, 2, 3]))
+        dram.reset_dsi()
+        assert dram.read_dsi().sum() == 0
+
+    def test_empty_vote_ok(self, dram):
+        assert dram.vote(np.array([], dtype=np.int64)) == 0
+
+
+class TestTrafficAccounting:
+    def test_vote_traffic_rmw(self, dram):
+        before = dram.stats.total_bytes
+        dram.vote(np.arange(10))
+        # 10 votes x (2-byte read + 2-byte write).
+        assert dram.stats.total_bytes - before == 40
+        assert dram.stats.vote_rmw_ops == 10
+
+    def test_readout_traffic(self, dram):
+        before = dram.stats.bytes_read
+        dram.read_dsi()
+        assert dram.stats.bytes_read - before == 4 * 6 * 8 * 2
+
+    def test_stream_accounting(self, dram):
+        dram.stream_read(100)
+        dram.stream_write(50)
+        assert dram.stats.bytes_read >= 100
+        assert dram.stats.bytes_written >= 50

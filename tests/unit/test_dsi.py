@@ -1,0 +1,111 @@
+"""Unit tests for the DSI volume and depth-plane sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DepthSampling
+from repro.core.dsi import DSI, depth_planes
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3
+
+
+@pytest.fixture
+def dsi(small_camera):
+    return DSI(small_camera, SE3.identity(), depth_planes(1.0, 4.0, 8))
+
+
+class TestDepthPlanes:
+    def test_linear_sampling_uniform_in_z(self):
+        z = depth_planes(1.0, 3.0, 5, DepthSampling.LINEAR)
+        np.testing.assert_allclose(np.diff(z), 0.5)
+
+    def test_inverse_sampling_uniform_in_inverse_depth(self):
+        z = depth_planes(1.0, 4.0, 7, DepthSampling.INVERSE)
+        np.testing.assert_allclose(np.diff(1.0 / z), np.diff(1.0 / z)[0])
+
+    def test_endpoints_exact(self):
+        for sampling in DepthSampling:
+            z = depth_planes(0.5, 5.0, 10, sampling)
+            assert z[0] == pytest.approx(0.5)
+            assert z[-1] == pytest.approx(5.0)
+
+    def test_inverse_concentrates_near_camera(self):
+        z = depth_planes(1.0, 10.0, 10, DepthSampling.INVERSE)
+        gaps = np.diff(z)
+        assert gaps[0] < gaps[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            depth_planes(2.0, 1.0, 5)
+        with pytest.raises(ValueError):
+            depth_planes(-1.0, 2.0, 5)
+        with pytest.raises(ValueError):
+            depth_planes(1.0, 2.0, 1)
+
+
+class TestDSI:
+    def test_shape_follows_camera(self, dsi, small_camera):
+        assert dsi.shape == (8, small_camera.height, small_camera.width)
+        assert dsi.n_voxels == 8 * 48 * 64
+
+    def test_starts_empty(self, dsi):
+        assert dsi.total_votes() == 0.0
+
+    def test_depths_must_increase(self, small_camera):
+        with pytest.raises(ValueError):
+            DSI(small_camera, SE3.identity(), np.array([2.0, 1.0]))
+
+    def test_accumulate_and_total(self, dsi):
+        counts = np.zeros(dsi.shape)
+        counts[3, 10, 20] = 5
+        dsi.accumulate_counts(counts)
+        assert dsi.total_votes() == 5.0
+
+    def test_accumulate_shape_checked(self, dsi):
+        with pytest.raises(ValueError):
+            dsi.accumulate_counts(np.zeros((2, 2, 2)))
+
+    def test_max_projection_picks_peak_depth(self, dsi):
+        counts = np.zeros(dsi.shape)
+        counts[5, 7, 9] = 10
+        counts[2, 7, 9] = 3
+        dsi.accumulate_counts(counts)
+        confidence, depth = dsi.max_projection()
+        assert confidence[7, 9] == pytest.approx(10.0)
+        assert depth[7, 9] == pytest.approx(dsi.depths[5])
+
+    def test_flat_scores_is_view(self, dsi):
+        dsi.flat_scores[0] = 7
+        assert dsi.scores[0, 0, 0] == 7
+
+    def test_score_limit_saturates_readout(self, small_camera):
+        dsi = DSI(
+            small_camera,
+            SE3.identity(),
+            depth_planes(1.0, 2.0, 2),
+            integer_scores=True,
+            score_limit=100,
+        )
+        dsi.flat_scores[0] = 500
+        confidence, _ = dsi.max_projection()
+        assert confidence[0, 0] == pytest.approx(100.0)
+        assert dsi.effective_scores().max() == 100
+
+    def test_reset_zeroes_and_reseats(self, dsi):
+        dsi.flat_scores[5] = 3
+        new_ref = SE3(translation=[1.0, 0.0, 0.0])
+        dsi.reset(new_ref)
+        assert dsi.total_votes() == 0.0
+        np.testing.assert_allclose(dsi.T_w_ref.translation, [1.0, 0.0, 0.0])
+
+    def test_memory_bytes(self, small_camera):
+        dsi_int = DSI(
+            small_camera, SE3.identity(), depth_planes(1.0, 2.0, 4),
+            integer_scores=True,
+        )
+        assert dsi_int.memory_bytes() == dsi_int.n_voxels * 8  # int64 backing
+
+    def test_score_limit_validation(self, small_camera):
+        with pytest.raises(ValueError):
+            DSI(small_camera, SE3.identity(), depth_planes(1.0, 2.0, 2),
+                score_limit=0)

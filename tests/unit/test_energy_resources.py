@@ -1,0 +1,96 @@
+"""Unit tests for the power and resource models (Table 2 + power claim)."""
+
+import pytest
+
+from repro.baseline.cpu_model import CPUTimingModel
+from repro.hardware.config import EventorConfig, ZYNQ_7020
+from repro.hardware.energy import PowerModel
+from repro.hardware.resources import ResourceModel
+from repro.hardware.timing import TimingModel
+
+
+class TestPowerModel:
+    def test_paper_total(self):
+        assert PowerModel().total_watts(EventorConfig()) == pytest.approx(1.86)
+
+    def test_breakdown_sums_to_total(self):
+        pm = PowerModel()
+        cfg = EventorConfig()
+        b = pm.breakdown(cfg)
+        assert b.total_watts == pytest.approx(pm.total_watts(cfg))
+
+    def test_more_pes_more_power(self):
+        pm = PowerModel()
+        assert pm.total_watts(EventorConfig(n_pe_zi=4)) > pm.total_watts(
+            EventorConfig(n_pe_zi=2)
+        )
+
+    def test_dynamic_scales_with_clock(self):
+        pm = PowerModel()
+        slow = pm.total_watts(EventorConfig(clock_hz=65e6))
+        fast = pm.total_watts(EventorConfig(clock_hz=130e6))
+        assert slow < fast
+        # Static + PS parts do not scale.
+        assert slow > pm.ps_watts
+
+    def test_energy_per_event_vs_cpu(self):
+        """The 24x energy-efficiency headline (power ratio at iso-rate)."""
+        pm = PowerModel()
+        cfg = EventorConfig()
+        cpu = CPUTimingModel.calibrated()
+        power_ratio = cpu.power_watts / pm.total_watts(cfg)
+        assert power_ratio == pytest.approx(24.2, abs=0.3)
+
+    def test_energy_accounting(self):
+        pm = PowerModel()
+        cfg = EventorConfig()
+        e = pm.energy_per_frame(cfg, frame_seconds=551.58e-6)
+        assert e == pytest.approx(1.86 * 551.58e-6)
+        with pytest.raises(ValueError):
+            pm.energy_per_event(cfg, 0.0)
+
+
+class TestResourceModel:
+    def test_paper_table2_totals(self):
+        t = ResourceModel(EventorConfig()).totals()
+        assert t.luts == 17538
+        assert t.flip_flops == 22830
+        assert t.bram_bytes == 64 * 1024
+
+    def test_paper_table2_utilization(self):
+        u = ResourceModel(EventorConfig()).utilization()
+        assert u["lut"] == pytest.approx(0.3297, abs=0.0002)
+        assert u["ff"] == pytest.approx(0.2146, abs=0.0002)
+        assert u["bram"] == pytest.approx(0.1143, abs=0.0002)
+
+    def test_fits_the_part(self):
+        assert ResourceModel(EventorConfig()).fits()
+
+    def test_scaling_with_pe_count(self):
+        base = ResourceModel(EventorConfig(n_pe_zi=2)).totals()
+        big = ResourceModel(EventorConfig(n_pe_zi=4)).totals()
+        assert big.luts > base.luts
+        assert big.bram_bytes > base.bram_bytes  # extra Buf_I banks
+
+    def test_report_renders(self):
+        text = ResourceModel(EventorConfig()).report()
+        assert "PE_Z0" in text
+        assert "utilization" in text
+
+    def test_part_capacities(self):
+        assert ZYNQ_7020.luts == 53200
+        assert ZYNQ_7020.flip_flops == 106400
+
+
+class TestTimingEnergyCrossCheck:
+    def test_eventor_beats_cpu_energy_at_similar_rate(self):
+        cfg = EventorConfig()
+        tm = TimingModel(cfg)
+        pm = PowerModel()
+        cpu = CPUTimingModel.calibrated()
+        gain = pm.efficiency_gain_vs(
+            cfg, cpu.power_watts, tm.event_rate(), cpu.event_rate()
+        )
+        assert gain > 20.0
+        # Throughput is on par (slightly higher), as Table 3 shows.
+        assert tm.event_rate() / cpu.event_rate() == pytest.approx(1.055, abs=0.02)

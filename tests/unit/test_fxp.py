@@ -1,0 +1,111 @@
+"""Unit tests for fixed-point array arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.fxp import FxpArray
+from repro.fixedpoint.qformat import Overflow, QFormat, Rounding
+
+UQ9_7 = QFormat(16, 7, signed=False)
+SQ11_21 = QFormat(32, 21, signed=True)
+
+
+class TestConstruction:
+    def test_from_float_round_trip(self):
+        a = FxpArray.from_float(np.array([1.5, 100.25]), UQ9_7)
+        np.testing.assert_array_equal(a.to_float(), [1.5, 100.25])
+
+    def test_raw_range_validated(self):
+        with pytest.raises(ValueError):
+            FxpArray(np.array([1 << 20]), UQ9_7)
+
+    def test_immutable_raw(self):
+        a = FxpArray.from_float(np.array([1.0]), UQ9_7)
+        with pytest.raises(ValueError):
+            a.raw[0] = 3
+
+    def test_indexing(self):
+        a = FxpArray.from_float(np.array([1.0, 2.0, 3.0]), UQ9_7)
+        assert a[1].to_float()[0] == pytest.approx(2.0)
+        assert len(a) == 3
+
+
+class TestArithmetic:
+    def test_add_exact(self):
+        a = FxpArray.from_float(np.array([1.5]), UQ9_7)
+        b = FxpArray.from_float(np.array([2.25]), UQ9_7)
+        c = a + b
+        assert c.to_float()[0] == pytest.approx(3.75)
+        assert c.fmt.frac_bits == 7
+
+    def test_add_aligns_binary_points(self):
+        a = FxpArray.from_float(np.array([1.5]), UQ9_7)
+        b = FxpArray.from_float(np.array([0.25]), SQ11_21)
+        c = a + b
+        assert c.to_float()[0] == pytest.approx(1.75)
+        assert c.fmt.frac_bits == 21
+
+    def test_sub_signed_result(self):
+        a = FxpArray.from_float(np.array([1.0]), UQ9_7)
+        b = FxpArray.from_float(np.array([2.5]), UQ9_7)
+        c = a - b
+        assert c.to_float()[0] == pytest.approx(-1.5)
+        assert c.fmt.signed
+
+    def test_mul_exact_and_bit_growth(self):
+        a = FxpArray.from_float(np.array([3.5]), UQ9_7)
+        b = FxpArray.from_float(np.array([-0.125]), SQ11_21)
+        c = a * b
+        assert c.to_float()[0] == pytest.approx(-0.4375)
+        assert c.fmt.frac_bits == 28
+        assert c.fmt.total_bits == 48
+
+    def test_mul_overflow_guard(self):
+        wide = QFormat(40, 20, signed=True)
+        a = FxpArray.from_float(np.array([1.0]), wide)
+        with pytest.raises(OverflowError):
+            _ = a * a
+
+    def test_mac_matches_float(self, rng):
+        """A full multiply-accumulate chain agrees with float math exactly
+        (all intermediates are exactly representable)."""
+        x = FxpArray.from_float(rng.uniform(0, 500, 50), UQ9_7)
+        a = FxpArray.from_float(rng.uniform(-2, 2, 50), SQ11_21)
+        b = FxpArray.from_float(rng.uniform(-100, 100, 50), SQ11_21)
+        result = (a * x) + b
+        expected = a.to_float() * x.to_float() + b.to_float()
+        np.testing.assert_array_equal(result.to_float(), expected)
+
+
+class TestResize:
+    def test_resize_nearest_half_away(self):
+        src = QFormat(16, 4, signed=True)
+        a = FxpArray(np.array([24, -24]), src)  # 1.5, -1.5 at Q4
+        out = a.resize(QFormat(8, 0, signed=True))
+        np.testing.assert_array_equal(out.raw, [2, -2])
+
+    def test_resize_floor(self):
+        src = QFormat(16, 4, signed=True)
+        a = FxpArray(np.array([31]), src)  # 1.9375
+        out = a.resize(QFormat(8, 0, signed=True), rounding=Rounding.FLOOR)
+        assert out.raw[0] == 1
+
+    def test_resize_saturates(self):
+        a = FxpArray.from_float(np.array([511.0]), UQ9_7)
+        out = a.resize(QFormat(8, 0, signed=False))
+        assert out.raw[0] == 255
+
+    def test_resize_wrap(self):
+        a = FxpArray.from_float(np.array([257.0]), UQ9_7)
+        out = a.resize(QFormat(8, 0, signed=False), overflow=Overflow.WRAP)
+        assert out.raw[0] == 1
+
+    def test_widening_is_lossless(self):
+        a = FxpArray.from_float(np.array([3.125]), QFormat(16, 4, signed=True))
+        wide = a.resize(SQ11_21)
+        assert wide.to_float()[0] == pytest.approx(3.125)
+
+    def test_overflow_mask(self):
+        a = FxpArray.from_float(np.array([100.0, 300.0]), UQ9_7)
+        mask = a.overflow_mask(QFormat(8, 0, signed=False))
+        np.testing.assert_array_equal(mask, [False, True])

@@ -1,0 +1,133 @@
+"""Unit tests for plane homographies and proportional coefficients.
+
+The key invariant (the basis of the whole Eventor dataflow): transferring
+an event through the canonical plane and sliding it with the proportional
+coefficients must agree with direct ray/plane intersection geometry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.homography import (
+    apply_homography,
+    apply_homography_with_scale,
+    apply_proportional,
+    canonical_plane_homography,
+    event_camera_center_in_virtual,
+    plane_homography,
+    proportional_coefficients,
+)
+from repro.geometry.se3 import SE3, Quaternion
+
+
+@pytest.fixture
+def camera():
+    return PinholeCamera.davis240c()
+
+
+@pytest.fixture
+def event_pose():
+    """Event camera displaced and slightly rotated w.r.t. the world."""
+    q = Quaternion.from_axis_angle([0.0, 1.0, 0.0], 0.05)
+    return SE3.from_quaternion_translation(q, [0.08, -0.03, 0.02])
+
+
+def direct_transfer(camera, T_w_virtual, T_w_event, pixels, depth):
+    """Ground-truth transfer: back-project, intersect Z=depth, re-project."""
+    rays_e = camera.back_project(pixels, undistort=False)
+    T_ve = T_w_virtual.inverse() @ T_w_event
+    origins = np.broadcast_to(T_ve.translation, rays_e.shape)
+    dirs = rays_e @ T_ve.rotation.T
+    t = (depth - origins[:, 2]) / dirs[:, 2]
+    points_v = origins + t[:, None] * dirs
+    return camera.project(points_v, apply_distortion=False)
+
+
+class TestPlaneHomography:
+    def test_identity_transform_identity_homography(self, camera):
+        H = plane_homography(SE3.identity(), [0, 0, 1], 2.0, camera.K, camera.K)
+        np.testing.assert_allclose(H, np.eye(3), atol=1e-12)
+
+    def test_rejects_plane_through_center(self, camera):
+        with pytest.raises(ValueError):
+            plane_homography(SE3.identity(), [0, 0, 1], 0.0, camera.K, camera.K)
+
+    def test_matches_direct_geometry(self, camera, event_pose):
+        z0 = 1.5
+        H = canonical_plane_homography(SE3.identity(), event_pose, camera, z0)
+        pixels = np.array([[50.0, 40.0], [120.0, 90.0], [200.0, 150.0]])
+        via_h = apply_homography(H, pixels)
+        direct = direct_transfer(camera, SE3.identity(), event_pose, pixels, z0)
+        np.testing.assert_allclose(via_h, direct, atol=1e-8)
+
+    def test_rejects_nonpositive_z0(self, camera, event_pose):
+        with pytest.raises(ValueError):
+            canonical_plane_homography(SE3.identity(), event_pose, camera, 0.0)
+
+    def test_scale_positive_for_forward_plane(self, camera, event_pose):
+        H = canonical_plane_homography(SE3.identity(), event_pose, camera, 1.5)
+        _, w = apply_homography_with_scale(H / np.abs(H).max(),
+                                           np.array([[120.0, 90.0]]))
+        assert w[0] > 0
+
+
+class TestProportionalCoefficients:
+    def test_alpha_is_one_at_z0(self, camera):
+        c = np.array([0.1, -0.05, 0.02])
+        phi = proportional_coefficients(c, 1.0, np.array([1.0, 2.0]), camera)
+        assert phi[0, 0] == pytest.approx(1.0)
+        assert phi[0, 1] == pytest.approx(0.0)
+        assert phi[0, 2] == pytest.approx(0.0)
+
+    def test_matches_direct_geometry_across_planes(self, camera, event_pose):
+        """The affine-in-x0 identity against brute-force ray casting."""
+        z0 = 0.8
+        depths = np.array([0.8, 1.2, 1.9, 3.1, 5.0])
+        T_w_virtual = SE3.identity()
+        H = canonical_plane_homography(T_w_virtual, event_pose, camera, z0)
+        c = event_camera_center_in_virtual(T_w_virtual, event_pose)
+        phi = proportional_coefficients(c, z0, depths, camera)
+
+        pixels = np.array([[30.0, 20.0], [120.0, 90.0], [210.0, 160.0]])
+        uv0 = apply_homography(H, pixels)
+        u, v = apply_proportional(phi, uv0)
+        for i, z in enumerate(depths):
+            direct = direct_transfer(camera, T_w_virtual, event_pose, pixels, z)
+            np.testing.assert_allclose(u[:, i], direct[:, 0], atol=1e-6)
+            np.testing.assert_allclose(v[:, i], direct[:, 1], atol=1e-6)
+
+    def test_zero_baseline_keeps_points_fixed(self, camera):
+        """With the event camera at the virtual centre, rays are identical:
+        the image point must not move across depth planes."""
+        c = np.zeros(3)
+        depths = np.array([1.0, 2.0, 4.0])
+        phi = proportional_coefficients(c, 1.0, depths, camera)
+        uv0 = np.array([[100.0, 80.0], [10.0, 170.0]])
+        u, v = apply_proportional(phi, uv0)
+        for i in range(len(depths)):
+            np.testing.assert_allclose(u[:, i], uv0[:, 0], atol=1e-9)
+            np.testing.assert_allclose(v[:, i], uv0[:, 1], atol=1e-9)
+
+    def test_degenerate_camera_on_plane_rejected(self, camera):
+        c = np.array([0.0, 0.0, 1.0])  # centre exactly on the canonical plane
+        with pytest.raises(ValueError):
+            proportional_coefficients(c, 1.0, np.array([1.0, 2.0]), camera)
+
+    def test_phi_shape(self, camera):
+        phi = proportional_coefficients(
+            np.array([0.1, 0.0, 0.0]), 1.0, np.linspace(1, 4, 32), camera
+        )
+        assert phi.shape == (32, 3)
+
+
+class TestApplyHomography:
+    def test_scale_sign_flips_behind_plane(self, camera):
+        # A homography whose third row makes w negative for some pixels.
+        H = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, -0.02, 1.0]])
+        _, w = apply_homography_with_scale(H, np.array([[0.0, 100.0], [0.0, 10.0]]))
+        assert w[0] < 0 < w[1]
+
+    def test_identity(self):
+        pixels = np.array([[3.0, 4.0]])
+        np.testing.assert_allclose(apply_homography(np.eye(3), pixels), pixels)

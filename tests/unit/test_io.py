@@ -1,0 +1,123 @@
+"""Unit tests for the PLY/PGM/PFM/XYZ exporters."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.pointcloud import PointCloud
+from repro.io.pgm import depth_to_image, load_pfm, save_pfm, save_pgm
+from repro.io.ply import load_ply, save_ply
+from repro.io.xyz import load_xyz, save_xyz
+
+
+@pytest.fixture
+def cloud(rng):
+    return PointCloud(rng.uniform(-1, 1, (50, 3)))
+
+
+class TestPly:
+    def test_binary_round_trip(self, tmp_path, cloud):
+        path = os.path.join(tmp_path, "c.ply")
+        save_ply(path, cloud, binary=True)
+        points, quality = load_ply(path)
+        np.testing.assert_allclose(points, cloud.points, atol=1e-6)
+        assert quality is None
+
+    def test_ascii_round_trip(self, tmp_path, cloud):
+        path = os.path.join(tmp_path, "c.ply")
+        save_ply(path, cloud, binary=False)
+        points, _ = load_ply(path)
+        np.testing.assert_allclose(points, cloud.points, atol=1e-5)
+
+    def test_quality_round_trip(self, tmp_path, cloud, rng):
+        path = os.path.join(tmp_path, "c.ply")
+        q = rng.uniform(0, 100, len(cloud)).astype(np.float32)
+        save_ply(path, cloud, quality=q)
+        points, quality = load_ply(path)
+        np.testing.assert_allclose(quality, q, atol=1e-5)
+
+    def test_header_is_valid_ply(self, tmp_path, cloud):
+        path = os.path.join(tmp_path, "c.ply")
+        save_ply(path, cloud)
+        with open(path, "rb") as f:
+            head = f.read(200).split(b"\n")
+        assert head[0] == b"ply"
+        assert b"element vertex 50" in b"\n".join(head)
+
+    def test_shape_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ply(os.path.join(tmp_path, "x.ply"), np.zeros((3, 2)))
+
+    def test_quality_shape_validation(self, tmp_path, cloud):
+        with pytest.raises(ValueError):
+            save_ply(os.path.join(tmp_path, "x.ply"), cloud, quality=np.zeros(3))
+
+    def test_accepts_raw_array(self, tmp_path):
+        path = os.path.join(tmp_path, "c.ply")
+        save_ply(path, np.ones((4, 3)))
+        points, _ = load_ply(path)
+        assert points.shape == (4, 3)
+
+
+class TestPgmPfm:
+    def test_depth_to_image_mapping(self):
+        depth = np.array([[1.0, 2.0], [np.nan, 1.5]])
+        image = depth_to_image(depth, z_range=(1.0, 2.0))
+        assert image.dtype == np.uint16
+        assert image[0, 0] > image[0, 1]  # near is brighter
+        assert image[1, 0] == 0  # invalid sentinel
+
+    def test_depth_to_image_auto_range(self):
+        depth = np.full((3, 3), np.nan)
+        image = depth_to_image(depth)
+        assert np.all(image == 0)
+
+    def test_save_pgm_16bit(self, tmp_path):
+        path = os.path.join(tmp_path, "d.pgm")
+        image = (np.arange(12, dtype=np.uint16) * 1000).reshape(3, 4)
+        save_pgm(path, image)
+        with open(path, "rb") as f:
+            header = f.readline(), f.readline(), f.readline()
+            payload = f.read()
+        assert header[0].strip() == b"P5"
+        assert header[1].split() == [b"4", b"3"]
+        decoded = np.frombuffer(payload, dtype=">u2").reshape(3, 4)
+        np.testing.assert_array_equal(decoded, image)
+
+    def test_save_pgm_rejects_float(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pgm(os.path.join(tmp_path, "x.pgm"), np.zeros((2, 2)))
+
+    def test_pfm_round_trip_with_nans(self, tmp_path):
+        path = os.path.join(tmp_path, "d.pfm")
+        depth = np.array([[1.5, np.nan], [2.25, 0.75]])
+        save_pfm(path, depth)
+        loaded = load_pfm(path)
+        np.testing.assert_allclose(
+            np.nan_to_num(loaded, nan=-9), np.nan_to_num(depth, nan=-9), atol=1e-6
+        )
+
+    def test_pfm_shape_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_pfm(os.path.join(tmp_path, "x.pfm"), np.zeros(5))
+
+
+class TestXyz:
+    def test_round_trip(self, tmp_path, cloud):
+        path = os.path.join(tmp_path, "c.xyz")
+        save_xyz(path, cloud)
+        loaded = load_xyz(path)
+        np.testing.assert_allclose(loaded.points, cloud.points, atol=1e-6)
+
+    def test_empty_file(self, tmp_path):
+        path = os.path.join(tmp_path, "empty.xyz")
+        open(path, "w").close()
+        assert len(load_xyz(path)) == 0
+
+    def test_wrong_columns_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "bad.xyz")
+        with open(path, "w") as f:
+            f.write("1 2\n")
+        with pytest.raises(ValueError):
+            load_xyz(path)

@@ -1,0 +1,48 @@
+"""Unit tests for the literature-comparison data."""
+
+import pytest
+
+from repro.baseline.literature import (
+    EMVS_1CORE,
+    EMVS_4CORE,
+    EVENTOR,
+    GALLEGO_CM,
+    LANDSCAPE,
+    efficiency_ranking,
+)
+
+
+class TestPublishedNumbers:
+    def test_paper_cited_throughputs(self):
+        """The figures quoted in the paper's introduction."""
+        assert EMVS_1CORE.events_per_second == pytest.approx(1.2e6)
+        assert EMVS_4CORE.events_per_second == pytest.approx(4.7e6)
+        assert EVENTOR.events_per_second == pytest.approx(1.86e6)
+        assert EVENTOR.power_watts == pytest.approx(1.86)
+
+    def test_unpublished_numbers_stay_none(self):
+        assert GALLEGO_CM.events_per_second is None
+        assert GALLEGO_CM.events_per_joule is None
+
+    def test_landscape_order(self):
+        assert LANDSCAPE[0] is EMVS_1CORE
+        assert LANDSCAPE[-1] is EVENTOR
+
+    def test_events_per_joule(self):
+        assert EVENTOR.events_per_joule == pytest.approx(1e6, rel=0.01)
+        assert EMVS_1CORE.events_per_joule == pytest.approx(1.2e6 / 45)
+
+
+class TestRanking:
+    def test_eventor_first(self):
+        ranking = efficiency_ranking()
+        assert ranking[0] is EVENTOR
+
+    def test_only_known_systems_ranked(self):
+        ranking = efficiency_ranking()
+        assert GALLEGO_CM not in ranking
+        assert all(s.events_per_joule is not None for s in ranking)
+
+    def test_descending(self):
+        values = [s.events_per_joule for s in efficiency_ranking()]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,58 @@
+"""Unit tests for depth metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import absrel, compute_metrics
+
+
+class TestAbsRel:
+    def test_perfect_estimate_zero_error(self):
+        gt = np.array([1.0, 2.0, 3.0])
+        assert absrel(gt, gt) == 0.0
+
+    def test_known_value(self):
+        est = np.array([1.1, 2.0])
+        gt = np.array([1.0, 2.0])
+        assert absrel(est, gt) == pytest.approx(0.05)
+
+    def test_symmetric_in_sign_of_error(self):
+        gt = np.array([2.0, 2.0])
+        over = np.array([2.2, 2.2])
+        under = np.array([1.8, 1.8])
+        assert absrel(over, gt) == pytest.approx(absrel(under, gt))
+
+    def test_ignores_invalid_gt(self):
+        est = np.array([1.0, 5.0, 1.0])
+        gt = np.array([1.0, np.inf, np.nan])
+        assert absrel(est, gt) == 0.0
+
+    def test_all_invalid_raises(self):
+        with pytest.raises(ValueError):
+            absrel(np.array([1.0]), np.array([np.nan]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            absrel(np.zeros(3), np.zeros(4))
+
+
+class TestComputeMetrics:
+    def test_bundle_values(self):
+        est = np.array([1.0, 2.2, 3.0, 10.0])
+        gt = np.array([1.0, 2.0, 3.0, 5.0])
+        m = compute_metrics(est, gt, sensor_pixels=100)
+        assert m.n_points == 4
+        assert m.density == pytest.approx(0.04)
+        assert m.absrel == pytest.approx((0 + 0.1 + 0 + 1.0) / 4)
+        # One of four points has > 15 % relative error.
+        assert m.outlier_ratio == pytest.approx(0.25)
+
+    def test_rmse(self):
+        est = np.array([2.0, 4.0])
+        gt = np.array([1.0, 2.0])
+        m = compute_metrics(est, gt, sensor_pixels=10)
+        assert m.rmse == pytest.approx(np.sqrt((1 + 4) / 2))
+
+    def test_str_contains_absrel(self):
+        m = compute_metrics(np.array([1.0]), np.array([1.0]), sensor_pixels=10)
+        assert "AbsRel" in str(m)

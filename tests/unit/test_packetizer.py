@@ -1,0 +1,85 @@
+"""Unit tests for event aggregation into frames."""
+
+import numpy as np
+import pytest
+
+from repro.events.containers import EventArray
+from repro.events.packetizer import Packetizer, aggregate_frames, iter_frames
+
+
+def stream(n, rate=1000.0, t0=0.0):
+    t = t0 + np.arange(n) / rate
+    return EventArray.from_arrays(t, np.zeros(n), np.zeros(n), np.ones(n, dtype=int))
+
+
+class TestPacketizer:
+    def test_emits_full_frames(self, simple_trajectory):
+        p = Packetizer(simple_trajectory, frame_size=100)
+        frames = p.push(stream(250))
+        assert len(frames) == 2
+        assert all(len(f) == 100 for f in frames)
+
+    def test_keeps_remainder_pending(self, simple_trajectory):
+        p = Packetizer(simple_trajectory, frame_size=100)
+        p.push(stream(250))
+        tail = p.flush()
+        assert tail is not None
+        assert len(tail) == 50
+
+    def test_incremental_pushes_accumulate(self, simple_trajectory):
+        p = Packetizer(simple_trajectory, frame_size=100)
+        assert p.push(stream(60)) == []
+        frames = p.push(stream(60, t0=0.1))
+        assert len(frames) == 1
+
+    def test_flush_empty_returns_none(self, simple_trajectory):
+        p = Packetizer(simple_trajectory, frame_size=10)
+        assert p.flush() is None
+
+    def test_frame_indices_monotonic(self, simple_trajectory):
+        p = Packetizer(simple_trajectory, frame_size=50)
+        frames = p.push(stream(200))
+        assert [f.index for f in frames] == [0, 1, 2, 3]
+
+    def test_rejects_bad_frame_size(self, simple_trajectory):
+        with pytest.raises(ValueError):
+            Packetizer(simple_trajectory, frame_size=0)
+
+    def test_pose_sampled_at_midpoint(self, simple_trajectory):
+        p = Packetizer(simple_trajectory, frame_size=100)
+        # Events spanning t in [0, 2]: frame midpoint at t=1 -> x=0.
+        n = 100
+        t = np.linspace(0.0, 2.0, n)
+        ev = EventArray.from_arrays(t, np.zeros(n), np.zeros(n), np.ones(n, int))
+        frames = p.push(ev)
+        np.testing.assert_allclose(frames[0].T_wc.translation, [0, 0, 0], atol=1e-9)
+
+
+class TestAggregateFrames:
+    def test_drop_partial_default(self, simple_trajectory):
+        frames = aggregate_frames(stream(250), simple_trajectory, frame_size=100)
+        assert len(frames) == 2
+
+    def test_keep_partial(self, simple_trajectory):
+        frames = aggregate_frames(
+            stream(250), simple_trajectory, frame_size=100, drop_partial=False
+        )
+        assert len(frames) == 3
+        assert len(frames[-1]) == 50
+
+    def test_empty_stream(self, simple_trajectory):
+        assert aggregate_frames(EventArray.empty(), simple_trajectory) == []
+
+    def test_events_preserved_in_order(self, simple_trajectory):
+        ev = stream(200)
+        frames = aggregate_frames(ev, simple_trajectory, frame_size=100)
+        reassembled = np.concatenate([f.events.t for f in frames])
+        np.testing.assert_array_equal(reassembled, ev.t)
+
+    def test_iter_frames_matches_batch(self, simple_trajectory):
+        ev = stream(300)
+        batch = aggregate_frames(ev, simple_trajectory, frame_size=100)
+        streamed = list(iter_frames(ev, simple_trajectory, frame_size=100))
+        assert len(batch) == len(streamed)
+        for a, b in zip(batch, streamed):
+            assert a.timestamp == pytest.approx(b.timestamp)

@@ -1,0 +1,117 @@
+"""Unit tests for PE_Z0 (canonical projection processing element).
+
+The load-bearing property: the integer datapath must agree *exactly* with
+the quantized-float reference path in
+:class:`repro.core.backprojection.BackProjector`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backprojection import BackProjector
+from repro.core.dsi import depth_planes
+from repro.fixedpoint.quantize import EVENT_COORD_FORMAT, EVENTOR_SCHEMA, HOMOGRAPHY_FORMAT
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3, Quaternion
+from repro.hardware.pe_z0 import PEZ0
+
+
+@pytest.fixture
+def camera():
+    return PinholeCamera.davis240c()
+
+
+def quantized_identity_h():
+    return HOMOGRAPHY_FORMAT.to_raw(np.eye(3))
+
+
+class TestFunctional:
+    def test_identity_homography_passthrough(self):
+        pe = PEZ0()
+        xy = np.array([[10.0, 20.0], [100.5, 90.25]])
+        xy_raw = EVENT_COORD_FORMAT.to_raw(xy)
+        uv0_raw, valid = pe.process(quantized_identity_h(), xy_raw)
+        assert np.all(valid)
+        np.testing.assert_array_equal(uv0_raw, xy_raw)
+
+    def test_negative_denominator_flagged(self):
+        pe = PEZ0()
+        h = np.eye(3)
+        h[2, 2] = -1.0  # denominator negative for all events
+        uv0_raw, valid = pe.process(HOMOGRAPHY_FORMAT.to_raw(h),
+                                    EVENT_COORD_FORMAT.to_raw(np.array([[5.0, 5.0]])))
+        assert not valid[0]
+        np.testing.assert_array_equal(uv0_raw[0], [0, 0])
+
+    def test_saturating_coordinates_flagged(self):
+        pe = PEZ0()
+        h = np.eye(3)
+        h[0, 2] = 600.0  # pushes x beyond the uQ9.7 range
+        h = h / np.abs(h).max()
+        uv0_raw, valid = pe.process(
+            HOMOGRAPHY_FORMAT.to_raw(h),
+            EVENT_COORD_FORMAT.to_raw(np.array([[100.0, 50.0]])),
+        )
+        assert not valid[0]
+
+    def test_shape_validation(self):
+        pe = PEZ0()
+        with pytest.raises(ValueError):
+            pe.process(np.eye(4), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            pe.process(np.eye(3), np.zeros(4))
+
+    def test_stats_tracking(self):
+        pe = PEZ0()
+        pe.process(quantized_identity_h(), EVENT_COORD_FORMAT.to_raw(np.zeros((7, 2))))
+        assert pe.stats.events_in == 7
+        assert pe.stats.frames == 1
+
+
+class TestBitExactnessWithReference(object):
+    """PE_Z0 integer datapath == quantized double-precision reference."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_backprojector_canonical(self, camera, seed):
+        rng = np.random.default_rng(seed)
+        pose = SE3.from_quaternion_translation(
+            Quaternion.from_axis_angle(rng.standard_normal(3), rng.uniform(0, 0.1)),
+            rng.uniform(-0.1, 0.1, 3),
+        )
+        depths = depth_planes(0.8, 4.0, 8)
+        proj = BackProjector(camera, SE3.identity(), depths, schema=EVENTOR_SCHEMA)
+        params = proj.frame_parameters(pose)
+
+        xy = np.stack(
+            [rng.uniform(0, 239, 256), rng.uniform(0, 179, 256)], axis=1
+        )
+        ref_uv0, ref_valid = proj.canonical(params, xy)
+
+        pe = PEZ0()
+        h_raw = EVENTOR_SCHEMA.homography.to_raw(params.H_Z0)
+        xy_raw = EVENTOR_SCHEMA.event_coord.to_raw(
+            EVENTOR_SCHEMA.quantize_event_coords(xy)
+        )
+        hw_uv0_raw, hw_valid = pe.process(h_raw, xy_raw)
+
+        np.testing.assert_array_equal(hw_valid, ref_valid)
+        hw_uv0 = EVENTOR_SCHEMA.canonical_coord.from_raw(hw_uv0_raw)
+        np.testing.assert_array_equal(hw_uv0, ref_uv0)
+
+
+class TestTiming:
+    def test_ii1_pipeline(self):
+        pe = PEZ0(latency=47)
+        assert pe.cycles(1024) == 1071
+
+    def test_paper_runtime(self):
+        """1024-event frame at 130 MHz: 8.24 us (Table 3)."""
+        pe = PEZ0(latency=47)
+        assert pe.cycles(1024) / 130e6 * 1e6 == pytest.approx(8.24, abs=0.01)
+
+    def test_empty_frame(self):
+        assert PEZ0().cycles(0) == 0
+
+    def test_latency_validation(self):
+        with pytest.raises(ValueError):
+            PEZ0(latency=0)

@@ -1,0 +1,133 @@
+"""Unit tests for PE_Zi (proportional projection processing element)."""
+
+import numpy as np
+import pytest
+
+from repro.core.backprojection import BackProjector
+from repro.core.dsi import depth_planes
+from repro.core.voting import vote_nearest
+from repro.fixedpoint.quantize import (
+    CANONICAL_COORD_FORMAT,
+    EVENTOR_SCHEMA,
+    PHI_FORMAT,
+)
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3
+from repro.hardware.pe_zi import PEZi, split_planes
+
+W, H = 240, 180
+
+
+def identity_phi(n_planes):
+    """alpha=1, beta=gamma=0 on every plane."""
+    phi = np.zeros((n_planes, 3))
+    phi[:, 0] = 1.0
+    return PHI_FORMAT.to_raw(phi)
+
+
+class TestSplitPlanes:
+    def test_even_split(self):
+        parts = split_planes(128, 2)
+        assert len(parts) == 2
+        assert parts[0][0] == 0 and parts[0][-1] == 63
+        assert parts[1][0] == 64 and parts[1][-1] == 127
+
+    def test_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            split_planes(100, 3)
+
+    def test_union_covers_all(self):
+        parts = split_planes(64, 4)
+        np.testing.assert_array_equal(np.concatenate(parts), np.arange(64))
+
+
+class TestFunctional:
+    def test_identity_phi_votes_at_event(self):
+        pe = PEZi(np.arange(4), W, H)
+        uv0 = np.array([[100.0, 50.0]])
+        uv0_raw = CANONICAL_COORD_FORMAT.to_raw(uv0)
+        addrs = pe.process(identity_phi(4), uv0_raw, np.array([True]))
+        expected = (np.arange(4) * H + 50) * W + 100
+        np.testing.assert_array_equal(np.sort(addrs), np.sort(expected))
+
+    def test_invalid_events_suppressed(self):
+        pe = PEZi(np.arange(4), W, H)
+        uv0_raw = CANONICAL_COORD_FORMAT.to_raw(np.array([[10.0, 10.0]]))
+        addrs = pe.process(identity_phi(4), uv0_raw, np.array([False]))
+        assert addrs.size == 0
+        assert pe.stats.projection_misses == 4
+
+    def test_out_of_bounds_planes_dropped(self):
+        # alpha scales coordinates out of the sensor on plane 1.
+        phi = np.zeros((2, 3))
+        phi[0, 0] = 1.0
+        phi[1, 0] = 4.0  # 100 * 4 = 400 > width
+        pe = PEZi(np.arange(2), W, H)
+        uv0_raw = CANONICAL_COORD_FORMAT.to_raw(np.array([[100.0, 50.0]]))
+        addrs = pe.process(PHI_FORMAT.to_raw(phi), uv0_raw, np.array([True]))
+        assert addrs.size == 1
+        assert pe.stats.votes_generated == 1
+
+    def test_subset_pe_only_votes_its_planes(self):
+        pe_hi = PEZi(np.array([2, 3]), W, H)
+        uv0_raw = CANONICAL_COORD_FORMAT.to_raw(np.array([[10.0, 10.0]]))
+        addrs = pe_hi.process(identity_phi(4), uv0_raw, np.array([True]))
+        planes = addrs // (W * H)
+        assert set(planes.tolist()) == {2, 3}
+
+    def test_rounding_half_up(self):
+        # beta = 0.5 pixel: u = 10.5 must round to 11.
+        phi = np.zeros((1, 3))
+        phi[0, 0] = 1.0
+        phi[0, 1] = 0.5
+        pe = PEZi(np.arange(1), W, H)
+        uv0_raw = CANONICAL_COORD_FORMAT.to_raw(np.array([[10.0, 10.0]]))
+        addrs = pe.process(PHI_FORMAT.to_raw(phi), uv0_raw, np.array([True]))
+        assert addrs[0] % W == 11
+
+    def test_plane_indices_validation(self):
+        with pytest.raises(ValueError):
+            PEZi(np.array([]), W, H)
+
+
+class TestBitExactnessWithReference:
+    """PE_Zi address stream == reference proportional projection + voting."""
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_vote_multiset_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        camera = PinholeCamera.davis240c()
+        pose = SE3(translation=rng.uniform(-0.1, 0.1, 3))
+        depths = depth_planes(0.8, 4.0, 16)
+        proj = BackProjector(camera, SE3.identity(), depths, schema=EVENTOR_SCHEMA)
+        params = proj.frame_parameters(pose)
+        xy = np.stack([rng.uniform(0, 239, 128), rng.uniform(0, 179, 128)], axis=1)
+
+        # Reference: float-on-quantized-values path + nearest voting.
+        uv0, valid = proj.canonical(params, xy)
+        u, v = proj.proportional(params, uv0)
+        u[~valid] = np.nan
+        v[~valid] = np.nan
+        ref_volume = vote_nearest(u, v, (16, camera.height, camera.width))
+
+        # Hardware: integer datapath across two PEs.
+        phi_raw = EVENTOR_SCHEMA.phi.to_raw(params.phi)
+        uv0_raw = EVENTOR_SCHEMA.canonical_coord.to_raw(uv0)
+        hw_volume = np.zeros(16 * camera.height * camera.width, dtype=np.int64)
+        for planes in split_planes(16, 2):
+            pe = PEZi(planes, camera.width, camera.height)
+            addrs = pe.process(phi_raw, uv0_raw, valid)
+            np.add.at(hw_volume, addrs, 1)
+
+        np.testing.assert_array_equal(
+            hw_volume.reshape(ref_volume.shape), ref_volume
+        )
+
+
+class TestTiming:
+    def test_cycles_scale_with_planes(self):
+        pe = PEZi(np.arange(64), W, H, latency=12)
+        assert pe.cycles(1024) == 12 + 1024 * 64
+
+    def test_empty_frame(self):
+        assert PEZi(np.arange(4), W, H).cycles(0) == 0

@@ -1,0 +1,126 @@
+"""Unit tests for point clouds and map merging."""
+
+import numpy as np
+import pytest
+
+from repro.core.depthmap import SemiDenseDepthMap
+from repro.core.pointcloud import PointCloud
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3
+
+
+@pytest.fixture
+def camera():
+    return PinholeCamera.ideal(64, 48, fov_deg=60.0)
+
+
+def flat_depth_map(camera, depth=2.0):
+    """Depth map of a fronto-parallel wall over the central patch."""
+    d = np.full((camera.height, camera.width), np.nan)
+    mask = np.zeros_like(d, dtype=bool)
+    mask[10:40, 10:50] = True
+    d[mask] = depth
+    return SemiDenseDepthMap(depth=d, confidence=mask * 10.0, mask=mask)
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert len(PointCloud()) == 0
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((3, 2)))
+
+    def test_from_depth_map_geometry(self, camera):
+        dm = flat_depth_map(camera, depth=2.0)
+        cloud = PointCloud.from_depth_map(dm, camera, SE3.identity())
+        assert len(cloud) == dm.n_points
+        # All points exactly on the z=2 plane in the camera/world frame.
+        np.testing.assert_allclose(cloud.points[:, 2], 2.0, atol=1e-12)
+
+    def test_from_depth_map_applies_pose(self, camera):
+        dm = flat_depth_map(camera, depth=2.0)
+        pose = SE3(translation=[1.0, 0.0, 0.5])
+        cloud = PointCloud.from_depth_map(dm, camera, pose)
+        np.testing.assert_allclose(cloud.points[:, 2], 2.5, atol=1e-12)
+
+    def test_from_empty_depth_map(self, camera):
+        dm = SemiDenseDepthMap(
+            depth=np.full((48, 64), np.nan),
+            confidence=np.zeros((48, 64)),
+            mask=np.zeros((48, 64), dtype=bool),
+        )
+        assert len(PointCloud.from_depth_map(dm, camera, SE3.identity())) == 0
+
+
+class TestOperations:
+    def test_merge(self):
+        a = PointCloud(np.zeros((3, 3)))
+        b = PointCloud(np.ones((2, 3)))
+        merged = a.merge(b)
+        assert len(merged) == 5
+
+    def test_merge_with_empty(self):
+        a = PointCloud(np.zeros((3, 3)))
+        assert len(a.merge(PointCloud())) == 3
+        assert len(PointCloud().merge(a)) == 3
+
+    def test_radius_filter_removes_isolated(self, rng):
+        cluster = rng.normal(0, 0.01, (50, 3))
+        outlier = np.array([[10.0, 10.0, 10.0]])
+        cloud = PointCloud(np.vstack([cluster, outlier]))
+        kept = cloud.radius_filter(radius=0.1, min_neighbors=3)
+        assert len(kept) == 50
+
+    def test_radius_filter_empty(self):
+        assert len(PointCloud().radius_filter(0.1)) == 0
+
+    def test_voxel_downsample(self, rng):
+        points = rng.uniform(0, 1, (500, 3))
+        down = PointCloud(points).voxel_downsample(0.5)
+        assert len(down) <= 8
+        assert len(down) > 0
+
+    def test_voxel_downsample_validation(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((2, 3))).voxel_downsample(0.0)
+
+
+class TestAnalysis:
+    def test_bounding_box_and_centroid(self):
+        cloud = PointCloud(np.array([[0, 0, 0], [2, 4, 6]], dtype=float))
+        lo, hi = cloud.bounding_box()
+        np.testing.assert_array_equal(lo, [0, 0, 0])
+        np.testing.assert_array_equal(hi, [2, 4, 6])
+        np.testing.assert_array_equal(cloud.centroid(), [1, 2, 3])
+
+    def test_empty_analysis_raises(self):
+        with pytest.raises(ValueError):
+            PointCloud().bounding_box()
+        with pytest.raises(ValueError):
+            PointCloud().centroid()
+
+    def test_plane_fit_residual_planar_points(self, rng):
+        # Points exactly on a tilted plane: residual ~ 0.
+        xy = rng.uniform(-1, 1, (100, 2))
+        z = 0.3 * xy[:, 0] - 0.2 * xy[:, 1] + 1.0
+        cloud = PointCloud(np.column_stack([xy, z]))
+        assert cloud.plane_fit_residual() < 1e-10
+
+    def test_plane_fit_residual_noisy(self, rng):
+        xy = rng.uniform(-1, 1, (500, 2))
+        z = 1.0 + rng.normal(0, 0.05, 500)
+        cloud = PointCloud(np.column_stack([xy, z]))
+        assert cloud.plane_fit_residual() == pytest.approx(0.05, rel=0.2)
+
+    def test_plane_fit_needs_three_points(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((2, 3))).plane_fit_residual()
+
+    def test_cluster_by_depth(self):
+        cloud = PointCloud(
+            np.array([[0, 0, 1.0], [0, 0, 1.1], [0, 0, 2.5]], dtype=float)
+        )
+        masks = cloud.cluster_by_depth(np.array([0.5, 1.5, 3.0]))
+        assert masks[0].sum() == 2
+        assert masks[1].sum() == 1

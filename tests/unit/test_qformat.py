@@ -1,0 +1,101 @@
+"""Unit tests for Q-format fixed-point descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.qformat import Overflow, QFormat, Rounding
+
+
+class TestFormatArithmetic:
+    def test_table1_event_coord_format(self):
+        fmt = QFormat(16, 7, signed=False)
+        assert fmt.int_bits == 9
+        assert fmt.resolution == pytest.approx(1.0 / 128.0)
+        assert fmt.max_value == pytest.approx(511.9921875)
+        assert fmt.min_value == 0.0
+
+    def test_table1_homography_format(self):
+        fmt = QFormat(32, 21, signed=True)
+        # 11 "integer bits" in the paper's counting = sign + 10 magnitude.
+        assert fmt.int_bits == 10
+        assert fmt.max_value == pytest.approx(1024.0, rel=1e-6)
+        assert fmt.min_value == pytest.approx(-1024.0)
+
+    def test_rejects_bad_bit_counts(self):
+        with pytest.raises(ValueError):
+            QFormat(0, 0)
+        with pytest.raises(ValueError):
+            QFormat(64, 0)
+        with pytest.raises(ValueError):
+            QFormat(8, 9)
+
+    def test_str_representation(self):
+        assert "16b" in str(QFormat(16, 7, signed=False))
+
+
+class TestQuantization:
+    def test_round_trip_of_representable_values(self):
+        fmt = QFormat(16, 7, signed=False)
+        values = np.array([0.0, 1.0, 127.5, 240.0078125])
+        np.testing.assert_array_equal(fmt.quantize(values), values)
+
+    def test_nearest_rounding(self):
+        fmt = QFormat(8, 0, signed=False)
+        np.testing.assert_array_equal(
+            fmt.quantize(np.array([1.4, 1.5, 2.6])), [1.0, 2.0, 3.0]
+        )
+
+    def test_floor_rounding(self):
+        fmt = QFormat(8, 0, signed=False)
+        np.testing.assert_array_equal(
+            fmt.quantize(np.array([1.9, 2.0]), rounding=Rounding.FLOOR), [1.0, 2.0]
+        )
+
+    def test_nearest_half_away_for_negatives(self):
+        fmt = QFormat(8, 0, signed=True)
+        np.testing.assert_array_equal(
+            fmt.quantize(np.array([-1.5, -2.5])), [-2.0, -3.0]
+        )
+
+    def test_saturation(self):
+        fmt = QFormat(8, 0, signed=False)
+        np.testing.assert_array_equal(
+            fmt.quantize(np.array([-5.0, 300.0])), [0.0, 255.0]
+        )
+
+    def test_wrap_overflow(self):
+        fmt = QFormat(8, 0, signed=False)
+        np.testing.assert_array_equal(
+            fmt.quantize(np.array([256.0, 257.0]), overflow=Overflow.WRAP),
+            [0.0, 1.0],
+        )
+
+    def test_signed_saturation(self):
+        fmt = QFormat(8, 0, signed=True)
+        np.testing.assert_array_equal(
+            fmt.quantize(np.array([-200.0, 200.0])), [-128.0, 127.0]
+        )
+
+    def test_nonfinite_inputs_clamped(self):
+        fmt = QFormat(16, 7, signed=False)
+        q = fmt.quantize(np.array([np.nan, np.inf, -np.inf]))
+        assert np.all(np.isfinite(q))
+
+    def test_error_bound_holds(self, rng):
+        fmt = QFormat(16, 7, signed=False)
+        values = rng.uniform(0, 500, 1000)
+        err = np.abs(fmt.quantize(values) - values)
+        assert np.max(err) <= fmt.quantization_error_bound() + 1e-12
+
+
+class TestOverflowDetection:
+    def test_overflows_mask(self):
+        fmt = QFormat(8, 0, signed=False)
+        mask = fmt.overflows(np.array([-1.0, 0.0, 255.0, 256.0, np.nan]))
+        np.testing.assert_array_equal(mask, [True, False, False, True, True])
+
+    def test_half_lsb_tolerance(self):
+        fmt = QFormat(8, 0, signed=False)
+        # 255.4 rounds to 255: representable, not an overflow.
+        assert not fmt.overflows(np.array([255.4]))[0]
+        assert fmt.overflows(np.array([255.6]))[0]

@@ -1,0 +1,91 @@
+"""Unit tests for event visualization utilities."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.events.containers import EventArray
+from repro.events.rendering import (
+    accumulate_polarity,
+    event_count_map,
+    polarity_to_rgb,
+    save_ppm,
+    timestamp_surface,
+)
+
+W, H = 8, 6
+
+
+@pytest.fixture
+def events():
+    return EventArray.from_arrays(
+        t=[0.1, 0.2, 0.3, 0.4, 0.5],
+        x=[1.0, 1.0, 2.4, 7.0, -3.0],  # last one is off-sensor
+        y=[1.0, 1.0, 2.6, 5.0, 2.0],
+        p=[1, 1, -1, 1, 1],
+    )
+
+
+class TestAccumulation:
+    def test_polarity_sums(self, events):
+        img = accumulate_polarity(events, W, H)
+        assert img[1, 1] == 2.0          # two positive events
+        assert img[3, 2] == -1.0         # 2.4 -> 2, 2.6 -> 3 (half-up)
+        assert img[5, 7] == 1.0
+        assert img.sum() == 2.0          # off-sensor event dropped
+
+    def test_count_map(self, events):
+        counts = event_count_map(events, W, H)
+        assert counts[1, 1] == 2
+        assert counts.sum() == 4
+
+    def test_timestamp_surface_keeps_latest(self, events):
+        surface = timestamp_surface(events, W, H)
+        assert surface[1, 1] == pytest.approx(0.2)  # latest of the two
+        assert np.isnan(surface[0, 0])
+
+    def test_empty_stream(self):
+        img = accumulate_polarity(EventArray.empty(), W, H)
+        assert img.shape == (H, W)
+        assert img.sum() == 0
+
+
+class TestVisualization:
+    def test_rgb_polarity_colors(self, events):
+        rgb = polarity_to_rgb(accumulate_polarity(events, W, H))
+        assert rgb.shape == (H, W, 3)
+        # Positive pixel: red dominates; negative: blue dominates.
+        assert rgb[1, 1, 0] > rgb[1, 1, 2]
+        assert rgb[3, 2, 2] > rgb[3, 2, 0]
+        # Untouched pixels stay white.
+        assert tuple(rgb[0, 0]) == (255, 255, 255)
+
+    def test_rgb_of_zero_image(self):
+        rgb = polarity_to_rgb(np.zeros((4, 4)))
+        assert np.all(rgb == 255)
+
+    def test_save_ppm(self, tmp_path, events):
+        rgb = polarity_to_rgb(accumulate_polarity(events, W, H))
+        path = os.path.join(tmp_path, "frame.ppm")
+        save_ppm(path, rgb)
+        with open(path, "rb") as f:
+            assert f.readline().strip() == b"P6"
+            assert f.readline().split() == [str(W).encode(), str(H).encode()]
+            f.readline()
+            assert len(f.read()) == W * H * 3
+
+    def test_save_ppm_validates_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_ppm(os.path.join(tmp_path, "x.ppm"), np.zeros((4, 4)))
+
+
+class TestOnRealStream:
+    def test_simulated_stream_renders(self, seq_3planes_fast):
+        seq = seq_3planes_fast
+        window = seq.events.time_slice(1.0, 1.02)
+        img = accumulate_polarity(window, seq.camera.width, seq.camera.height)
+        counts = event_count_map(window, seq.camera.width, seq.camera.height)
+        assert counts.sum() == len(window)
+        # Both polarities appear in a textured sweep.
+        assert img.max() > 0 and img.min() < 0

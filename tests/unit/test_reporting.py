@@ -1,0 +1,50 @@
+"""Unit tests for table/figure text rendering."""
+
+import pytest
+
+from repro.eval.reporting import Table, bar_chart, format_percent, format_ratio
+
+
+class TestFormatting:
+    def test_percent(self):
+        assert format_percent(0.1234) == "12.34%"
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_ratio(self):
+        assert format_ratio(24.19) == "24.2x"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("Demo", ["name", "value"])
+        t.add_row("alpha", 1)
+        t.add_row("beta-long", 22)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "== Demo =="
+        assert "alpha" in text and "beta-long" in text
+
+    def test_row_width_validated(self):
+        t = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")
+
+    def test_notes_rendered(self):
+        t = Table("Demo", ["a"])
+        t.add_row("x")
+        t.add_note("calibrated")
+        assert "note: calibrated" in t.render()
+
+
+class TestBarChart:
+    def test_renders_all_series(self):
+        text = bar_chart(
+            "Fig", ["3planes", "3walls"], {"orig": [1.0, 2.0], "ours": [1.5, 2.5]}
+        )
+        assert "3planes" in text
+        assert "orig" in text and "ours" in text
+        assert "#" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("Fig", [], {})

@@ -1,0 +1,163 @@
+"""Unit tests for the ray-cast planar scenes."""
+
+import numpy as np
+import pytest
+
+from repro.events import texture as tex
+from repro.events.scenes import (
+    PlanarScene,
+    TexturedPlane,
+    slider_scene,
+    three_planes_scene,
+    three_walls_scene,
+)
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3
+
+
+@pytest.fixture
+def camera():
+    return PinholeCamera.ideal(64, 48, fov_deg=60.0)
+
+
+@pytest.fixture
+def wall_scene():
+    plane = TexturedPlane(
+        origin=[0.0, 0.0, 2.0],
+        u_axis=[1, 0, 0],
+        v_axis=[0, 1, 0],
+        texture=tex.constant(0.8),
+        name="wall",
+    )
+    return PlanarScene(planes=[plane], background=0.2)
+
+
+class TestTexturedPlane:
+    def test_normal_is_cross_product(self):
+        plane = TexturedPlane([0, 0, 1], [1, 0, 0], [0, 1, 0])
+        np.testing.assert_allclose(plane.normal, [0, 0, 1])
+
+    def test_axes_orthonormalized(self):
+        plane = TexturedPlane([0, 0, 1], [2, 0, 0], [1, 1, 0])
+        assert np.linalg.norm(plane.u_axis) == pytest.approx(1.0)
+        assert np.dot(plane.u_axis, plane.v_axis) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_parallel_axes(self):
+        with pytest.raises(ValueError):
+            TexturedPlane([0, 0, 1], [1, 0, 0], [2, 0, 0])
+
+    def test_intersect_head_on(self):
+        plane = TexturedPlane([0, 0, 2], [1, 0, 0], [0, 1, 0])
+        t, u, v = plane.intersect(np.zeros((1, 3)), np.array([[0.0, 0.0, 1.0]]))
+        assert t[0] == pytest.approx(2.0)
+        assert u[0] == pytest.approx(0.0)
+
+    def test_intersect_miss_behind(self):
+        plane = TexturedPlane([0, 0, 2], [1, 0, 0], [0, 1, 0])
+        t, _, _ = plane.intersect(np.zeros((1, 3)), np.array([[0.0, 0.0, -1.0]]))
+        assert np.isinf(t[0])
+
+    def test_intersect_outside_extent(self):
+        plane = TexturedPlane([0, 0, 2], [1, 0, 0], [0, 1, 0], half_u=0.1, half_v=0.1)
+        t, _, _ = plane.intersect(
+            np.zeros((1, 3)), np.array([[0.5, 0.0, 1.0]])
+        )  # hits plane at u = 1.0 > half_u
+        assert np.isinf(t[0])
+
+    def test_parallel_ray_misses(self):
+        plane = TexturedPlane([0, 0, 2], [1, 0, 0], [0, 1, 0])
+        t, _, _ = plane.intersect(np.zeros((1, 3)), np.array([[1.0, 0.0, 0.0]]))
+        assert np.isinf(t[0])
+
+
+class TestPlanarScene:
+    def test_render_shape_and_values(self, camera, wall_scene):
+        img = wall_scene.render(camera, SE3.identity())
+        assert img.shape == (48, 64)
+        # Centre pixel sees the wall, which is constant 0.8.
+        assert img[24, 32] == pytest.approx(0.8)
+
+    def test_depth_map_fronto_parallel(self, camera, wall_scene):
+        depth = wall_scene.depth_map(camera, SE3.identity())
+        # A fronto-parallel plane at z=2: every hit pixel has depth exactly 2.
+        finite = depth[np.isfinite(depth)]
+        np.testing.assert_allclose(finite, 2.0, atol=1e-9)
+
+    def test_background_where_no_geometry(self, camera):
+        empty = PlanarScene(planes=[], background=0.3)
+        img = empty.render(camera, SE3.identity())
+        np.testing.assert_allclose(img, 0.3)
+        depth = empty.depth_map(camera, SE3.identity())
+        assert np.all(np.isinf(depth))
+
+    def test_nearest_plane_wins(self, camera):
+        near = TexturedPlane([0, 0, 1], [1, 0, 0], [0, 1, 0],
+                             texture=tex.constant(0.9))
+        far = TexturedPlane([0, 0, 3], [1, 0, 0], [0, 1, 0],
+                            texture=tex.constant(0.1))
+        scene = PlanarScene(planes=[far, near])
+        img = scene.render(camera, SE3.identity())
+        assert img[24, 32] == pytest.approx(0.9)
+        depth = scene.depth_map(camera, SE3.identity())
+        assert depth[24, 32] == pytest.approx(1.0)
+
+    def test_depth_at_pixels_matches_map(self, camera, wall_scene):
+        depth_map = wall_scene.depth_map(camera, SE3.identity())
+        pixels = np.array([[32.0, 24.0], [10.0, 40.0]])
+        d = wall_scene.depth_at_pixels(camera, SE3.identity(), pixels)
+        assert d[0] == pytest.approx(depth_map[24, 32])
+        assert d[1] == pytest.approx(depth_map[40, 10])
+
+    def test_depth_extent(self, camera):
+        scene = PlanarScene(
+            planes=[
+                TexturedPlane([0, 0, 1.0], [1, 0, 0], [0, 1, 0], half_u=0.2, half_v=0.2),
+                TexturedPlane([0, 0, 2.5], [1, 0, 0], [0, 1, 0]),
+            ]
+        )
+        lo, hi = scene.depth_extent(camera, SE3.identity())
+        assert lo == pytest.approx(1.0, abs=1e-6)
+        assert hi >= 2.5
+
+    def test_depth_extent_raises_on_empty_view(self, camera):
+        empty = PlanarScene(planes=[])
+        with pytest.raises(ValueError):
+            empty.depth_extent(camera, SE3.identity())
+
+    def test_translated_camera_sees_shifted_depth(self, camera, wall_scene):
+        # Moving toward the wall reduces depth by the same amount.
+        pose = SE3(translation=[0.0, 0.0, 0.5])
+        depth = wall_scene.depth_map(camera, pose)
+        assert depth[24, 32] == pytest.approx(1.5)
+
+
+class TestSceneBuilders:
+    def test_three_planes_has_three_depths(self, camera):
+        scene = three_planes_scene()
+        assert len(scene.planes) == 3
+        depths = sorted(p.origin[2] for p in scene.planes)
+        assert depths[0] < depths[1] < depths[2]
+
+    def test_three_walls_geometry(self):
+        scene = three_walls_scene()
+        assert len(scene.planes) == 3
+        # Walls should have distinct normals (a corner, not a stack).
+        normals = [p.normal for p in scene.planes]
+        assert abs(np.dot(normals[0], normals[1])) < 0.99
+
+    def test_slider_scene_mean_depth_scales(self):
+        close = slider_scene(0.4)
+        far = slider_scene(1.5)
+        assert close.planes[0].origin[2] == pytest.approx(0.4)
+        assert far.planes[0].origin[2] == pytest.approx(1.5)
+
+    def test_slider_scene_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            slider_scene(-1.0)
+
+    def test_paper_scenes_render_with_davis(self):
+        cam = PinholeCamera.davis240c()
+        for scene in (three_planes_scene(), three_walls_scene(), slider_scene(0.5)):
+            img = scene.render(cam, SE3.identity())
+            assert img.shape == (180, 240)
+            assert img.std() > 0.05  # textured, not flat

@@ -1,0 +1,164 @@
+"""Unit tests for rotations and rigid transforms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.se3 import SE3, SO3, Quaternion
+
+
+class TestQuaternion:
+    def test_identity_rotates_nothing(self):
+        q = Quaternion.identity()
+        p = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(q.rotate(p), p)
+
+    def test_normalizes_on_construction(self):
+        q = Quaternion(2.0, 0.0, 0.0, 0.0)
+        assert q.w == pytest.approx(1.0)
+
+    def test_zero_quaternion_rejected(self):
+        with pytest.raises(ValueError):
+            Quaternion(0.0, 0.0, 0.0, 0.0)
+
+    def test_axis_angle_90deg_about_z(self):
+        q = Quaternion.from_axis_angle([0, 0, 1], math.pi / 2)
+        rotated = q.rotate(np.array([1.0, 0.0, 0.0]))
+        np.testing.assert_allclose(rotated, [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_matrix_round_trip(self):
+        q = Quaternion.from_axis_angle([1, 2, 3], 0.7)
+        q2 = Quaternion.from_matrix(q.to_matrix())
+        # q and -q are the same rotation; compare via the dot product.
+        assert abs(np.dot(q.as_array(), q2.as_array())) == pytest.approx(1.0)
+
+    def test_from_matrix_near_pi_rotation(self):
+        q = Quaternion.from_axis_angle([0, 1, 0], math.pi - 1e-9)
+        m = q.to_matrix()
+        q2 = Quaternion.from_matrix(m)
+        np.testing.assert_allclose(q2.to_matrix(), m, atol=1e-6)
+
+    def test_multiplication_composes_rotations(self):
+        qa = Quaternion.from_axis_angle([0, 0, 1], 0.3)
+        qb = Quaternion.from_axis_angle([0, 1, 0], 0.4)
+        p = np.array([0.5, -0.2, 0.9])
+        np.testing.assert_allclose(
+            (qa * qb).rotate(p), qa.rotate(qb.rotate(p)), atol=1e-12
+        )
+
+    def test_conjugate_inverts(self):
+        q = Quaternion.from_axis_angle([1, 1, 0], 0.9)
+        p = np.array([0.1, 0.2, 0.3])
+        np.testing.assert_allclose(q.conjugate().rotate(q.rotate(p)), p, atol=1e-12)
+
+    def test_slerp_endpoints(self):
+        qa = Quaternion.from_axis_angle([0, 0, 1], 0.2)
+        qb = Quaternion.from_axis_angle([0, 0, 1], 1.2)
+        assert qa.slerp(qb, 0.0).angle_to(qa) == pytest.approx(0.0, abs=1e-9)
+        assert qa.slerp(qb, 1.0).angle_to(qb) == pytest.approx(0.0, abs=1e-9)
+
+    def test_slerp_halfway_angle(self):
+        qa = Quaternion.identity()
+        qb = Quaternion.from_axis_angle([0, 0, 1], 1.0)
+        mid = qa.slerp(qb, 0.5)
+        assert mid.angle_to(qa) == pytest.approx(0.5, abs=1e-9)
+
+    def test_slerp_takes_short_arc(self):
+        qa = Quaternion.from_axis_angle([0, 0, 1], 0.1)
+        qb_long = Quaternion(*(-qb_arr for qb_arr in
+                               Quaternion.from_axis_angle([0, 0, 1], 0.3).as_array()))
+        mid = qa.slerp(qb_long, 0.5)
+        assert mid.angle_to(qa) < 0.2
+
+    def test_angle_to_self_is_zero(self):
+        q = Quaternion.from_axis_angle([1, 0, 0], 0.4)
+        assert q.angle_to(q) == pytest.approx(0.0, abs=1e-7)
+
+
+class TestSO3:
+    def test_exp_log_round_trip(self):
+        omega = np.array([0.1, -0.4, 0.25])
+        np.testing.assert_allclose(SO3.exp(omega).log(), omega, atol=1e-10)
+
+    def test_exp_zero_is_identity(self):
+        np.testing.assert_allclose(SO3.exp(np.zeros(3)).matrix, np.eye(3))
+
+    def test_log_near_pi(self):
+        omega = np.array([0.0, math.pi - 1e-8, 0.0])
+        r = SO3.exp(omega)
+        recovered = r.log()
+        np.testing.assert_allclose(np.abs(recovered), np.abs(omega), atol=1e-5)
+
+    def test_hat_antisymmetry(self):
+        v = np.array([1.0, 2.0, 3.0])
+        h = SO3.hat(v)
+        np.testing.assert_allclose(h.T, -h)
+
+    def test_hat_cross_product(self):
+        v = np.array([1.0, 2.0, 3.0])
+        w = np.array([-0.5, 0.1, 0.7])
+        np.testing.assert_allclose(SO3.hat(v) @ w, np.cross(v, w))
+
+    def test_inverse_is_transpose(self):
+        r = SO3.exp([0.3, 0.1, -0.2])
+        np.testing.assert_allclose((r @ r.inverse()).matrix, np.eye(3), atol=1e-12)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            SO3(np.eye(4))
+
+
+class TestSE3:
+    def test_identity_transform(self):
+        p = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(SE3.identity().transform(p), p)
+
+    def test_compose_and_inverse(self, random_pose):
+        t = random_pose @ random_pose.inverse()
+        np.testing.assert_allclose(t.rotation, np.eye(3), atol=1e-12)
+        np.testing.assert_allclose(t.translation, np.zeros(3), atol=1e-12)
+
+    def test_transform_matches_matrix(self, random_pose):
+        p = np.array([0.3, -0.7, 1.1])
+        hom = random_pose.matrix() @ np.append(p, 1.0)
+        np.testing.assert_allclose(random_pose.transform(p), hom[:3], atol=1e-12)
+
+    def test_exp_log_round_trip(self):
+        xi = np.array([0.1, 0.2, -0.3, 0.05, -0.1, 0.2])
+        np.testing.assert_allclose(SE3.exp(xi).log(), xi, atol=1e-9)
+
+    def test_exp_pure_translation(self):
+        xi = np.array([1.0, 2.0, 3.0, 0.0, 0.0, 0.0])
+        t = SE3.exp(xi)
+        np.testing.assert_allclose(t.rotation, np.eye(3))
+        np.testing.assert_allclose(t.translation, [1.0, 2.0, 3.0])
+
+    def test_from_matrix_round_trip(self, random_pose):
+        t = SE3.from_matrix(random_pose.matrix())
+        np.testing.assert_allclose(t.matrix(), random_pose.matrix())
+
+    def test_distance_to(self):
+        a = SE3(translation=[0.0, 0.0, 0.0])
+        b = SE3(translation=[3.0, 4.0, 0.0])
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_interpolate_endpoints_and_midpoint(self):
+        a = SE3(translation=[0.0, 0.0, 0.0])
+        b = SE3(
+            Quaternion.from_axis_angle([0, 0, 1], 1.0).to_matrix(),
+            [2.0, 0.0, 0.0],
+        )
+        np.testing.assert_allclose(a.interpolate(b, 0.0).translation, a.translation)
+        np.testing.assert_allclose(a.interpolate(b, 1.0).translation, b.translation)
+        mid = a.interpolate(b, 0.5)
+        np.testing.assert_allclose(mid.translation, [1.0, 0.0, 0.0])
+        assert mid.quaternion().angle_to(a.quaternion()) == pytest.approx(0.5, abs=1e-9)
+
+    def test_compose_rejects_points(self):
+        with pytest.raises(TypeError):
+            SE3.identity() @ np.zeros(3)
+
+    def test_rotation_shape_validated(self):
+        with pytest.raises(ValueError):
+            SE3(rotation=np.eye(2))

@@ -1,0 +1,136 @@
+"""Unit tests for the event-camera simulator."""
+
+import numpy as np
+import pytest
+
+from repro.events import texture as tex
+from repro.events.scenes import PlanarScene, TexturedPlane
+from repro.events.simulator import EventCameraSimulator, SimulatorConfig
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.trajectory import linear_trajectory
+
+
+@pytest.fixture
+def camera():
+    return PinholeCamera.ideal(48, 36, fov_deg=60.0)
+
+
+@pytest.fixture
+def moving_edge_scene():
+    """A single vertical brightness edge that sweeps the view on motion."""
+    plane = TexturedPlane(
+        origin=[0.0, 0.0, 1.0],
+        u_axis=[1, 0, 0],
+        v_axis=[0, 1, 0],
+        texture=tex.stripes(period=0.4, axis=0, low=0.1, high=0.9),
+    )
+    return PlanarScene(planes=[plane], background=0.5)
+
+
+@pytest.fixture
+def trajectory():
+    return linear_trajectory([-0.1, 0, 0], [0.1, 0, 0], duration=1.0, n_poses=21)
+
+
+def simulate(scene, camera, trajectory, **kwargs):
+    cfg = SimulatorConfig(n_render_steps=kwargs.pop("n_render_steps", 60), **kwargs)
+    return EventCameraSimulator(scene, camera, trajectory, cfg).run()
+
+
+class TestEventGeneration:
+    def test_moving_camera_produces_events(self, moving_edge_scene, camera, trajectory):
+        events = simulate(moving_edge_scene, camera, trajectory)
+        assert len(events) > 100
+
+    def test_static_camera_produces_no_events(self, moving_edge_scene, camera):
+        still = linear_trajectory([0, 0, 0], [1e-9, 0, 0], duration=1.0, n_poses=5)
+        events = simulate(moving_edge_scene, camera, still)
+        assert len(events) == 0
+
+    def test_uniform_scene_produces_no_events(self, camera, trajectory):
+        flat = PlanarScene(
+            planes=[
+                TexturedPlane([0, 0, 1], [1, 0, 0], [0, 1, 0],
+                              texture=tex.constant(0.5))
+            ],
+            background=0.5,
+        )
+        assert len(simulate(flat, camera, trajectory)) == 0
+
+    def test_timestamps_sorted_and_in_range(self, moving_edge_scene, camera, trajectory):
+        events = simulate(moving_edge_scene, camera, trajectory)
+        assert np.all(np.diff(events.t) >= 0)
+        assert events.t_start >= 0.0
+        assert events.t_end <= 1.0
+
+    def test_coordinates_on_sensor(self, moving_edge_scene, camera, trajectory):
+        events = simulate(moving_edge_scene, camera, trajectory)
+        assert np.all(events.x >= 0) and np.all(events.x < camera.width)
+        assert np.all(events.y >= 0) and np.all(events.y < camera.height)
+
+    def test_polarities_balanced_for_periodic_texture(
+        self, moving_edge_scene, camera, trajectory
+    ):
+        events = simulate(moving_edge_scene, camera, trajectory)
+        pos, neg = events.polarity_split()
+        # Stripes sweeping by produce alternating edges: both polarities occur.
+        assert len(pos) > 0 and len(neg) > 0
+
+    def test_deterministic_without_noise(self, moving_edge_scene, camera, trajectory):
+        a = simulate(moving_edge_scene, camera, trajectory)
+        b = simulate(moving_edge_scene, camera, trajectory)
+        assert a == b
+
+    def test_lower_threshold_more_events(self, moving_edge_scene, camera, trajectory):
+        few = simulate(moving_edge_scene, camera, trajectory, contrast_threshold=0.4)
+        many = simulate(moving_edge_scene, camera, trajectory, contrast_threshold=0.1)
+        assert len(many) > len(few)
+
+    def test_more_steps_refine_timestamps_not_counts(
+        self, moving_edge_scene, camera, trajectory
+    ):
+        coarse = simulate(moving_edge_scene, camera, trajectory, n_render_steps=30)
+        fine = simulate(moving_edge_scene, camera, trajectory, n_render_steps=120)
+        # The total log-intensity excursion is fixed by the motion, so the
+        # event count should be roughly independent of step count.
+        assert len(fine) == pytest.approx(len(coarse), rel=0.2)
+
+
+class TestNoiseModels:
+    def test_noise_rate_adds_events(self, camera, trajectory):
+        flat = PlanarScene(
+            planes=[
+                TexturedPlane([0, 0, 1], [1, 0, 0], [0, 1, 0],
+                              texture=tex.constant(0.5))
+            ],
+            background=0.5,
+        )
+        noisy = simulate(flat, camera, trajectory, noise_rate=1.0, seed=5)
+        expected = 1.0 * camera.width * camera.height  # rate * pixels * 1 s
+        assert len(noisy) == pytest.approx(expected, rel=0.3)
+
+    def test_threshold_mismatch_changes_stream(
+        self, moving_edge_scene, camera, trajectory
+    ):
+        clean = simulate(moving_edge_scene, camera, trajectory)
+        mismatched = simulate(
+            moving_edge_scene, camera, trajectory, threshold_mismatch=0.1, seed=2
+        )
+        assert not (clean == mismatched)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(contrast_threshold=0.0)
+
+    def test_rejects_single_step(self):
+        with pytest.raises(ValueError):
+            SimulatorConfig(n_render_steps=1)
+
+    def test_run_rejects_bad_window(self, moving_edge_scene, camera, trajectory):
+        sim = EventCameraSimulator(
+            moving_edge_scene, camera, trajectory, SimulatorConfig(n_render_steps=10)
+        )
+        with pytest.raises(ValueError):
+            sim.run(t0=0.5, t1=0.5)

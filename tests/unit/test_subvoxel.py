@@ -1,0 +1,82 @@
+"""Unit tests for sub-voxel depth refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectionConfig
+from repro.core.detection import detect_structure, refine_subvoxel
+from repro.core.dsi import DSI, depth_planes
+from repro.geometry.se3 import SE3
+
+
+@pytest.fixture
+def dsi(small_camera):
+    return DSI(small_camera, SE3.identity(), depth_planes(1.0, 4.0, 16))
+
+
+class TestRefineSubvoxel:
+    def test_symmetric_peak_unchanged(self, dsi):
+        """A symmetric score triplet keeps the plane-centre depth."""
+        dsi.scores[7, 5, 5] = 20
+        dsi.scores[6, 5, 5] = 10
+        dsi.scores[8, 5, 5] = 10
+        _, idx = dsi.argmax_projection()
+        refined = refine_subvoxel(dsi, idx)
+        assert refined[5, 5] == pytest.approx(dsi.depths[7])
+
+    def test_skewed_peak_shifts_toward_heavier_side(self, dsi):
+        dsi.scores[7, 5, 5] = 20
+        dsi.scores[6, 5, 5] = 5
+        dsi.scores[8, 5, 5] = 15  # heavier on the far side
+        _, idx = dsi.argmax_projection()
+        refined = refine_subvoxel(dsi, idx)
+        assert dsi.depths[7] < refined[5, 5] < dsi.depths[8]
+
+    def test_offset_clamped_to_half_plane(self, dsi):
+        dsi.scores[7, 5, 5] = 20
+        dsi.scores[8, 5, 5] = 20  # plateau: vertex would be at the midpoint
+        _, idx = dsi.argmax_projection()
+        refined = refine_subvoxel(dsi, idx)
+        assert dsi.depths[6] < refined[5, 5] < dsi.depths[9]
+
+    def test_boundary_planes_fall_back(self, dsi):
+        dsi.scores[0, 2, 2] = 10
+        dsi.scores[15, 3, 3] = 10
+        _, idx = dsi.argmax_projection()
+        refined = refine_subvoxel(dsi, idx)
+        assert refined[2, 2] == pytest.approx(dsi.depths[0])
+        assert refined[3, 3] == pytest.approx(dsi.depths[15])
+
+    def test_recovers_true_depth_between_planes(self, small_camera):
+        """Votes spread between two planes by a true depth mid-way:
+        refinement recovers the intermediate value."""
+        depths = depth_planes(1.0, 4.0, 16)
+        dsi = DSI(small_camera, SE3.identity(), depths)
+        true_inv = 0.5 * (1 / depths[7] + 1 / depths[8])  # halfway in 1/z
+        # Weight planes by proximity in inverse depth.
+        dsi.scores[7, 5, 5] = 100
+        dsi.scores[8, 5, 5] = 100
+        dsi.scores[6, 5, 5] = 20
+        dsi.scores[9, 5, 5] = 20
+        _, idx = dsi.argmax_projection()
+        refined = refine_subvoxel(dsi, idx)
+        assert refined[5, 5] == pytest.approx(1.0 / true_inv, rel=0.03)
+
+
+class TestDetectionIntegration:
+    def test_subvoxel_config_changes_depths(self, dsi):
+        dsi.scores[7, 10:15, 10:15] = 30
+        dsi.scores[8, 10:15, 10:15] = 25  # asymmetric neighbourhood
+        plain = detect_structure(dsi, DetectionConfig(subvoxel=False, offset=3))
+        refined = detect_structure(dsi, DetectionConfig(subvoxel=True, offset=3))
+        assert plain.n_points == refined.n_points
+        d_plain = plain.depth[12, 12]
+        d_ref = refined.depth[12, 12]
+        assert d_ref != pytest.approx(d_plain)
+        assert d_ref > d_plain  # shifted toward the heavier far neighbour
+
+    def test_subvoxel_depths_stay_in_dsi_range(self, dsi, rng):
+        idx = rng.integers(0, 16, size=(48, 64))
+        refined = refine_subvoxel(dsi, idx)
+        assert np.all(refined >= dsi.depths[0] * 0.95)
+        assert np.all(refined <= dsi.depths[-1] * 1.05)

@@ -1,0 +1,70 @@
+"""Unit tests for procedural textures."""
+
+import numpy as np
+import pytest
+
+from repro.events import texture as tex
+
+
+GRID = np.meshgrid(np.linspace(-1, 1, 64), np.linspace(-1, 1, 64))
+
+
+class TestRangesAndDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: tex.constant(0.5),
+            lambda: tex.checkerboard(0.1),
+            lambda: tex.stripes(0.08),
+            lambda: tex.line_grid(0.12),
+            lambda: tex.smooth_noise(seed=1),
+            lambda: tex.quantized_noise(seed=1),
+        ],
+    )
+    def test_output_in_unit_range(self, factory):
+        u, v = GRID
+        values = factory()(u, v)
+        assert values.shape == u.shape
+        assert np.all(values >= 0.0) and np.all(values <= 1.0)
+
+    def test_noise_deterministic_per_seed(self):
+        u, v = GRID
+        a = tex.smooth_noise(seed=7)(u, v)
+        b = tex.smooth_noise(seed=7)(u, v)
+        c = tex.smooth_noise(seed=8)(u, v)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestStructure:
+    def test_checkerboard_alternates(self):
+        t = tex.checkerboard(period=1.0, low=0.0, high=1.0)
+        assert t(np.array(0.5), np.array(0.5)) == pytest.approx(1.0)
+        assert t(np.array(1.5), np.array(0.5)) == pytest.approx(0.0)
+        assert t(np.array(1.5), np.array(1.5)) == pytest.approx(1.0)
+
+    def test_stripes_axis(self):
+        t0 = tex.stripes(period=1.0, axis=0, low=0.0, high=1.0)
+        # Varies along u only.
+        assert t0(np.array(0.5), np.array(0.0)) != t0(np.array(1.5), np.array(0.0))
+        assert t0(np.array(0.5), np.array(0.0)) == t0(np.array(0.5), np.array(9.9))
+
+    def test_line_grid_dark_on_lines(self):
+        t = tex.line_grid(period=1.0, line_width=0.1, low=0.0, high=1.0)
+        assert t(np.array(0.05), np.array(0.5)) == pytest.approx(0.0)
+        assert t(np.array(0.5), np.array(0.5)) == pytest.approx(1.0)
+
+    def test_quantized_noise_has_flat_regions(self):
+        u, v = GRID
+        values = tex.quantized_noise(seed=3, levels=4)(u, v)
+        # Posterization: few distinct levels across a dense sampling.
+        assert len(np.unique(np.round(values, 6))) <= 6
+
+    def test_checkerboard_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            tex.checkerboard(period=0.0)
+
+    def test_constant_produces_no_gradient(self):
+        u, v = GRID
+        values = tex.constant(0.3)(u, v)
+        assert np.ptp(values) == 0.0

@@ -1,0 +1,79 @@
+"""Unit tests for the per-frame timing model (Table 3 calibration)."""
+
+import pytest
+
+from repro.hardware.config import EventorConfig
+from repro.hardware.timing import TimingModel
+
+
+@pytest.fixture
+def model():
+    return TimingModel(EventorConfig())
+
+
+class TestTable3Calibration:
+    def test_canonical_task_runtime(self, model):
+        assert model.task_seconds()["P_Z0"] * 1e6 == pytest.approx(8.24, abs=0.01)
+
+    def test_proportional_task_runtime(self, model):
+        assert model.task_seconds()["P_Zi_R"] * 1e6 == pytest.approx(551.58, abs=0.1)
+
+    def test_normal_frame_runtime(self, model):
+        assert model.frame_seconds(False) * 1e6 == pytest.approx(551.58, abs=0.1)
+
+    def test_key_frame_runtime(self, model):
+        assert model.frame_seconds(True) * 1e6 == pytest.approx(559.82, abs=0.1)
+
+    def test_event_rates(self, model):
+        assert model.event_rate(False) / 1e6 == pytest.approx(1.86, abs=0.01)
+        assert model.event_rate(True) / 1e6 == pytest.approx(1.83, abs=0.01)
+
+
+class TestScalingBehaviour:
+    def test_more_pe_zi_faster_generation(self):
+        two = TimingModel(EventorConfig(n_pe_zi=2))
+        four = TimingModel(EventorConfig(n_pe_zi=4, n_vote_ports=4))
+        assert four.frame_seconds() < two.frame_seconds()
+
+    def test_generation_bound_when_ports_abundant(self):
+        # 4 ports, 2 PEs: generation (64 cyc/event) dominates voting (~35).
+        model = TimingModel(EventorConfig(n_pe_zi=2, n_vote_ports=4))
+        per_event = model.proportional_cycles(1024) / 1024
+        assert per_event == pytest.approx(64.0, abs=0.1)
+
+    def test_vote_bound_at_default(self, model):
+        assert model.voting_cycles_per_event() > model.generation_cycles_per_event()
+
+    def test_fewer_votes_faster(self, model):
+        # Projection misses reduce vote traffic; generation becomes the floor.
+        sparse = model.proportional_cycles(1024, votes_per_event=32.0)
+        dense = model.proportional_cycles(1024, votes_per_event=128.0)
+        assert sparse < dense
+        assert sparse / 1024 >= model.generation_cycles_per_event()
+
+    def test_dma_hidden_under_compute(self, model):
+        t = model.frame_timing()
+        assert t.dma_cycles < t.proportional_cycles / 10
+
+    def test_exposed_cycles_keyframe_serializes(self, model):
+        normal = model.frame_timing(is_keyframe=False)
+        key = model.frame_timing(is_keyframe=True)
+        assert key.exposed_cycles == pytest.approx(
+            normal.canonical_cycles + normal.proportional_cycles
+        )
+
+    def test_zero_events(self, model):
+        assert model.canonical_cycles(0) == 0.0
+        assert model.proportional_cycles(0) == 0.0
+
+
+class TestConfigValidation:
+    def test_planes_must_divide(self):
+        with pytest.raises(ValueError):
+            EventorConfig(n_planes=100, n_pe_zi=3)
+
+    def test_cycles_seconds_round_trip(self):
+        cfg = EventorConfig()
+        assert cfg.seconds_to_cycles(cfg.cycles_to_seconds(12345.0)) == pytest.approx(
+            12345.0
+        )

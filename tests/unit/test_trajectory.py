@@ -1,0 +1,89 @@
+"""Unit tests for trajectories and pose interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.se3 import SE3, Quaternion
+from repro.geometry.trajectory import Trajectory, linear_trajectory
+
+
+class TestConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Trajectory([0.0, 1.0], [SE3.identity()])
+
+    def test_rejects_non_increasing_timestamps(self):
+        with pytest.raises(ValueError):
+            Trajectory([0.0, 0.0], [SE3.identity(), SE3.identity()])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Trajectory([], [])
+
+    def test_len_and_iter(self, simple_trajectory):
+        assert len(simple_trajectory) == 41
+        items = list(simple_trajectory)
+        assert items[0][0] == pytest.approx(0.0)
+
+
+class TestSampling:
+    def test_sample_at_knots(self, simple_trajectory):
+        pose = simple_trajectory.sample(0.0)
+        np.testing.assert_allclose(pose.translation, [-0.2, 0.0, 0.0])
+
+    def test_sample_midpoint_translation(self, simple_trajectory):
+        pose = simple_trajectory.sample(1.0)
+        np.testing.assert_allclose(pose.translation, [0.0, 0.0, 0.0], atol=1e-12)
+
+    def test_clamps_outside_range(self, simple_trajectory):
+        before = simple_trajectory.sample(-5.0)
+        after = simple_trajectory.sample(99.0)
+        np.testing.assert_allclose(before.translation, [-0.2, 0.0, 0.0])
+        np.testing.assert_allclose(after.translation, [0.2, 0.0, 0.0])
+
+    def test_sample_many_matches_scalar(self, rng):
+        # Trajectory with rotation to exercise the vectorized slerp.
+        times = np.linspace(0.0, 1.0, 11)
+        poses = [
+            SE3.from_quaternion_translation(
+                Quaternion.from_axis_angle([0, 0, 1], 0.1 * i),
+                [0.05 * i, -0.02 * i, 0.0],
+            )
+            for i in range(11)
+        ]
+        traj = Trajectory(times, poses)
+        queries = rng.uniform(-0.1, 1.1, 50)
+        R, t = traj.sample_many(queries)
+        for k, tq in enumerate(queries):
+            ref = traj.sample(float(tq))
+            np.testing.assert_allclose(R[k], ref.rotation, atol=1e-9)
+            np.testing.assert_allclose(t[k], ref.translation, atol=1e-12)
+
+    def test_sample_many_shapes(self, simple_trajectory):
+        R, t = simple_trajectory.sample_many(np.array([0.1, 0.5]))
+        assert R.shape == (2, 3, 3)
+        assert t.shape == (2, 3)
+
+
+class TestHelpers:
+    def test_path_length(self, simple_trajectory):
+        assert simple_trajectory.path_length() == pytest.approx(0.4)
+
+    def test_subsampled_keeps_endpoints(self, simple_trajectory):
+        sub = simple_trajectory.subsampled(10)
+        assert sub.t_start == simple_trajectory.t_start
+        assert sub.t_end == simple_trajectory.t_end
+
+    def test_subsampled_rejects_bad_step(self, simple_trajectory):
+        with pytest.raises(ValueError):
+            simple_trajectory.subsampled(0)
+
+    def test_linear_trajectory_constant_velocity(self):
+        traj = linear_trajectory([0, 0, 0], [1, 0, 0], duration=1.0, n_poses=11)
+        v1 = traj.sample(0.35).translation
+        v2 = traj.sample(0.65).translation
+        np.testing.assert_allclose(v2 - v1, [0.3, 0.0, 0.0], atol=1e-12)
+
+    def test_linear_trajectory_needs_two_poses(self):
+        with pytest.raises(ValueError):
+            linear_trajectory([0, 0, 0], [1, 0, 0], 1.0, n_poses=1)

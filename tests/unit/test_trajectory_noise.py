@@ -1,0 +1,59 @@
+"""Unit tests for trajectory perturbation (pose-noise modeling)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.trajectory import linear_trajectory
+
+
+@pytest.fixture
+def trajectory():
+    return linear_trajectory([0, 0, 0], [1, 0, 0], duration=1.0, n_poses=21)
+
+
+class TestPerturbed:
+    def test_zero_noise_is_identity(self, trajectory):
+        same = trajectory.perturbed(0.0, 0.0)
+        for (_, a), (_, b) in zip(trajectory, same):
+            np.testing.assert_array_equal(a.translation, b.translation)
+            np.testing.assert_array_equal(a.rotation, b.rotation)
+
+    def test_translation_noise_magnitude(self, trajectory):
+        noisy = trajectory.perturbed(translation_std=0.01, seed=1)
+        deltas = [
+            np.linalg.norm(a.translation - b.translation)
+            for (_, a), (_, b) in zip(trajectory, noisy)
+        ]
+        # RMS per-axis ~1 cm -> per-pose norm ~ sqrt(3) cm.
+        assert 0.005 < np.mean(deltas) < 0.05
+
+    def test_rotation_noise_magnitude(self, trajectory):
+        noisy = trajectory.perturbed(rotation_std=0.01, seed=2)
+        angles = [
+            a.rotation_angle_to(b) for (_, a), (_, b) in zip(trajectory, noisy)
+        ]
+        assert 0.001 < np.mean(angles) < 0.05
+        # Rotations stay orthonormal.
+        for _, pose in noisy:
+            np.testing.assert_allclose(
+                pose.rotation @ pose.rotation.T, np.eye(3), atol=1e-12
+            )
+
+    def test_deterministic_per_seed(self, trajectory):
+        a = trajectory.perturbed(0.01, 0.01, seed=5)
+        b = trajectory.perturbed(0.01, 0.01, seed=5)
+        c = trajectory.perturbed(0.01, 0.01, seed=6)
+        np.testing.assert_array_equal(
+            a.poses[3].translation, b.poses[3].translation
+        )
+        assert not np.array_equal(
+            a.poses[3].translation, c.poses[3].translation
+        )
+
+    def test_timestamps_preserved(self, trajectory):
+        noisy = trajectory.perturbed(0.01, 0.0)
+        np.testing.assert_array_equal(noisy.timestamps, trajectory.timestamps)
+
+    def test_negative_noise_rejected(self, trajectory):
+        with pytest.raises(ValueError):
+            trajectory.perturbed(-0.1, 0.0)

@@ -1,0 +1,51 @@
+"""Unit tests for the Vote Execute Unit."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.dram import DRAMModel
+from repro.hardware.vote_unit import VoteExecuteUnit
+
+
+@pytest.fixture
+def unit():
+    dram = DRAMModel()
+    dram.allocate_dsi((2, 4, 4))
+    return VoteExecuteUnit(dram, n_ports=2, stall_fraction=0.094)
+
+
+class TestFunctional:
+    def test_votes_land_in_dram(self, unit):
+        unit.execute(np.array([0, 0, 7]))
+        scores = unit.dram.read_dsi().reshape(-1)
+        assert scores[0] == 2
+        assert scores[7] == 1
+        assert unit.stats.votes_applied == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoteExecuteUnit(DRAMModel(), n_ports=0)
+        with pytest.raises(ValueError):
+            VoteExecuteUnit(DRAMModel(), stall_fraction=-0.1)
+
+
+class TestTiming:
+    def test_two_ports_halve_cycles(self):
+        dram = DRAMModel()
+        one = VoteExecuteUnit(dram, n_ports=1, stall_fraction=0.0)
+        two = VoteExecuteUnit(dram, n_ports=2, stall_fraction=0.0)
+        assert two.cycles(1000) == pytest.approx(one.cycles(1000) / 2)
+
+    def test_stall_fraction_inflates(self, unit):
+        base = unit.cycles(128) / (1 + unit.stall_fraction)
+        assert unit.cycles(128) == pytest.approx(base * 1.094)
+
+    def test_paper_calibration(self, unit):
+        """128 votes/event, 1024 events, 2 ports, 9.4 % stalls -> ~70
+        cycles/event -> 551.6 us at 130 MHz (Table 3)."""
+        cycles = unit.cycles(1024 * 128)
+        us = cycles / 130e6 * 1e6
+        assert us == pytest.approx(551.6, abs=1.0)
+
+    def test_zero_votes(self, unit):
+        assert unit.cycles(0) == 0.0
