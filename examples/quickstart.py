@@ -58,6 +58,8 @@ def main():
     print(f"  key frames:       {len(result.keyframes)}")
     print(f"  frames processed: {result.profile.n_frames}")
     print(f"  DSI votes cast:   {result.profile.votes_cast:,}")
+    print(f"  dropped events:   {result.profile.dropped_events:,} "
+          "(projection misses + trailing partial frame)")
     print(f"  3D points:        {result.n_points} "
           f"({kf.depth_map.density:.1%} of pixels)")
 

@@ -63,7 +63,7 @@ def _load_input(args):
 
 
 def _cmd_reconstruct(args) -> int:
-    from repro.core import EMVSConfig, EMVSPipeline, ReformulatedPipeline
+    from repro.core import EMVSConfig, POLICIES, ReconstructionEngine
 
     events, trajectory, camera, seq = _load_input(args)
     if args.t_start is not None or args.t_end is not None:
@@ -80,13 +80,31 @@ def _cmd_reconstruct(args) -> int:
         frame_size=args.frame_size,
         keyframe_distance=args.keyframe_distance,
     )
-    cls = EMVSPipeline if args.pipeline == "original" else ReformulatedPipeline
-    pipeline = cls(camera, config, depth_range=depth_range)
-    result = pipeline.run(events, trajectory)
+    # --policy overrides the legacy --pipeline spelling; both name the same
+    # dataflow presets.
+    policy = POLICIES[args.policy or args.pipeline]
+    if args.backend == "hardware-model" and not policy.schema.enabled:
+        raise SystemExit(
+            "the hardware-model backend is quantized by design; "
+            "use --policy reformulated"
+        )
+    engine = ReconstructionEngine(
+        camera,
+        trajectory,
+        config,
+        depth_range=depth_range,
+        policy=policy,
+        backend=args.backend,
+    )
+    result = engine.run(events)
     print(
         f"reconstructed {result.n_points} points across "
-        f"{len(result.keyframes)} key frame(s)"
+        f"{len(result.keyframes)} key frame(s) "
+        f"[policy={policy.name}, backend={args.backend}]"
     )
+    if result.profile.dropped_events:
+        print(f"dropped events (misses + trailing partial frame): "
+              f"{result.profile.dropped_events}")
 
     if seq is not None and result.keyframes:
         from repro.eval.metrics import evaluate_reconstruction
@@ -159,7 +177,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--dataset", "-d", help="dataset directory (events.txt...)")
     p_rec.add_argument("--quality", choices=("full", "fast"), default="full")
     p_rec.add_argument(
-        "--pipeline", choices=("original", "reformulated"), default="reformulated"
+        "--pipeline", choices=("original", "reformulated"), default="reformulated",
+        help="legacy alias of --policy",
+    )
+    p_rec.add_argument(
+        "--policy", choices=("original", "reformulated"), default=None,
+        help="dataflow policy preset (overrides --pipeline)",
+    )
+    p_rec.add_argument(
+        "--backend",
+        choices=("numpy-reference", "numpy-fast", "hardware-model"),
+        default="numpy-reference",
+        help="execution backend from the engine registry",
     )
     p_rec.add_argument("--planes", type=int, default=100, help="DSI depth planes")
     p_rec.add_argument("--frame-size", type=int, default=1024)

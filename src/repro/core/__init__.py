@@ -1,12 +1,20 @@
 """EMVS core: the paper's target algorithm and its reformulation.
 
-The public entry points are :class:`repro.core.pipeline.EMVSPipeline`
-(original full-precision EMVS with bilinear voting, after Rebecq et al.,
-IJCV 2018) and :class:`repro.core.reformulated.ReformulatedPipeline`
-(Eventor's hardware-friendly dataflow: streaming distortion correction,
-pre-computed proportional coefficients, nearest voting and Table 1
-quantization).  Both consume a :class:`repro.events.Sequence`-like bundle of
-events + trajectory + camera and produce an :class:`EMVSResult`.
+The central abstraction is :class:`repro.core.engine.ReconstructionEngine`
+— a single streaming owner of the packetize → undistort → back-project →
+vote → detect → lift dataflow, parameterized by a
+:class:`repro.core.policy.DataflowPolicy` (correction scheduling, voting,
+quantization, score storage) and an execution backend from
+:data:`repro.core.engine.BACKENDS` (``numpy-reference``, ``numpy-fast``,
+``hardware-model``).
+
+:class:`~repro.core.pipeline.EMVSPipeline` (original full-precision EMVS
+with bilinear voting, after Rebecq et al., IJCV 2018),
+:class:`~repro.core.reformulated.ReformulatedPipeline` (Eventor's
+hardware-friendly dataflow) and :class:`~repro.core.online.OnlineEMVS`
+(incremental SLAM front-end) are thin facades binding named policies to
+the engine.  The batch facades consume a :class:`repro.events.Sequence`-like
+bundle of events + trajectory + camera and produce an :class:`EMVSResult`.
 """
 
 from repro.core.config import EMVSConfig, DetectionConfig
@@ -17,7 +25,20 @@ from repro.core.keyframes import KeyframeSelector
 from repro.core.detection import detect_structure
 from repro.core.depthmap import SemiDenseDepthMap
 from repro.core.pointcloud import PointCloud
-from repro.core.mapper import EMVSMapper, EMVSResult, KeyframeReconstruction
+from repro.core.results import EMVSResult, KeyframeReconstruction, PipelineProfile
+from repro.core.policy import (
+    CorrectionScheduling,
+    DataflowPolicy,
+    ORIGINAL_POLICY,
+    POLICIES,
+    REFORMULATED_POLICY,
+)
+from repro.core.engine import (
+    BACKENDS,
+    ExecutionBackend,
+    ReconstructionEngine,
+    register_backend,
+)
 from repro.core.pipeline import EMVSPipeline
 from repro.core.reformulated import ReformulatedPipeline
 from repro.core.online import OnlineEMVS
@@ -35,9 +56,18 @@ __all__ = [
     "detect_structure",
     "SemiDenseDepthMap",
     "PointCloud",
-    "EMVSMapper",
     "EMVSResult",
     "KeyframeReconstruction",
+    "PipelineProfile",
+    "CorrectionScheduling",
+    "DataflowPolicy",
+    "ORIGINAL_POLICY",
+    "REFORMULATED_POLICY",
+    "POLICIES",
+    "BACKENDS",
+    "ExecutionBackend",
+    "ReconstructionEngine",
+    "register_backend",
     "EMVSPipeline",
     "ReformulatedPipeline",
     "OnlineEMVS",

@@ -1,0 +1,530 @@
+"""The streaming reconstruction engine: one dataflow, pluggable substrates.
+
+Every EMVS variant in this repo — the original full-precision pipeline,
+Eventor's reformulated dataflow, the online SLAM front-end and the
+cycle-accurate accelerator model — executes the same loop::
+
+    packetize -> (undistort) -> back-project -> vote -> detect -> lift
+
+:class:`ReconstructionEngine` owns that loop exactly once.  What *varies*
+is factored into two orthogonal parameters:
+
+* a :class:`~repro.core.policy.DataflowPolicy` — the algorithmic knobs
+  (correction scheduling, voting method, quantization schema, score
+  storage), and
+* an :class:`ExecutionBackend` — the execution substrate performing the
+  per-frame back-projection + voting and owning the DSI storage.
+
+Backends are selected by name from the :data:`BACKENDS` registry:
+
+``numpy-reference``
+    Straightforward per-frame NumPy execution (the seed pipelines'
+    exact hot path, one scatter-add per frame).
+``numpy-fast``
+    Defers the DSI scatter: vote indices are collected per reference
+    segment and applied with a single :func:`numpy.bincount` pass, which
+    is substantially faster than per-frame ``np.add.at`` on long segments.
+``hardware-model``
+    Wraps :class:`repro.hardware.EventorSystem`'s PL datapath so
+    cycle-accurate runs share this exact front-end — bit-exactness between
+    software and hardware paths is enforced structurally, not by parallel
+    run loops.
+
+The engine is *streaming* (push chunks, finish to close) and single-use:
+the batch pipelines construct a fresh engine per run and call
+:meth:`ReconstructionEngine.run` (= push-all + finish).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.backprojection import BackProjector
+from repro.core.config import EMVSConfig
+from repro.core.depthmap import SemiDenseDepthMap
+from repro.core.detection import detect_structure
+from repro.core.dsi import DSI, depth_planes
+from repro.core.keyframes import KeyframeSelector
+from repro.core.results import EMVSResult, KeyframeReconstruction, PipelineProfile
+from repro.core.pointcloud import PointCloud
+from repro.core.policy import (
+    CorrectionScheduling,
+    DataflowPolicy,
+    REFORMULATED_POLICY,
+    resolve_policy,
+)
+from repro.core.voting import (
+    VotingMethod,
+    bilinear_vote_terms_finite,
+    cast_votes_into,
+)
+from repro.events.containers import EventArray
+from repro.events.packetizer import EventFrame, Packetizer
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.distortion import NoDistortion
+from repro.geometry.se3 import SE3
+from repro.geometry.trajectory import Trajectory
+
+
+class ExecutionBackend(abc.ABC):
+    """Execution substrate for the back-project + vote hot path.
+
+    A backend owns the DSI storage of the current reference segment and
+    executes frames into it; the engine owns everything around it
+    (packetization, correction, key-framing, detection, map merging).
+    Backends are bound to exactly one engine via :meth:`bind` before use.
+    """
+
+    #: Registry name (set by subclasses).
+    name: str = "?"
+
+    def bind(self, engine: "ReconstructionEngine") -> None:
+        """Attach to the owning engine (grants camera/policy/profile access)."""
+        self.engine = engine
+
+    @abc.abstractmethod
+    def start_reference(self, T_w_ref: SE3) -> None:
+        """Seat (or re-seat) the DSI at a new key reference view."""
+
+    @abc.abstractmethod
+    def process_frame(self, frame: EventFrame) -> tuple[int, int]:
+        """Back-project and vote one frame; returns ``(votes, misses)``."""
+
+    @abc.abstractmethod
+    def read_dsi(self) -> DSI:
+        """The voted DSI of the current segment, ready for detection.
+
+        Must be non-destructive: the engine also calls this for depth-map
+        previews of unfinished segments.
+        """
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+
+#: name -> factory(engine) -> ExecutionBackend
+BACKENDS: dict[str, Callable[["ReconstructionEngine"], ExecutionBackend]] = {}
+
+
+def register_backend(name: str):
+    """Decorator registering a backend factory under ``name``."""
+
+    def decorator(factory):
+        BACKENDS[name] = factory
+        return factory
+
+    return decorator
+
+
+def create_backend(
+    backend: str | ExecutionBackend, engine: "ReconstructionEngine"
+) -> ExecutionBackend:
+    """Resolve a backend name (or pass through an instance) and bind it."""
+    if isinstance(backend, ExecutionBackend):
+        instance = backend
+    else:
+        try:
+            factory = BACKENDS[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: {sorted(BACKENDS)}"
+            ) from None
+        instance = factory(engine)
+    instance.bind(engine)
+    return instance
+
+
+# ----------------------------------------------------------------------
+# NumPy backends
+# ----------------------------------------------------------------------
+class _NumpyBackendBase(ExecutionBackend):
+    """Shared DSI/projector lifecycle of the software backends."""
+
+    def __init__(self, engine: "ReconstructionEngine"):
+        self.bind(engine)
+        self._dsi: DSI | None = None
+        self._projector: BackProjector | None = None
+
+    def start_reference(self, T_w_ref: SE3) -> None:
+        e = self.engine
+        self._dsi = DSI(
+            e.camera,
+            T_w_ref,
+            e.depths,
+            integer_scores=e.policy.integer_scores,
+            score_limit=e.policy.score_limit(),
+        )
+        self._projector = BackProjector(
+            e.camera, T_w_ref, e.depths, schema=e.policy.schema
+        )
+
+    def _canonical(self, frame: EventFrame):
+        """Stage ``P(Z0)``: per-frame parameters + canonical projection.
+
+        Timed as ``P_Z0`` in the shared profile, exactly like the seed
+        mapper split the stages.  Returns ``(params, uv0, valid)``.
+        """
+        if self._projector is None:
+            raise RuntimeError("start_reference() must be called before frames")
+        t0 = time.perf_counter()
+        params = self._projector.frame_parameters(frame.T_wc)
+        uv0, valid = self._projector.canonical(params, frame.events.xy)
+        self.engine.profile.add_time("P_Z0", time.perf_counter() - t0)
+        return params, uv0, valid
+
+    def read_dsi(self) -> DSI:
+        if self._dsi is None:
+            raise RuntimeError("no reference segment is open")
+        return self._dsi
+
+
+@register_backend("numpy-reference")
+class NumpyReferenceBackend(_NumpyBackendBase):
+    """Per-frame scatter-add voting — the seed pipelines' exact hot path."""
+
+    name = "numpy-reference"
+
+    def process_frame(self, frame: EventFrame) -> tuple[int, int]:
+        params, uv0, valid = self._canonical(frame)
+        t0 = time.perf_counter()
+        u, v = self._projector.proportional(params, uv0)
+        u[~valid] = np.nan
+        v[~valid] = np.nan
+        votes = cast_votes_into(
+            self.engine.policy.voting, self._dsi.flat_scores, u, v, self._dsi.shape
+        )
+        self.engine.profile.add_time("P_Zi_R", time.perf_counter() - t0)
+        return votes, int((~valid).sum())
+
+
+@register_backend("numpy-fast")
+class NumpyFastBackend(_NumpyBackendBase):
+    """Fused multi-frame voting, batched per reference segment.
+
+    Three changes versus ``numpy-reference``, all bit-exact:
+
+    * projection-miss rows are dropped *once* per frame, so the voting
+      kernels skip the NaN substitution and the per-element finiteness
+      passes over the ``(1024, Nz)`` grids;
+    * nearest voting uses a *dump voxel*: instead of boolean-compressing
+      three index arrays per frame (the dominant cost of the reference
+      kernel), out-of-bounds votes are redirected to one spare counter
+      slot and the full index grid is scattered — in narrow ``int32``
+      arithmetic when the volume permits;
+    * nearest votes accumulate in a segment-lifetime count buffer that is
+      materialized into the DSI once per key frame, so the DSI image is
+      produced per segment instead of rewritten per frame.
+
+    Integer vote counts are order-independent, and the bilinear path
+    preserves the reference corner order, so both voting methods
+    reproduce ``numpy-reference`` exactly.
+    """
+
+    name = "numpy-fast"
+
+    def start_reference(self, T_w_ref: SE3) -> None:
+        super().start_reference(T_w_ref)
+        self._dirty = False
+        if self.engine.policy.voting is VotingMethod.BILINEAR:
+            # Bilinear weights scatter straight into the DSI; the count
+            # buffer below is nearest-voting machinery only.
+            self._counts = None
+            return
+        nz, h, w = self._dsi.shape
+        nvox = nz * h * w
+        # int32 index arithmetic halves the memory traffic of the hot
+        # loop; fall back to int64 for volumes the narrow type can't span.
+        dtype = np.int32 if nvox + 1 < np.iinfo(np.int32).max else np.int64
+        self._iz_row = (np.arange(nz, dtype=dtype) * dtype(h * w))[None, :]
+        self._counts = np.zeros(nvox + 1, dtype=np.int64)
+
+    def _vote_nearest_fused(self, u: np.ndarray, v: np.ndarray) -> int:
+        """Round, bounds-check and scatter in one pass over the grid.
+
+        ``u``/``v`` are miss-free and freshly allocated, so in-place
+        mutation is safe.  Identical rounding (half-up) and bounds rules
+        as :func:`~repro.core.voting.nearest_vote_indices`; counts are
+        integers, so scatter order cannot change the result.
+        """
+        nz, h, w = self._dsi.shape
+        np.add(u, 0.5, out=u)
+        np.floor(u, out=u)
+        np.add(v, 0.5, out=v)
+        np.floor(v, out=v)
+        # Float comparison is exact on floored values and avoids relying
+        # on out-of-range cast behaviour for the validity decision.
+        valid = (u >= 0.0) & (u < w) & (v >= 0.0) & (v < h)
+        dtype = self._iz_row.dtype
+        with np.errstate(invalid="ignore"):
+            iu = u.astype(dtype)
+            iv = v.astype(dtype)
+        lin = iv * dtype.type(w)
+        lin += iu
+        lin += self._iz_row
+        lin[~valid] = self._counts.size - 1  # the dump voxel
+        np.add.at(self._counts, lin.ravel(), 1)
+        self._dirty = True
+        return int(valid.sum())
+
+    def process_frame(self, frame: EventFrame) -> tuple[int, int]:
+        params, uv0, valid = self._canonical(frame)
+        t0 = time.perf_counter()
+        misses = int((~valid).sum())
+        if misses:
+            uv0 = uv0[valid]
+        u, v = self._projector.proportional(params, uv0)
+        if self.engine.policy.voting is VotingMethod.BILINEAR:
+            lin, weights, votes = bilinear_vote_terms_finite(u, v, self._dsi.shape)
+            if lin.size:
+                np.add.at(self._dsi.flat_scores, lin, weights)
+        else:
+            votes = self._vote_nearest_fused(u, v)
+        self.engine.profile.add_time("P_Zi_R", time.perf_counter() - t0)
+        return votes, misses
+
+    def read_dsi(self) -> DSI:
+        if self._dirty:
+            t0 = time.perf_counter()
+            flat = super().read_dsi().flat_scores
+            flat[...] = self._counts[:-1]
+            self.engine.profile.add_time("P_Zi_R", time.perf_counter() - t0)
+            self._dirty = False
+        return super().read_dsi()
+
+
+@register_backend("hardware-model")
+def _make_hardware_backend(engine: "ReconstructionEngine") -> ExecutionBackend:
+    """Cycle-accurate accelerator substrate (lazy import avoids a cycle).
+
+    Builds a fresh :class:`repro.hardware.EventorSystem` sized to the
+    engine's configuration and returns its backend adapter; the resulting
+    :class:`~repro.hardware.accelerator.HardwareReport` is available as
+    ``backend.report()`` after the run.
+    """
+    from repro.hardware.accelerator import EventorSystem
+    from repro.hardware.config import EventorConfig
+
+    # The PL datapath implements exactly one algorithmic point: nearest
+    # voting into saturating integer scores.  Reject policies the
+    # hardware cannot execute instead of silently diverging from them.
+    if engine.policy.voting is not VotingMethod.NEAREST:
+        raise ValueError(
+            "the hardware-model backend implements nearest voting only; "
+            f"policy {engine.policy.name!r} requests {engine.policy.voting}"
+        )
+    if not engine.policy.integer_scores:
+        raise ValueError(
+            "the hardware-model backend stores integer DSI scores by design"
+        )
+    system = EventorSystem(
+        engine.camera,
+        emvs_config=engine.config,
+        depth_range=engine.depth_range,
+        hw_config=EventorConfig(
+            n_planes=engine.config.n_depth_planes,
+            frame_size=engine.config.frame_size,
+        ),
+        schema=engine.policy.schema,
+    )
+    return system.make_backend()
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class ReconstructionEngine:
+    """Single streaming owner of the EMVS dataflow.
+
+    Parameters
+    ----------
+    camera:
+        Sensor calibration (with distortion, if any).
+    trajectory:
+        Pose source; any object with ``sample(t) -> SE3`` works.
+    config:
+        Shared EMVS parameters.
+    depth_range:
+        DSI depth bounds in each reference frame.
+    policy:
+        Algorithmic knobs (see :class:`~repro.core.policy.DataflowPolicy`)
+        or a preset name from :data:`repro.core.policy.POLICIES`.
+    backend:
+        Registry name or a pre-built :class:`ExecutionBackend` instance.
+    on_keyframe:
+        Called with each finished :class:`KeyframeReconstruction` the
+        moment its reference segment closes.
+
+    The engine is single-use: one stream in, one :class:`EMVSResult` out.
+    """
+
+    def __init__(
+        self,
+        camera: PinholeCamera,
+        trajectory: Trajectory,
+        config: EMVSConfig | None = None,
+        depth_range: tuple[float, float] = (0.5, 5.0),
+        policy: DataflowPolicy | str = REFORMULATED_POLICY,
+        backend: str | ExecutionBackend = "numpy-reference",
+        on_keyframe: Callable[[KeyframeReconstruction], None] | None = None,
+    ):
+        self.camera = camera
+        self.trajectory = trajectory
+        self.config = config or EMVSConfig()
+        self.depth_range = depth_range
+        self.policy = resolve_policy(policy)
+        self.on_keyframe = on_keyframe
+        self.depths = depth_planes(
+            depth_range[0],
+            depth_range[1],
+            self.config.n_depth_planes,
+            self.config.depth_sampling,
+        )
+        self.profile = PipelineProfile()
+        self.backend = create_backend(backend, self)
+        self._selector = KeyframeSelector(self.config.keyframe_distance)
+        self._packetizer = Packetizer(trajectory, self.config.frame_size)
+        self._cloud = PointCloud()
+        self._keyframes: list[KeyframeReconstruction] = []
+        self._events_pushed = 0
+        self._events_in_ref = 0
+        self._frames_in_ref = 0
+        self._reference_open = False
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def cloud(self) -> PointCloud:
+        """Global map merged so far (finished key frames only)."""
+        return self._cloud
+
+    @property
+    def keyframes(self) -> list[KeyframeReconstruction]:
+        return list(self._keyframes)
+
+    @property
+    def events_pushed(self) -> int:
+        return self._events_pushed
+
+    # ------------------------------------------------------------------
+    def _correct_events(self, events: EventArray) -> EventArray:
+        """Per-event (streaming) distortion correction."""
+        if isinstance(self.camera.distortion, NoDistortion):
+            return events
+        return events.with_coordinates(self.camera.undistort_pixels(events.xy))
+
+    def _correct_frame(self, frame: EventFrame) -> None:
+        """Per-frame (batched) distortion correction, original scheduling."""
+        if isinstance(self.camera.distortion, NoDistortion):
+            return
+        corrected = self.camera.undistort_pixels(frame.events.xy)
+        frame.events = frame.events.with_coordinates(corrected)
+
+    # ------------------------------------------------------------------
+    def push(self, events: EventArray) -> int:
+        """Feed a chunk of (time-ordered) events; returns frames processed.
+
+        Chunks may be of any size; fixed ``frame_size`` event frames are
+        cut internally, exactly as the hardware ingest does.
+        """
+        if self._finished:
+            raise RuntimeError("engine already finished; build a new one")
+        if len(events) == 0:
+            return 0
+        t0 = time.perf_counter()
+        if self.policy.correction is CorrectionScheduling.PER_EVENT:
+            events = self._correct_events(events)
+        self._events_pushed += len(events)
+        frames = self._packetizer.push(events)
+        self.profile.add_time("A", time.perf_counter() - t0)
+        for frame in frames:
+            self._process(frame)
+        return len(frames)
+
+    def _process(self, frame: EventFrame) -> None:
+        if self.policy.correction is CorrectionScheduling.PER_FRAME:
+            self._correct_frame(frame)
+        if self._selector.is_new_keyframe(frame.T_wc):
+            frame.is_keyframe = True
+            self._finalize_segment()
+            self.backend.start_reference(frame.T_wc)
+            self._reference_open = True
+            self.profile.n_keyframes += 1
+        votes, misses = self.backend.process_frame(frame)
+        self.profile.n_events += len(frame)
+        self.profile.n_frames += 1
+        self.profile.votes_cast += votes
+        self.profile.dropped_events += misses
+        self._events_in_ref += len(frame)
+        self._frames_in_ref += 1
+
+    def finish(self) -> EMVSResult:
+        """Close the current segment and return the collected result.
+
+        The trailing partial frame (fewer than ``frame_size`` events) is
+        dropped, as the fixed-size hardware buffers would — but its size
+        is accounted in ``profile.dropped_events`` instead of being
+        discarded silently.
+        """
+        if not self._finished:
+            self.profile.dropped_events += self._packetizer.drop_pending()
+            self._finalize_segment()
+            self._finished = True
+        return EMVSResult(
+            keyframes=list(self._keyframes), cloud=self._cloud, profile=self.profile
+        )
+
+    def run(self, events: EventArray) -> EMVSResult:
+        """Batch convenience: push the whole stream, then finish."""
+        self.push(events)
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    def preview_depth_map(self) -> SemiDenseDepthMap | None:
+        """Detection over the in-progress (unfinished) reference segment.
+
+        Lets a consumer preview depth before the key frame closes; the
+        DSI keeps accumulating afterwards.
+        """
+        if not self._reference_open or self._events_in_ref == 0:
+            return None
+        dsi = self.backend.read_dsi()
+        t0 = time.perf_counter()
+        depth_map = detect_structure(dsi, self.config.detection)
+        self.profile.add_time("D", time.perf_counter() - t0)
+        return depth_map
+
+    def _finalize_segment(self) -> None:
+        """The keyframe tail: detect (``D``), lift and merge (``M``).
+
+        This is the single home of the finalize-lift-merge logic that the
+        seed repeated across four call sites.
+        """
+        if not self._reference_open or self._events_in_ref == 0:
+            self._events_in_ref = 0
+            self._frames_in_ref = 0
+            return
+        dsi = self.backend.read_dsi()
+        t0 = time.perf_counter()
+        depth_map = detect_structure(dsi, self.config.detection)
+        self.profile.add_time("D", time.perf_counter() - t0)
+        reconstruction = KeyframeReconstruction(
+            T_w_ref=dsi.T_w_ref,
+            depth_map=depth_map,
+            n_events=self._events_in_ref,
+            n_frames=self._frames_in_ref,
+        )
+        self._keyframes.append(reconstruction)
+        t0 = time.perf_counter()
+        self._cloud = self._cloud.merge(
+            PointCloud.from_depth_map(depth_map, self.camera, dsi.T_w_ref)
+        )
+        self.profile.add_time("M", time.perf_counter() - t0)
+        self._events_in_ref = 0
+        self._frames_in_ref = 0
+        if self.on_keyframe is not None:
+            self.on_keyframe(reconstruction)

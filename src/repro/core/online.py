@@ -5,9 +5,10 @@ consume a complete recording.  A SLAM system instead feeds events and
 poses *incrementally*; :class:`OnlineEMVS` provides that interface: push
 event chunks as they arrive, receive key-frame reconstructions through a
 callback the moment their reference segment closes, and query the live
-global map at any time.  Internally it is the exact reformulated dataflow
-(streaming distortion correction, nearest voting, Table 1 quantization),
-so results match the batch pipeline event-for-event.
+global map at any time.  It is a thin facade over one long-lived
+:class:`~repro.core.engine.ReconstructionEngine` carrying the exact
+reformulated dataflow policy, so results match the batch pipeline
+event-for-event.
 """
 
 from __future__ import annotations
@@ -15,15 +16,14 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.core.config import EMVSConfig
-from repro.core.keyframes import KeyframeSelector
-from repro.core.mapper import EMVSMapper, KeyframeReconstruction
+from repro.core.engine import ExecutionBackend, ReconstructionEngine
+from repro.core.results import KeyframeReconstruction, PipelineProfile
+from repro.core.policy import CorrectionScheduling, DataflowPolicy
 from repro.core.pointcloud import PointCloud
 from repro.core.voting import VotingMethod
 from repro.events.containers import EventArray
-from repro.events.packetizer import Packetizer
 from repro.fixedpoint.quantize import EVENTOR_SCHEMA, QuantizationSchema
 from repro.geometry.camera import PinholeCamera
-from repro.geometry.distortion import NoDistortion
 from repro.geometry.trajectory import Trajectory
 
 
@@ -40,6 +40,8 @@ class OnlineEMVS:
     on_keyframe:
         Called with each finished :class:`KeyframeReconstruction` as soon
         as its reference segment closes.
+    backend:
+        Execution backend name (see :data:`repro.core.engine.BACKENDS`).
     """
 
     def __init__(
@@ -51,38 +53,58 @@ class OnlineEMVS:
         schema: QuantizationSchema = EVENTOR_SCHEMA,
         voting: VotingMethod = VotingMethod.NEAREST,
         on_keyframe: Callable[[KeyframeReconstruction], None] | None = None,
+        backend: str | ExecutionBackend = "numpy-reference",
     ):
         self.camera = camera
         self.config = config or EMVSConfig()
         self.trajectory = trajectory
         self.on_keyframe = on_keyframe
-        self._mapper = EMVSMapper(
+        self._engine = ReconstructionEngine(
             camera,
+            trajectory,
             self.config,
             depth_range,
-            schema=schema,
-            voting=voting,
-            integer_scores=schema.enabled,
+            policy=DataflowPolicy(
+                correction=CorrectionScheduling.PER_EVENT,
+                voting=voting,
+                schema=schema,
+                integer_scores=schema.enabled,
+                name="online",
+            ),
+            backend=backend,
+            # Late-bound so reassigning ``self.on_keyframe`` after
+            # construction keeps working.
+            on_keyframe=self._emit_keyframe,
         )
-        self._selector = KeyframeSelector(self.config.keyframe_distance)
-        self._packetizer = Packetizer(trajectory, self.config.frame_size)
-        self._cloud = PointCloud()
-        self._keyframes: list[KeyframeReconstruction] = []
-        self._events_pushed = 0
+
+    # ------------------------------------------------------------------
+    def _emit_keyframe(self, reconstruction: KeyframeReconstruction) -> None:
+        if self.on_keyframe is not None:
+            self.on_keyframe(reconstruction)
 
     # ------------------------------------------------------------------
     @property
+    def engine(self) -> ReconstructionEngine:
+        """The underlying streaming engine (shared dataflow owner)."""
+        return self._engine
+
+    @property
     def cloud(self) -> PointCloud:
         """Global map merged so far (finished key frames only)."""
-        return self._cloud
+        return self._engine.cloud
 
     @property
     def keyframes(self) -> list[KeyframeReconstruction]:
-        return list(self._keyframes)
+        return self._engine.keyframes
 
     @property
     def events_pushed(self) -> int:
-        return self._events_pushed
+        return self._engine.events_pushed
+
+    @property
+    def profile(self) -> PipelineProfile:
+        """Work accounting so far (frames, votes, dropped events...)."""
+        return self._engine.profile
 
     # ------------------------------------------------------------------
     def push(self, events: EventArray) -> int:
@@ -91,31 +113,16 @@ class OnlineEMVS:
         Chunks may be of any size; fixed 1024-event frames are cut
         internally, exactly as the hardware ingest does.
         """
-        if len(events) == 0:
-            return 0
-        if not isinstance(self.camera.distortion, NoDistortion):
-            # Streaming per-event correction, before aggregation.
-            events = events.with_coordinates(
-                self.camera.undistort_pixels(events.xy)
-            )
-        self._events_pushed += len(events)
-        frames = self._packetizer.push(events)
-        for frame in frames:
-            if self._selector.is_new_keyframe(frame.T_wc):
-                frame.is_keyframe = True
-                self._finalize_segment()
-                self._mapper.start_reference(frame.T_wc)
-            self._mapper.process_frame(frame)
-        return len(frames)
+        return self._engine.push(events)
 
     def finish(self) -> PointCloud:
         """Close the current segment and return the final global map.
 
         The trailing partial frame (fewer than ``frame_size`` events) is
-        dropped, as the fixed-size hardware buffers would.
+        dropped, as the fixed-size hardware buffers would; its size is
+        recorded in ``profile.dropped_events``.
         """
-        self._finalize_segment()
-        return self._cloud
+        return self._engine.finish().cloud
 
     def current_depth_map(self):
         """Detection over the in-progress (unfinished) reference segment.
@@ -123,19 +130,4 @@ class OnlineEMVS:
         Lets a consumer preview depth before the key frame closes; the
         DSI keeps accumulating afterwards.
         """
-        reconstruction = self._mapper.finalize_reference()
-        return None if reconstruction is None else reconstruction.depth_map
-
-    # ------------------------------------------------------------------
-    def _finalize_segment(self) -> None:
-        reconstruction = (
-            self._mapper.finalize_reference() if self._mapper.dsi else None
-        )
-        if reconstruction is None:
-            return
-        self._keyframes.append(reconstruction)
-        self._cloud = self._cloud.merge(
-            self._mapper.lift_to_cloud(reconstruction)
-        )
-        if self.on_keyframe is not None:
-            self.on_keyframe(reconstruction)
+        return self._engine.preview_depth_map()

@@ -3,22 +3,22 @@
 Full-precision floating-point arithmetic, bilinear DSI voting, and event
 distortion correction applied per *frame* after aggregation — the reference
 behaviour Eventor is measured against.
+
+This class is a thin facade: it binds the *original* dataflow policy to a
+:class:`~repro.core.engine.ReconstructionEngine` and runs the stream
+through it (batch = push-all + finish).
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.core.config import EMVSConfig
-from repro.core.keyframes import KeyframeSelector
-from repro.core.mapper import EMVSMapper, EMVSResult, KeyframeReconstruction
-from repro.core.pointcloud import PointCloud
+from repro.core.engine import ExecutionBackend, ReconstructionEngine
+from repro.core.results import EMVSResult
+from repro.core.policy import CorrectionScheduling, DataflowPolicy
 from repro.core.voting import VotingMethod
 from repro.events.containers import EventArray
-from repro.events.packetizer import aggregate_frames
 from repro.fixedpoint.quantize import FLOAT_SCHEMA, QuantizationSchema
 from repro.geometry.camera import PinholeCamera
-from repro.geometry.distortion import NoDistortion
 from repro.geometry.trajectory import Trajectory
 
 
@@ -39,6 +39,8 @@ class EMVSPipeline:
     schema:
         Quantization schema; full-precision by default, exposed for the
         Fig. 4b ablation.
+    backend:
+        Execution backend name (see :data:`repro.core.engine.BACKENDS`).
     """
 
     name = "emvs-original"
@@ -50,57 +52,30 @@ class EMVSPipeline:
         depth_range: tuple[float, float] = (0.5, 5.0),
         voting: VotingMethod = VotingMethod.BILINEAR,
         schema: QuantizationSchema = FLOAT_SCHEMA,
+        backend: str | ExecutionBackend = "numpy-reference",
     ):
         self.camera = camera
         self.config = config or EMVSConfig()
         self.depth_range = depth_range
         self.voting = voting
         self.schema = schema
-
-    # ------------------------------------------------------------------
-    def _correct_frame_events(self, frame) -> None:
-        """Per-frame distortion correction (original scheduling).
-
-        The original dataflow aggregates raw events first and undistorts
-        each aggregated frame as a batch.
-        """
-        if isinstance(self.camera.distortion, NoDistortion):
-            return
-        corrected = self.camera.undistort_pixels(frame.events.xy)
-        frame.events = frame.events.with_coordinates(corrected)
+        self.backend = backend
+        self.policy = DataflowPolicy(
+            correction=CorrectionScheduling.PER_FRAME,
+            voting=voting,
+            schema=schema,
+            integer_scores=False,
+            name=self.name,
+        )
 
     def run(self, events: EventArray, trajectory: Trajectory) -> EMVSResult:
         """Reconstruct from a full event stream with known trajectory."""
-        mapper = EMVSMapper(
+        engine = ReconstructionEngine(
             self.camera,
+            trajectory,
             self.config,
             self.depth_range,
-            schema=self.schema,
-            voting=self.voting,
-            integer_scores=False,
+            policy=self.policy,
+            backend=self.backend,
         )
-        selector = KeyframeSelector(self.config.keyframe_distance)
-
-        t0 = time.perf_counter()
-        frames = aggregate_frames(events, trajectory, self.config.frame_size)
-        mapper.profile.add_time("A", time.perf_counter() - t0)
-
-        keyframes: list[KeyframeReconstruction] = []
-        cloud = PointCloud()
-        for frame in frames:
-            self._correct_frame_events(frame)
-            if selector.is_new_keyframe(frame.T_wc):
-                frame.is_keyframe = True
-                reconstruction = mapper.finalize_reference() if mapper.dsi else None
-                if reconstruction is not None:
-                    keyframes.append(reconstruction)
-                    cloud = cloud.merge(mapper.lift_to_cloud(reconstruction))
-                mapper.start_reference(frame.T_wc)
-            mapper.process_frame(frame)
-
-        reconstruction = mapper.finalize_reference() if mapper.dsi else None
-        if reconstruction is not None:
-            keyframes.append(reconstruction)
-            cloud = cloud.merge(mapper.lift_to_cloud(reconstruction))
-
-        return EMVSResult(keyframes=keyframes, cloud=cloud, profile=mapper.profile)
+        return engine.run(events)

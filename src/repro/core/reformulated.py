@@ -10,22 +10,20 @@ Differences from the original dataflow, exactly as Sec. 2.2 prescribes:
   DSI stores saturating 16-bit integer scores.
 
 The functional output of this class is bit-exact with the
-:mod:`repro.hardware` accelerator model running the same configuration
-(asserted by the integration tests), which is what makes the hardware
-model's accuracy claims transferable.
+:mod:`repro.hardware` accelerator model running the same configuration —
+enforced *structurally*: both are the same
+:class:`~repro.core.engine.ReconstructionEngine` dataflow with a different
+execution backend plugged in.
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.core.config import EMVSConfig
-from repro.core.keyframes import KeyframeSelector
-from repro.core.mapper import EMVSMapper, EMVSResult, KeyframeReconstruction
-from repro.core.pointcloud import PointCloud
+from repro.core.engine import ExecutionBackend, ReconstructionEngine
+from repro.core.results import EMVSResult
+from repro.core.policy import CorrectionScheduling, DataflowPolicy
 from repro.core.voting import VotingMethod
 from repro.events.containers import EventArray
-from repro.events.packetizer import aggregate_frames
 from repro.fixedpoint.quantize import EVENTOR_SCHEMA, QuantizationSchema
 from repro.geometry.camera import PinholeCamera
 from repro.geometry.distortion import NoDistortion
@@ -33,7 +31,16 @@ from repro.geometry.trajectory import Trajectory
 
 
 class ReformulatedPipeline:
-    """Hardware-friendly EMVS (the algorithm Eventor executes)."""
+    """Hardware-friendly EMVS (the algorithm Eventor executes).
+
+    Parameters
+    ----------
+    camera, config, depth_range, voting, schema:
+        As for :class:`~repro.core.pipeline.EMVSPipeline`; the defaults
+        select Eventor's reformulation (nearest voting, Table 1 formats).
+    backend:
+        Execution backend name (see :data:`repro.core.engine.BACKENDS`).
+    """
 
     name = "eventor-reformulated"
 
@@ -44,12 +51,21 @@ class ReformulatedPipeline:
         depth_range: tuple[float, float] = (0.5, 5.0),
         voting: VotingMethod = VotingMethod.NEAREST,
         schema: QuantizationSchema = EVENTOR_SCHEMA,
+        backend: str | ExecutionBackend = "numpy-reference",
     ):
         self.camera = camera
         self.config = config or EMVSConfig()
         self.depth_range = depth_range
         self.voting = voting
         self.schema = schema
+        self.backend = backend
+        self.policy = DataflowPolicy(
+            correction=CorrectionScheduling.PER_EVENT,
+            voting=voting,
+            schema=schema,
+            integer_scores=schema.enabled,
+            name=self.name,
+        )
 
     # ------------------------------------------------------------------
     def correct_stream(self, events: EventArray) -> EventArray:
@@ -58,7 +74,8 @@ class ReformulatedPipeline:
         Applying the correction event-by-event lets the hardware overlap it
         with ingest; numerically it equals the per-frame batch correction,
         so the reformulation's accuracy impact comes only from voting and
-        quantization.
+        quantization.  (Kept as a public helper; the engine applies the
+        same correction internally when running this pipeline's policy.)
         """
         if isinstance(self.camera.distortion, NoDistortion):
             return events
@@ -67,36 +84,12 @@ class ReformulatedPipeline:
 
     def run(self, events: EventArray, trajectory: Trajectory) -> EMVSResult:
         """Reconstruct from a full event stream with known trajectory."""
-        mapper = EMVSMapper(
+        engine = ReconstructionEngine(
             self.camera,
+            trajectory,
             self.config,
             self.depth_range,
-            schema=self.schema,
-            voting=self.voting,
-            integer_scores=self.schema.enabled,
+            policy=self.policy,
+            backend=self.backend,
         )
-        selector = KeyframeSelector(self.config.keyframe_distance)
-
-        t0 = time.perf_counter()
-        events = self.correct_stream(events)
-        frames = aggregate_frames(events, trajectory, self.config.frame_size)
-        mapper.profile.add_time("A", time.perf_counter() - t0)
-
-        keyframes: list[KeyframeReconstruction] = []
-        cloud = PointCloud()
-        for frame in frames:
-            if selector.is_new_keyframe(frame.T_wc):
-                frame.is_keyframe = True
-                reconstruction = mapper.finalize_reference() if mapper.dsi else None
-                if reconstruction is not None:
-                    keyframes.append(reconstruction)
-                    cloud = cloud.merge(mapper.lift_to_cloud(reconstruction))
-                mapper.start_reference(frame.T_wc)
-            mapper.process_frame(frame)
-
-        reconstruction = mapper.finalize_reference() if mapper.dsi else None
-        if reconstruction is not None:
-            keyframes.append(reconstruction)
-            cloud = cloud.merge(mapper.lift_to_cloud(reconstruction))
-
-        return EMVSResult(keyframes=keyframes, cloud=cloud, profile=mapper.profile)
+        return engine.run(events)

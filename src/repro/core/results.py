@@ -1,0 +1,63 @@
+"""Result and accounting types shared by every pipeline and backend.
+
+Historically these lived next to the (since removed) ``EMVSMapper``; the
+per-frame hot path it owned is now an
+:class:`~repro.core.engine.ExecutionBackend` and the keyframe lifecycle
+lives in :class:`~repro.core.engine.ReconstructionEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.depthmap import SemiDenseDepthMap
+from repro.core.pointcloud import PointCloud
+from repro.geometry.se3 import SE3
+
+
+@dataclass(frozen=True)
+class KeyframeReconstruction:
+    """Depth estimate produced at one key reference view."""
+
+    T_w_ref: SE3
+    depth_map: SemiDenseDepthMap
+    n_events: int
+    n_frames: int
+
+
+@dataclass
+class PipelineProfile:
+    """Work and wall-clock accounting across a pipeline run.
+
+    ``stage_seconds`` records host time per algorithm stage (keys: ``A``,
+    ``P_Z0``, ``P_Zi_R``, ``D``, ``M``); ``votes_cast`` counts DSI updates —
+    the quantity the accelerator's throughput is sized by.
+    ``dropped_events`` counts events that produced no vote: projection
+    misses plus the trailing partial frame dropped at stream end.
+    """
+
+    n_events: int = 0
+    n_frames: int = 0
+    n_keyframes: int = 0
+    votes_cast: int = 0
+    dropped_events: int = 0
+    stage_seconds: dict = field(default_factory=dict)
+
+    def add_time(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+
+@dataclass(frozen=True)
+class EMVSResult:
+    """Output of a pipeline run."""
+
+    keyframes: list[KeyframeReconstruction]
+    cloud: PointCloud
+    profile: PipelineProfile
+
+    @property
+    def n_points(self) -> int:
+        return len(self.cloud)

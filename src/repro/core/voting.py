@@ -46,6 +46,31 @@ def _scatter_add(flat: np.ndarray, indices: np.ndarray, weights: np.ndarray | No
         np.add.at(flat, indices, weights)
 
 
+def nearest_vote_indices(
+    u: np.ndarray,
+    v: np.ndarray,
+    shape: tuple[int, int, int],
+) -> np.ndarray:
+    """Flat DSI indices of the nearest-voxel votes (one per hit).
+
+    Rounds half-up (``floor(x + 0.5)``), exactly like the accelerator's
+    Nearest Voxel Finder, then bounds-checks the *integer* — keeping the
+    software reference bit-compatible with the hardware model.  Non-finite
+    coordinates mark projection misses and produce no index.
+    """
+    nz, h, w = shape
+    if u.shape != v.shape or u.shape[1] != nz:
+        raise ValueError("coordinate arrays must be (N, Nz) matching the DSI")
+    finite = np.isfinite(u) & np.isfinite(v)
+    with np.errstate(invalid="ignore"):
+        iu = np.floor(np.where(finite, u, -10.0) + 0.5).astype(np.int64)
+        iv = np.floor(np.where(finite, v, -10.0) + 0.5).astype(np.int64)
+    valid = finite & (iu >= 0) & (iu < w) & (iv >= 0) & (iv < h)
+
+    iz = _plane_index_grid(u)
+    return (iz[valid] * h + iv[valid]) * w + iu[valid]
+
+
 def vote_nearest_into(
     flat: np.ndarray,
     u: np.ndarray,
@@ -68,22 +93,90 @@ def vote_nearest_into(
     -------
     Number of votes cast (in-bounds points).
     """
-    nz, h, w = shape
-    if u.shape != v.shape or u.shape[1] != nz:
-        raise ValueError("coordinate arrays must be (N, Nz) matching the DSI")
-    finite = np.isfinite(u) & np.isfinite(v)
-    # Round half-up (floor(x + 0.5)), exactly like the accelerator's
-    # Nearest Voxel Finder, then bounds-check the *integer* — keeping the
-    # software reference bit-compatible with the hardware model.
-    with np.errstate(invalid="ignore"):
-        iu = np.floor(np.where(finite, u, -10.0) + 0.5).astype(np.int64)
-        iv = np.floor(np.where(finite, v, -10.0) + 0.5).astype(np.int64)
-    valid = finite & (iu >= 0) & (iu < w) & (iv >= 0) & (iv < h)
-
-    iz = _plane_index_grid(u)
-    lin = (iz[valid] * h + iv[valid]) * w + iu[valid]
+    lin = nearest_vote_indices(u, v, shape)
     _scatter_add(flat, lin, None)
     return int(lin.size)
+
+
+def _bilinear_terms_core(
+    uu: np.ndarray,
+    vv: np.ndarray,
+    shape: tuple[int, int, int],
+    finite: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Corner expansion shared by the masked and miss-free entry points.
+
+    ``uu``/``vv`` must be free of non-finite values (the caller has
+    either substituted or filtered them); ``finite`` additionally
+    restricts which rows may vote, or is ``None`` when every row may.
+    """
+    nz, h, w = shape
+    if uu.shape != vv.shape or (uu.size and uu.shape[1] != nz):
+        raise ValueError("coordinate arrays must be (N, Nz) matching the DSI")
+    u0f = np.floor(uu)
+    v0f = np.floor(vv)
+    fu = uu - u0f
+    fv = vv - v0f
+    u0 = u0f.astype(np.int64)
+    v0 = v0f.astype(np.int64)
+    iz = _plane_index_grid(uu)
+
+    voted = np.zeros(uu.shape, dtype=bool)
+    indices: list[np.ndarray] = []
+    weights: list[np.ndarray] = []
+    corners = (
+        (u0, v0, (1.0 - fu) * (1.0 - fv)),
+        (u0 + 1, v0, fu * (1.0 - fv)),
+        (u0, v0 + 1, (1.0 - fu) * fv),
+        (u0 + 1, v0 + 1, fu * fv),
+    )
+    for cu, cv, weight in corners:
+        valid = (cu >= 0) & (cu < w) & (cv >= 0) & (cv < h) & (weight > 0)
+        if finite is not None:
+            valid &= finite
+        if not np.any(valid):
+            continue
+        indices.append((iz[valid] * h + cv[valid]) * w + cu[valid])
+        weights.append(weight[valid])
+        voted |= valid
+    if not indices:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.float64), 0
+    return np.concatenate(indices), np.concatenate(weights), int(voted.sum())
+
+
+def bilinear_vote_terms(
+    u: np.ndarray,
+    v: np.ndarray,
+    shape: tuple[int, int, int],
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Flat indices + weights of the bilinear corner votes.
+
+    Corners are emitted in the fixed (00, 10, 01, 11) order, so applying
+    the terms with one in-order scatter-add reproduces the sequential
+    per-corner accumulation bit for bit.  Returns ``(indices, weights,
+    n_points)`` where ``n_points`` counts points that cast a full or
+    partial vote.  Non-finite coordinates mark projection misses and
+    produce no terms.
+    """
+    finite = np.isfinite(u) & np.isfinite(v)
+    uu = np.where(finite, u, -10.0)
+    vv = np.where(finite, v, -10.0)
+    return _bilinear_terms_core(uu, vv, shape, finite)
+
+
+def bilinear_vote_terms_finite(
+    u: np.ndarray,
+    v: np.ndarray,
+    shape: tuple[int, int, int],
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """:func:`bilinear_vote_terms` for miss-free coordinate arrays.
+
+    Callers that already dropped the projection-miss rows (so ``u`` and
+    ``v`` contain no NaNs) skip the finiteness masking passes;
+    bit-identical to the general kernel on finite input.
+    """
+    return _bilinear_terms_core(u, v, shape, None)
 
 
 def vote_bilinear_into(
@@ -100,36 +193,9 @@ def vote_bilinear_into(
     reference implementation.  Returns the number of points that cast a
     (full or partial) vote.
     """
-    nz, h, w = shape
-    if u.shape != v.shape or u.shape[1] != nz:
-        raise ValueError("coordinate arrays must be (N, Nz) matching the DSI")
-    finite = np.isfinite(u) & np.isfinite(v)
-    uu = np.where(finite, u, -10.0)
-    vv = np.where(finite, v, -10.0)
-
-    u0f = np.floor(uu)
-    v0f = np.floor(vv)
-    fu = uu - u0f
-    fv = vv - v0f
-    u0 = u0f.astype(np.int64)
-    v0 = v0f.astype(np.int64)
-    iz = _plane_index_grid(u)
-
-    voted = np.zeros(u.shape, dtype=bool)
-    corners = (
-        (u0, v0, (1.0 - fu) * (1.0 - fv)),
-        (u0 + 1, v0, fu * (1.0 - fv)),
-        (u0, v0 + 1, (1.0 - fu) * fv),
-        (u0 + 1, v0 + 1, fu * fv),
-    )
-    for cu, cv, weight in corners:
-        valid = finite & (cu >= 0) & (cu < w) & (cv >= 0) & (cv < h) & (weight > 0)
-        if not np.any(valid):
-            continue
-        lin = (iz[valid] * h + cv[valid]) * w + cu[valid]
-        _scatter_add(flat, lin, weight[valid])
-        voted |= valid
-    return int(voted.sum())
+    lin, weights, n_points = bilinear_vote_terms(u, v, shape)
+    _scatter_add(flat, lin, weights)
+    return n_points
 
 
 def vote_nearest(

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.mapper import EMVSResult
+from repro.core.results import EMVSResult
 
 
 def absrel(estimated: np.ndarray, ground_truth: np.ndarray) -> float:

@@ -71,6 +71,24 @@ class Packetizer:
     def frame_size(self) -> int:
         return self._frame_size
 
+    @property
+    def pending_count(self) -> int:
+        """Events buffered but not yet emitted (the trailing partial frame)."""
+        return self._pending_count
+
+    def drop_pending(self) -> int:
+        """Discard the trailing partial frame; returns how many events died.
+
+        The fixed-size hardware buffers drop the same events — callers use
+        the returned count to account them (e.g. in
+        :attr:`repro.core.results.PipelineProfile.dropped_events`) instead
+        of losing them silently.
+        """
+        dropped = self._pending_count
+        self._pending = []
+        self._pending_count = 0
+        return dropped
+
     def push(self, events: EventArray) -> list[EventFrame]:
         """Add events to the buffer; return every completed frame."""
         if len(events) == 0:

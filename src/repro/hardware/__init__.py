@@ -11,6 +11,7 @@ Top-level entry point: :class:`repro.hardware.accelerator.EventorSystem`.
 
 from repro.hardware.config import EventorConfig, ZYNQ_7020
 from repro.hardware.accelerator import EventorSystem, HardwareReport
+from repro.hardware.backend import HardwareBackend
 from repro.hardware.scheduler import FrameScheduler, TimelineEntry
 from repro.hardware.timing import TimingModel, FrameTiming
 from repro.hardware.energy import PowerModel
@@ -21,6 +22,7 @@ __all__ = [
     "ZYNQ_7020",
     "EventorSystem",
     "HardwareReport",
+    "HardwareBackend",
     "FrameScheduler",
     "TimelineEntry",
     "TimingModel",

@@ -23,24 +23,18 @@ energy and utilization — the numbers behind Table 3.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.core.backprojection import BackProjector
 from repro.core.config import EMVSConfig
-from repro.core.depthmap import SemiDenseDepthMap
-from repro.core.detection import detect_structure
 from repro.core.dsi import DSI, depth_planes
-from repro.core.keyframes import KeyframeSelector
-from repro.core.mapper import EMVSResult, KeyframeReconstruction, PipelineProfile
-from repro.core.pointcloud import PointCloud
+from repro.core.engine import ReconstructionEngine
+from repro.core.results import EMVSResult
+from repro.core.policy import DataflowPolicy
+from repro.core.voting import VotingMethod
 from repro.events.containers import EventArray
-from repro.events.packetizer import aggregate_frames
 from repro.fixedpoint.quantize import EVENTOR_SCHEMA, QuantizationSchema, pack_event_word, unpack_event_word
 from repro.geometry.camera import PinholeCamera
-from repro.geometry.distortion import NoDistortion
 from repro.geometry.trajectory import Trajectory
 from repro.hardware.axi import DMAEngine
 from repro.hardware.buffers import make_eventor_buffers
@@ -54,7 +48,7 @@ from repro.hardware.dram import DRAMModel
 from repro.hardware.energy import PowerModel
 from repro.hardware.pe_z0 import PEZ0
 from repro.hardware.pe_zi import PEZi, split_planes
-from repro.hardware.scheduler import FrameScheduler, ScheduleResult
+from repro.hardware.scheduler import ScheduleResult
 from repro.hardware.timing import TimingModel
 from repro.hardware.vote_unit import VoteExecuteUnit
 
@@ -171,14 +165,7 @@ class EventorSystem:
     # ------------------------------------------------------------------
     # ARM-side helpers
     # ------------------------------------------------------------------
-    def _correct_stream(self, events: EventArray) -> EventArray:
-        """Streaming per-event distortion correction (reformulated order)."""
-        if isinstance(self.camera.distortion, NoDistortion):
-            return events
-        corrected = self.camera.undistort_pixels(events.xy)
-        return events.with_coordinates(corrected)
-
-    def _read_out_dsi(self, T_w_ref) -> DSI:
+    def read_out_dsi(self, T_w_ref) -> DSI:
         """ARM reads the voted DSI back from DRAM for detection."""
         scores = self.dram.read_dsi()
         dsi = DSI(
@@ -194,14 +181,14 @@ class EventorSystem:
     # ------------------------------------------------------------------
     # One frame through the PL datapath
     # ------------------------------------------------------------------
-    def _process_frame_on_fpga(
-        self, projector: BackProjector, frame, scheduler: FrameScheduler, cycle: float
-    ) -> int:
+    def process_frame_on_fpga(
+        self, projector: BackProjector, frame, scheduler, cycle: float
+    ) -> tuple[int, int]:
         """Functional + timing execution of one event frame.
 
-        Returns the number of votes applied to the DSI.
+        Returns ``(votes, misses)``: votes applied to the DSI and events
+        the projection-miss judgement rejected.
         """
-        cfg = self.hw_config
         # ARM: per-frame parameters (quantized), then DMA configuration.
         params = projector.frame_parameters(frame.T_wc)
         h_raw = self.schema.homography.to_raw(params.H_Z0)
@@ -263,101 +250,45 @@ class EventorSystem:
                 is_keyframe=frame.is_keyframe,
             )
         )
-        return n_votes
+        return n_votes, int((~valid).sum())
 
     # ------------------------------------------------------------------
     # Full-sequence execution
     # ------------------------------------------------------------------
+    def make_backend(self):
+        """A fresh engine backend driving this system's datapath.
+
+        Returned instances plug into
+        :class:`repro.core.engine.ReconstructionEngine` (registry name
+        ``"hardware-model"``); each instance carries the report of one run.
+        """
+        from repro.hardware.backend import HardwareBackend
+
+        return HardwareBackend(self)
+
     def run(
         self, events: EventArray, trajectory: Trajectory
     ) -> tuple[EMVSResult, HardwareReport]:
-        """Execute the full heterogeneous pipeline over an event stream."""
-        cfg = self.hw_config
-        profile = PipelineProfile()
-        scheduler = FrameScheduler()
-        report = HardwareReport(clock_hz=cfg.clock_hz)
+        """Execute the full heterogeneous pipeline over an event stream.
 
-        t0 = time.perf_counter()
-        stream = self._correct_stream(events)
-        frames = aggregate_frames(stream, trajectory, cfg.frame_size)
-        profile.add_time("A", time.perf_counter() - t0)
-
-        selector = KeyframeSelector(self.emvs_config.keyframe_distance)
-        keyframes: list[KeyframeReconstruction] = []
-        cloud = PointCloud()
-        projector: BackProjector | None = None
-        events_in_ref = 0
-        frames_in_ref = 0
-        dsi_shape = (cfg.n_planes, self.camera.height, self.camera.width)
-
-        def finalize_reference() -> None:
-            nonlocal cloud, events_in_ref, frames_in_ref
-            if projector is None or events_in_ref == 0:
-                return
-            dsi = self._read_out_dsi(projector.T_w_ref)
-            depth_map: SemiDenseDepthMap = detect_structure(
-                dsi, self.emvs_config.detection
-            )
-            reconstruction = KeyframeReconstruction(
-                T_w_ref=projector.T_w_ref,
-                depth_map=depth_map,
-                n_events=events_in_ref,
-                n_frames=frames_in_ref,
-            )
-            keyframes.append(reconstruction)
-            cloud = cloud.merge(
-                PointCloud.from_depth_map(depth_map, self.camera, projector.T_w_ref)
-            )
-
-        for frame in frames:
-            if selector.is_new_keyframe(frame.T_wc):
-                frame.is_keyframe = True
-                finalize_reference()
-                # Re-seat the DSI in DRAM at the new reference view.
-                if not self.dram.dsi_allocated:
-                    self.dram.allocate_dsi(
-                        dsi_shape, score_bits=self.schema.dsi_score.total_bits
-                    )
-                else:
-                    self.dram.reset_dsi()
-                report.dsi_reset_seconds += (
-                    int(np.prod(dsi_shape))
-                    * self.schema.dsi_score.total_bits
-                    / 8
-                    / self.dram.peak_bandwidth_bytes_per_s
-                )
-                projector = BackProjector(
-                    self.camera, frame.T_wc, self.depths, schema=self.schema
-                )
-                events_in_ref = 0
-                frames_in_ref = 0
-                profile.n_keyframes += 1
-                report.keyframes += 1
-
-            assert projector is not None
-            t1 = time.perf_counter()
-            votes = self._process_frame_on_fpga(
-                projector, frame, scheduler, cycle=report.total_cycles
-            )
-            profile.add_time("P_Zi_R", time.perf_counter() - t1)
-            profile.n_events += len(frame)
-            profile.n_frames += 1
-            profile.votes_cast += votes
-            report.votes += votes
-            report.events += len(frame)
-            report.frames += 1
-            events_in_ref += len(frame)
-            frames_in_ref += 1
-
-        finalize_reference()
-
-        schedule = scheduler.result()
-        report.schedule = schedule
-        report.total_cycles = schedule.total_cycles
-        report.dram_bytes = self.dram.stats.total_bytes
-        report.dma_bytes = self.dma.stats.bytes_moved
-        report.power_watts = self.power.total_watts(cfg)
-        report.task_seconds = self.timing.task_seconds()
-
-        result = EMVSResult(keyframes=keyframes, cloud=cloud, profile=profile)
-        return result, report
+        The ARM-side front-end (streaming correction, aggregation,
+        key-framing, detection, merging) is the shared
+        :class:`~repro.core.engine.ReconstructionEngine` dataflow; only
+        the per-frame hot path runs on the modelled PL datapath.
+        """
+        backend = self.make_backend()
+        engine = ReconstructionEngine(
+            self.camera,
+            trajectory,
+            self.emvs_config,
+            self.depth_range,
+            policy=DataflowPolicy(
+                voting=VotingMethod.NEAREST,
+                schema=self.schema,
+                integer_scores=True,
+                name="hardware-model",
+            ),
+            backend=backend,
+        )
+        result = engine.run(events)
+        return result, backend.report()

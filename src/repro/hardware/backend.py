@@ -1,0 +1,118 @@
+"""Execution-backend adapter: the accelerator as an engine substrate.
+
+:class:`HardwareBackend` plugs :class:`repro.hardware.EventorSystem`'s PL
+datapath into :class:`repro.core.engine.ReconstructionEngine`, so the
+cycle-accurate model runs behind the *same* front-end (packetization,
+streaming correction, key-framing, detection, map merging) as the software
+backends.  Bit-exactness between software and hardware paths is therefore
+a structural property of the engine, not a promise kept by parallel run
+loops.
+
+Besides the functional DSI contents, the adapter accumulates the
+:class:`~repro.hardware.accelerator.HardwareReport` (cycles, DRAM traffic,
+energy) that :meth:`EventorSystem.run` returns.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.backprojection import BackProjector
+from repro.core.dsi import DSI
+from repro.core.engine import ExecutionBackend
+from repro.events.packetizer import EventFrame
+from repro.geometry.se3 import SE3
+from repro.hardware.scheduler import FrameScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.accelerator import EventorSystem, HardwareReport
+
+
+class HardwareBackend(ExecutionBackend):
+    """Cycle-accurate accelerator substrate for the reconstruction engine.
+
+    One backend instance drives one run of one :class:`EventorSystem`:
+    frames go through the full PL datapath (DMA ingest, PE_Z0, PE_Zi
+    array, Vote Execute Unit with DRAM-resident DSI), and the Fig. 6
+    schedule plus traffic/energy statistics accumulate into a
+    :class:`HardwareReport` retrievable via :meth:`report` afterwards.
+    """
+
+    name = "hardware-model"
+
+    def __init__(self, system: "EventorSystem"):
+        from repro.hardware.accelerator import HardwareReport
+
+        self.system = system
+        self.scheduler = FrameScheduler()
+        self._report: HardwareReport = HardwareReport(
+            clock_hz=system.hw_config.clock_hz
+        )
+        self._projector: BackProjector | None = None
+
+    # ------------------------------------------------------------------
+    def start_reference(self, T_w_ref: SE3) -> None:
+        """Re-seat the DSI in DRAM at a new reference view."""
+        sys = self.system
+        dsi_shape = (
+            sys.hw_config.n_planes,
+            sys.camera.height,
+            sys.camera.width,
+        )
+        if not sys.dram.dsi_allocated:
+            sys.dram.allocate_dsi(
+                dsi_shape, score_bits=sys.schema.dsi_score.total_bits
+            )
+        else:
+            sys.dram.reset_dsi()
+        self._report.dsi_reset_seconds += (
+            int(np.prod(dsi_shape))
+            * sys.schema.dsi_score.total_bits
+            / 8
+            / sys.dram.peak_bandwidth_bytes_per_s
+        )
+        self._projector = BackProjector(
+            sys.camera, T_w_ref, sys.depths, schema=sys.schema
+        )
+        self._report.keyframes += 1
+
+    def process_frame(self, frame: EventFrame) -> tuple[int, int]:
+        if self._projector is None:
+            raise RuntimeError("start_reference() must be called before frames")
+        t0 = time.perf_counter()
+        votes, misses = self.system.process_frame_on_fpga(
+            self._projector, frame, self.scheduler, cycle=self._report.total_cycles
+        )
+        self.engine.profile.add_time("P_Zi_R", time.perf_counter() - t0)
+        self._report.votes += votes
+        self._report.events += len(frame)
+        self._report.frames += 1
+        return votes, misses
+
+    def read_dsi(self) -> DSI:
+        """ARM reads the voted DSI back from DRAM for detection."""
+        if self._projector is None:
+            raise RuntimeError("no reference segment is open")
+        return self.system.read_out_dsi(self._projector.T_w_ref)
+
+    # ------------------------------------------------------------------
+    def report(self) -> "HardwareReport":
+        """The accumulated cycle/energy/traffic report.
+
+        Safe to call mid-stream: every derived quantity is recomputed
+        from the current scheduler/DRAM/DMA state, so successive calls
+        stay mutually consistent.
+        """
+        sys = self.system
+        r = self._report
+        schedule = self.scheduler.result()
+        r.schedule = schedule
+        r.total_cycles = schedule.total_cycles
+        r.power_watts = sys.power.total_watts(sys.hw_config)
+        r.dram_bytes = sys.dram.stats.total_bytes
+        r.dma_bytes = sys.dma.stats.bytes_moved
+        r.task_seconds = sys.timing.task_seconds()
+        return r

@@ -1,0 +1,133 @@
+"""Engine-level backend equivalence: one front-end, three substrates.
+
+The acceptance bar of the engine refactor: under ``EVENTOR_SCHEMA`` the
+``numpy-reference`` and ``hardware-model`` backends produce *identical*
+depth maps through the same :class:`ReconstructionEngine` front-end, and
+``numpy-fast`` is bit-exact with ``numpy-reference`` while batching its
+DSI updates per reference segment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EMVSConfig, ReconstructionEngine, REFORMULATED_POLICY
+from repro.hardware.backend import HardwareBackend
+
+
+@pytest.fixture(scope="module")
+def setup(seq_3planes_fast):
+    seq = seq_3planes_fast
+    events = seq.events.time_slice(0.9, 1.1)
+    config = EMVSConfig(n_depth_planes=64, frame_size=1024, keyframe_distance=None)
+    return seq, events, config
+
+
+def run_backend(setup, backend):
+    seq, events, config = setup
+    engine = ReconstructionEngine(
+        seq.camera,
+        seq.trajectory,
+        config,
+        depth_range=seq.depth_range,
+        policy=REFORMULATED_POLICY,
+        backend=backend,
+    )
+    return engine, engine.run(events)
+
+
+@pytest.fixture(scope="module")
+def reference(setup):
+    return run_backend(setup, "numpy-reference")[1]
+
+
+@pytest.fixture(scope="module")
+def hardware(setup):
+    return run_backend(setup, "hardware-model")
+
+
+class TestHardwareBackendBitExact:
+    """numpy-reference vs hardware-model under EVENTOR_SCHEMA."""
+
+    def test_identical_depth_maps(self, reference, hardware):
+        _, hw = hardware
+        assert len(hw.keyframes) == len(reference.keyframes)
+        for sw_kf, hw_kf in zip(reference.keyframes, hw.keyframes):
+            np.testing.assert_array_equal(sw_kf.depth_map.mask, hw_kf.depth_map.mask)
+            np.testing.assert_array_equal(
+                sw_kf.depth_map.confidence, hw_kf.depth_map.confidence
+            )
+            np.testing.assert_array_equal(
+                np.nan_to_num(sw_kf.depth_map.depth),
+                np.nan_to_num(hw_kf.depth_map.depth),
+            )
+
+    def test_identical_vote_and_event_counts(self, reference, hardware):
+        _, hw = hardware
+        assert hw.profile.votes_cast == reference.profile.votes_cast
+        assert hw.profile.n_events == reference.profile.n_events
+        assert hw.profile.dropped_events == reference.profile.dropped_events
+
+    def test_identical_clouds(self, reference, hardware):
+        _, hw = hardware
+        np.testing.assert_allclose(
+            reference.cloud.points, hw.cloud.points, atol=1e-12
+        )
+
+    def test_report_available_from_backend(self, hardware):
+        engine, result = hardware
+        assert isinstance(engine.backend, HardwareBackend)
+        report = engine.backend.report()
+        assert report.votes == result.profile.votes_cast
+        assert report.frames == result.profile.n_frames
+        assert report.total_cycles > 0
+
+    def test_engine_matches_eventor_system_run(self, setup, hardware):
+        """EventorSystem.run is the same engine + backend composition."""
+        from repro.hardware import EventorConfig, EventorSystem
+
+        seq, events, config = setup
+        _, engine_result = hardware
+        system = EventorSystem(
+            seq.camera,
+            config,
+            depth_range=seq.depth_range,
+            hw_config=EventorConfig(n_planes=64),
+        )
+        sys_result, report = system.run(events, seq.trajectory)
+        assert sys_result.n_points == engine_result.n_points
+        assert report.votes == engine_result.profile.votes_cast
+
+
+class TestFastBackendBitExact:
+    def test_fast_matches_reference(self, setup, reference):
+        _, fast = run_backend(setup, "numpy-fast")
+        assert fast.profile.votes_cast == reference.profile.votes_cast
+        for a, b in zip(reference.keyframes, fast.keyframes):
+            np.testing.assert_array_equal(a.depth_map.mask, b.depth_map.mask)
+            np.testing.assert_array_equal(
+                a.depth_map.confidence, b.depth_map.confidence
+            )
+        np.testing.assert_allclose(
+            reference.cloud.points, fast.cloud.points, atol=1e-12
+        )
+
+    def test_fast_with_keyframes(self, seq_3planes_fast):
+        seq = seq_3planes_fast
+        events = seq.events.time_slice(0.4, 1.6)
+        config = EMVSConfig(
+            n_depth_planes=64, frame_size=1024, keyframe_distance=0.12
+        )
+        results = {}
+        for backend in ("numpy-reference", "numpy-fast"):
+            engine = ReconstructionEngine(
+                seq.camera,
+                seq.trajectory,
+                config,
+                depth_range=seq.depth_range,
+                backend=backend,
+            )
+            results[backend] = engine.run(events)
+        ref, fast = results["numpy-reference"], results["numpy-fast"]
+        assert len(ref.keyframes) >= 2
+        assert len(fast.keyframes) == len(ref.keyframes)
+        np.testing.assert_allclose(ref.cloud.points, fast.cloud.points, atol=1e-12)

@@ -22,6 +22,22 @@ class TestParser:
         assert args.pipeline == "reformulated"
         assert args.planes == 100
         assert args.frame_size == 1024
+        assert args.backend == "numpy-reference"
+        assert args.policy is None
+
+    def test_backend_and_policy_flags_parse(self):
+        args = build_parser().parse_args(
+            ["reconstruct", "-s", "slider_far",
+             "--backend", "numpy-fast", "--policy", "original"]
+        )
+        assert args.backend == "numpy-fast"
+        assert args.policy == "original"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["reconstruct", "-s", "slider_far", "--backend", "cuda"]
+            )
 
 
 class TestCommands:
@@ -88,6 +104,29 @@ class TestCommands:
         assert code == 0
         data = np.loadtxt(xyz)
         assert data.shape[1] == 3
+
+    def test_reconstruct_with_fast_backend(self, tmp_path, capsys):
+        code = main(
+            [
+                "reconstruct", "-s", "simulation_3planes",
+                "--quality", "fast",
+                "--planes", "48",
+                "--t-start", "0.95", "--t-end", "1.1",
+                "--backend", "numpy-fast",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend=numpy-fast" in out
+        assert "reconstructed" in out
+
+    def test_hardware_backend_rejects_float_policy(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["reconstruct", "-s", "simulation_3planes",
+                 "--quality", "fast",
+                 "--policy", "original", "--backend", "hardware-model"]
+            )
 
     def test_reconstruct_requires_an_input(self):
         with pytest.raises(SystemExit):

@@ -109,3 +109,75 @@ class TestDSI:
         with pytest.raises(ValueError):
             DSI(small_camera, SE3.identity(), depth_planes(1.0, 2.0, 2),
                 score_limit=0)
+
+
+class TestArgmaxProjection:
+    """Tie-centering and saturation behaviour of the depth argmax."""
+
+    def make_dsi(self, camera, nz=8, **kwargs):
+        return DSI(camera, SE3.identity(), depth_planes(1.0, 4.0, nz), **kwargs)
+
+    def test_empty_volume_centres_full_plateau(self, small_camera):
+        """An all-zero column ties across every plane; the argmax must land
+        at the centre, not bias toward the camera."""
+        dsi = self.make_dsi(small_camera, nz=8)
+        confidence, mid = dsi.argmax_projection()
+        assert np.all(confidence == 0.0)
+        np.testing.assert_array_equal(mid, (0 + 7) // 2)
+
+    def test_full_plateau_constant_scores(self, small_camera):
+        dsi = self.make_dsi(small_camera, nz=7)
+        dsi.scores[...] = 3
+        confidence, mid = dsi.argmax_projection()
+        assert np.all(confidence == 3.0)
+        np.testing.assert_array_equal(mid, (0 + 6) // 2)
+
+    def test_interior_plateau_centred(self, small_camera):
+        dsi = self.make_dsi(small_camera, nz=8)
+        dsi.scores[2:6, 10, 20] = 9  # tied max across planes 2..5
+        _, mid = dsi.argmax_projection()
+        assert mid[10, 20] == (2 + 5) // 2
+
+    def test_even_plateau_rounds_down(self, small_camera):
+        dsi = self.make_dsi(small_camera, nz=8)
+        dsi.scores[3:5, 0, 0] = 4  # planes 3 and 4 tie
+        _, mid = dsi.argmax_projection()
+        assert mid[0, 0] == 3
+
+    def test_unique_maximum_unaffected(self, small_camera):
+        dsi = self.make_dsi(small_camera, nz=8)
+        dsi.scores[6, 5, 5] = 10
+        dsi.scores[1, 5, 5] = 4
+        confidence, mid = dsi.argmax_projection()
+        assert mid[5, 5] == 6
+        assert confidence[5, 5] == 10.0
+
+    def test_saturation_creates_tied_plateau(self, small_camera):
+        """score_limit clamps distinct raw counts into a tie, which must
+        then be centred like any other plateau."""
+        dsi = self.make_dsi(small_camera, nz=8, integer_scores=True,
+                            score_limit=100)
+        dsi.scores[2, 4, 4] = 150
+        dsi.scores[3, 4, 4] = 300
+        dsi.scores[4, 4, 4] = 500
+        confidence, mid = dsi.argmax_projection()
+        assert confidence[4, 4] == 100.0
+        assert mid[4, 4] == (2 + 4) // 2
+
+    def test_score_limit_one_degenerates_to_occupancy(self, small_camera):
+        """limit=1: any vote count collapses to 0/1 occupancy."""
+        dsi = self.make_dsi(small_camera, nz=8, integer_scores=True,
+                            score_limit=1)
+        dsi.scores[1, 2, 3] = 7
+        dsi.scores[5, 2, 3] = 9999
+        confidence, mid = dsi.argmax_projection()
+        assert confidence[2, 3] == 1.0
+        # Ties between planes 1 and 5 centre at 3 (inside the tied span).
+        assert mid[2, 3] == (1 + 5) // 2
+        assert dsi.effective_scores().max() == 1
+
+    def test_max_projection_depths_follow_centre(self, small_camera):
+        dsi = self.make_dsi(small_camera, nz=8)
+        dsi.scores[2:6, 1, 1] = 5
+        _, depth = dsi.max_projection()
+        assert depth[1, 1] == pytest.approx(dsi.depths[3])

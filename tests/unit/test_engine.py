@@ -1,0 +1,256 @@
+"""Unit tests for the streaming ReconstructionEngine and its registry."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BACKENDS,
+    EMVSConfig,
+    EMVSPipeline,
+    OnlineEMVS,
+    ORIGINAL_POLICY,
+    REFORMULATED_POLICY,
+    ReconstructionEngine,
+    ReformulatedPipeline,
+)
+from repro.core.engine import ExecutionBackend, create_backend, register_backend
+from repro.core.policy import resolve_policy
+from repro.events.containers import EventArray
+
+
+@pytest.fixture
+def config():
+    return EMVSConfig(n_depth_planes=48, frame_size=1024, keyframe_distance=0.15)
+
+
+@pytest.fixture
+def scene(seq_3planes_fast):
+    return seq_3planes_fast, seq_3planes_fast.events.time_slice(0.8, 1.2)
+
+
+def make_engine(seq, config, **kwargs):
+    return ReconstructionEngine(
+        seq.camera,
+        seq.trajectory,
+        config,
+        depth_range=seq.depth_range,
+        **kwargs,
+    )
+
+
+class TestRegistry:
+    def test_required_backends_registered(self):
+        for name in ("numpy-reference", "numpy-fast", "hardware-model"):
+            assert name in BACKENDS
+
+    def test_unknown_backend_rejected(self, scene, config):
+        seq, _ = scene
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_engine(seq, config, backend="no-such-substrate")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            resolve_policy("no-such-policy")
+
+    def test_policy_by_name(self, scene, config):
+        seq, _ = scene
+        engine = make_engine(seq, config, policy="original")
+        assert engine.policy is ORIGINAL_POLICY
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_engine(seq, config, policy="no-such-policy")
+
+    def test_hardware_backend_rejects_incompatible_policy(self, scene):
+        from repro.core.policy import DataflowPolicy
+        from repro.core.voting import VotingMethod
+        from repro.fixedpoint.quantize import EVENTOR_SCHEMA
+
+        seq, _ = scene
+        config = EMVSConfig(n_depth_planes=64, frame_size=1024)
+        with pytest.raises(ValueError, match="nearest voting only"):
+            make_engine(
+                seq,
+                config,
+                policy=DataflowPolicy(
+                    voting=VotingMethod.BILINEAR, schema=EVENTOR_SCHEMA
+                ),
+                backend="hardware-model",
+            )
+        with pytest.raises(ValueError, match="integer DSI scores"):
+            make_engine(
+                seq,
+                config,
+                policy=DataflowPolicy(
+                    schema=EVENTOR_SCHEMA, integer_scores=False
+                ),
+                backend="hardware-model",
+            )
+
+    def test_custom_backend_registration(self, scene, config):
+        seq, _ = scene
+
+        class Probe(ExecutionBackend):
+            name = "probe"
+
+            def start_reference(self, T_w_ref):
+                pass
+
+            def process_frame(self, frame):
+                return 0, 0
+
+            def read_dsi(self):
+                raise NotImplementedError
+
+        register_backend("probe-test")(lambda engine: Probe())
+        try:
+            engine = make_engine(seq, config, backend="probe-test")
+            assert engine.backend.name == "probe"
+            assert engine.backend.engine is engine
+        finally:
+            del BACKENDS["probe-test"]
+
+    def test_instance_passthrough_binds(self, scene, config):
+        seq, _ = scene
+        engine = make_engine(seq, config)
+        backend = engine.backend
+        assert create_backend(backend, engine) is backend
+
+
+class TestEngineLifecycle:
+    def test_single_use(self, scene, config):
+        seq, events = scene
+        engine = make_engine(seq, config)
+        engine.run(events)
+        with pytest.raises(RuntimeError, match="finished"):
+            engine.push(events)
+
+    def test_finish_idempotent(self, scene, config):
+        seq, events = scene
+        engine = make_engine(seq, config)
+        engine.push(events)
+        a = engine.finish()
+        b = engine.finish()
+        assert a.n_points == b.n_points
+        assert a.profile is b.profile
+
+    def test_empty_push(self, scene, config):
+        seq, _ = scene
+        engine = make_engine(seq, config)
+        assert engine.push(EventArray.empty()) == 0
+        assert engine.finish().n_points == 0
+
+    def test_preview_none_before_frames(self, scene, config):
+        seq, _ = scene
+        engine = make_engine(seq, config)
+        assert engine.preview_depth_map() is None
+
+    def test_trailing_partial_frame_accounted(self, scene, config):
+        seq, events = scene
+        engine = make_engine(seq, config)
+        engine.push(events)
+        tail = len(events) % config.frame_size
+        misses = engine.profile.dropped_events
+        result = engine.finish()
+        assert result.profile.dropped_events == misses + tail
+
+    def test_streaming_equals_batch(self, scene, config):
+        seq, events = scene
+        batch = make_engine(seq, config).run(events)
+        streamed = make_engine(seq, config)
+        boundaries = np.linspace(0, len(events), 13).astype(int)
+        for a, b in zip(boundaries[:-1], boundaries[1:]):
+            streamed.push(events[int(a):int(b)])
+        result = streamed.finish()
+        assert result.n_points == batch.n_points
+        np.testing.assert_allclose(
+            result.cloud.points, batch.cloud.points, atol=1e-12
+        )
+
+
+class TestFacadesDelegate:
+    """The three public pipeline classes are engine facades."""
+
+    def test_reformulated_matches_engine(self, scene, config):
+        seq, events = scene
+        facade = ReformulatedPipeline(
+            seq.camera, config, depth_range=seq.depth_range
+        ).run(events, seq.trajectory)
+        direct = make_engine(seq, config, policy=REFORMULATED_POLICY).run(events)
+        np.testing.assert_allclose(
+            facade.cloud.points, direct.cloud.points, atol=1e-12
+        )
+        assert facade.profile.votes_cast == direct.profile.votes_cast
+
+    def test_original_matches_engine(self, scene, config):
+        seq, events = scene
+        facade = EMVSPipeline(
+            seq.camera, config, depth_range=seq.depth_range
+        ).run(events, seq.trajectory)
+        direct = make_engine(seq, config, policy=ORIGINAL_POLICY).run(events)
+        np.testing.assert_allclose(
+            facade.cloud.points, direct.cloud.points, atol=1e-12
+        )
+
+    def test_online_exposes_engine(self, scene, config):
+        seq, _ = scene
+        online = OnlineEMVS(
+            seq.camera, seq.trajectory, config, depth_range=seq.depth_range
+        )
+        assert isinstance(online.engine, ReconstructionEngine)
+
+    def test_online_reports_dropped_tail(self, scene, config):
+        seq, events = scene
+        online = OnlineEMVS(
+            seq.camera, seq.trajectory, config, depth_range=seq.depth_range
+        )
+        online.push(events)
+        misses = online.profile.dropped_events
+        online.finish()
+        tail = len(events) % config.frame_size
+        assert online.profile.dropped_events == misses + tail
+
+
+class TestNumpyFastBackend:
+    def test_bit_exact_with_reference_nearest(self, scene, config):
+        seq, events = scene
+        ref = make_engine(seq, config, backend="numpy-reference").run(events)
+        fast = make_engine(seq, config, backend="numpy-fast").run(events)
+        assert fast.profile.votes_cast == ref.profile.votes_cast
+        assert len(fast.keyframes) == len(ref.keyframes)
+        for a, b in zip(ref.keyframes, fast.keyframes):
+            np.testing.assert_array_equal(a.depth_map.mask, b.depth_map.mask)
+            np.testing.assert_array_equal(
+                a.depth_map.confidence, b.depth_map.confidence
+            )
+        np.testing.assert_allclose(ref.cloud.points, fast.cloud.points, atol=1e-12)
+
+    def test_bit_exact_with_reference_bilinear(self, scene, config):
+        """The fast path preserves the reference corner order, so even
+        float bilinear weights accumulate to the identical result."""
+        seq, events = scene
+        ref = make_engine(
+            seq, config, policy=ORIGINAL_POLICY, backend="numpy-reference"
+        ).run(events)
+        fast = make_engine(
+            seq, config, policy=ORIGINAL_POLICY, backend="numpy-fast"
+        ).run(events)
+        assert fast.profile.votes_cast == ref.profile.votes_cast
+        for a, b in zip(ref.keyframes, fast.keyframes):
+            np.testing.assert_array_equal(a.depth_map.mask, b.depth_map.mask)
+            np.testing.assert_array_equal(
+                a.depth_map.confidence, b.depth_map.confidence
+            )
+        np.testing.assert_allclose(ref.cloud.points, fast.cloud.points, atol=1e-12)
+
+    def test_preview_then_continue_is_consistent(self, scene, config):
+        """Flushing pending votes for a preview must not corrupt the DSI."""
+        seq, events = scene
+        fast = make_engine(seq, config, backend="numpy-fast")
+        half = len(events) // 2
+        fast.push(events[:half])
+        fast.preview_depth_map()  # forces a mid-segment flush
+        fast.push(events[half:])
+        result = fast.finish()
+        ref = make_engine(seq, config, backend="numpy-reference").run(events)
+        np.testing.assert_allclose(
+            result.cloud.points, ref.cloud.points, atol=1e-12
+        )

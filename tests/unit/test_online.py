@@ -51,6 +51,19 @@ class TestOnlineEMVS:
         assert len(seen) == len(online.keyframes)
         assert all(k.depth_map.n_points >= 0 for k in seen)
 
+    def test_keyframe_callback_can_be_assigned_late(self, seq_3planes_fast, config):
+        """Reassigning on_keyframe after construction must take effect."""
+        seq = seq_3planes_fast
+        events = seq.events.time_slice(0.6, 1.4)
+        online = OnlineEMVS(
+            seq.camera, seq.trajectory, config, depth_range=seq.depth_range
+        )
+        seen = []
+        online.on_keyframe = seen.append
+        online.push(events)
+        online.finish()
+        assert len(seen) == len(online.keyframes) > 0
+
     def test_current_depth_map_preview(self, seq_3planes_fast, config):
         seq = seq_3planes_fast
         online = OnlineEMVS(

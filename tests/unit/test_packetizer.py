@@ -45,6 +45,22 @@ class TestPacketizer:
         with pytest.raises(ValueError):
             Packetizer(simple_trajectory, frame_size=0)
 
+    def test_pending_count_tracks_buffer(self, simple_trajectory):
+        p = Packetizer(simple_trajectory, frame_size=100)
+        assert p.pending_count == 0
+        p.push(stream(250))
+        assert p.pending_count == 50
+        p.flush()
+        assert p.pending_count == 0
+
+    def test_drop_pending_reports_and_clears(self, simple_trajectory):
+        p = Packetizer(simple_trajectory, frame_size=100)
+        p.push(stream(250))
+        assert p.drop_pending() == 50
+        assert p.pending_count == 0
+        assert p.drop_pending() == 0
+        assert p.flush() is None
+
     def test_pose_sampled_at_midpoint(self, simple_trajectory):
         p = Packetizer(simple_trajectory, frame_size=100)
         # Events spanning t in [0, 2]: frame midpoint at t=1 -> x=0.

@@ -127,3 +127,56 @@ class TestDispatch:
         cast_votes_into(VotingMethod.NEAREST, flat_n, u, v, SHAPE)
         assert 0 < flat_b.max() < 1
         assert flat_n.max() == 1
+
+
+class TestVoteTermHelpers:
+    """The index/term kernels behind the numpy-fast backend."""
+
+    def test_nearest_indices_match_into_kernel(self, rng):
+        from repro.core.voting import nearest_vote_indices
+
+        u = rng.uniform(-2, 12, size=(40, 3))
+        v = rng.uniform(-2, 10, size=(40, 3))
+        u[rng.random((40, 3)) < 0.1] = np.nan
+        flat = np.zeros(int(np.prod(SHAPE)), dtype=np.int64)
+        n = vote_nearest_into(flat, u.copy(), v.copy(), SHAPE)
+        lin = nearest_vote_indices(u, v, SHAPE)
+        assert lin.size == n
+        rebuilt = np.bincount(lin, minlength=flat.size)
+        np.testing.assert_array_equal(rebuilt, flat)
+
+    def test_bilinear_terms_reproduce_into_kernel(self, rng):
+        from repro.core.voting import bilinear_vote_terms
+
+        u = rng.uniform(-1, 11, size=(30, 3))
+        v = rng.uniform(-1, 9, size=(30, 3))
+        flat = np.zeros(int(np.prod(SHAPE)), dtype=np.float64)
+        n = vote_bilinear_into(flat, u.copy(), v.copy(), SHAPE)
+        lin, w, n_terms = bilinear_vote_terms(u, v, SHAPE)
+        assert n_terms == n
+        rebuilt = np.zeros_like(flat)
+        np.add.at(rebuilt, lin, w)
+        np.testing.assert_array_equal(rebuilt, flat)
+
+    def test_finite_bilinear_matches_general_on_finite_input(self, rng):
+        from repro.core.voting import (
+            bilinear_vote_terms,
+            bilinear_vote_terms_finite,
+        )
+
+        u = rng.uniform(-1, 11, size=(20, 3))
+        v = rng.uniform(-1, 9, size=(20, 3))
+        lin_a, w_a, n_a = bilinear_vote_terms(u.copy(), v.copy(), SHAPE)
+        lin_b, w_b, n_b = bilinear_vote_terms_finite(u, v, SHAPE)
+        np.testing.assert_array_equal(lin_a, lin_b)
+        np.testing.assert_array_equal(w_a, w_b)
+        assert n_a == n_b
+
+    def test_empty_terms(self):
+        from repro.core.voting import bilinear_vote_terms, nearest_vote_indices
+
+        u = np.full((2, 3), np.nan)
+        v = np.full((2, 3), np.nan)
+        assert nearest_vote_indices(u, v, SHAPE).size == 0
+        lin, w, n = bilinear_vote_terms(u, v, SHAPE)
+        assert lin.size == 0 and w.size == 0 and n == 0
