@@ -1,0 +1,207 @@
+"""Hot-path kernel micro-benchmarks (isolation baselines).
+
+The engine-level benches measure end-to-end backends; this file times the
+individual kernels of the ``P(Z0->Zi)+R`` hot path in isolation — the
+proportional map (allocating vs. ``out=`` scratch), the nearest/bilinear
+voting kernels, and the batched stages behind ``numpy-batch`` — so future
+kernel changes have a per-component baseline to diff against instead of a
+single end-to-end number.
+
+Timings are recorded (``benchmarks/results/hotpath_kernels.txt``); the
+assertions pin only *correctness* (kernels agree with each other) plus
+directional claims that are far from the noise floor, so the bench stays
+stable across hosts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.voting import (
+    BatchedNearestVoter,
+    vote_bilinear_into,
+    vote_nearest_into,
+)
+from repro.eval.reporting import Table
+from repro.geometry.homography import apply_proportional
+from repro.geometry.se3 import SE3, Quaternion, stack_poses
+
+#: Workload shape: one 1024-event frame against a paper-sized DSI.
+N_EVENTS = 1024
+SHAPE = (100, 180, 240)
+N_FRAMES = 64
+
+
+def best_of(fn, repeats: int = 5) -> float:
+    fn()  # warm up
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Synthetic but representative frame batch (mostly in-bounds votes)."""
+    rng = np.random.default_rng(2022)
+    nz, h, w = SHAPE
+    phi = np.stack(
+        [
+            np.stack(
+                [
+                    rng.uniform(0.7, 1.4, nz),
+                    rng.uniform(-30.0, 30.0, nz),
+                    rng.uniform(-25.0, 25.0, nz),
+                ],
+                axis=1,
+            )
+            for _ in range(N_FRAMES)
+        ]
+    )
+    uv0 = rng.uniform(0.0, w, (N_FRAMES, N_EVENTS, 2))
+    uv0[..., 1] *= h / w
+    valid = rng.random((N_FRAMES, N_EVENTS)) > 0.01
+    uv0[~valid] = 0.0
+    return phi, uv0, valid
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_hotpath_kernel_baselines(benchmark, workload):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    phi, uv0, valid = workload
+    nz = SHAPE[0]
+    table = Table(
+        "Hot-path kernel baselines (one 1024-event frame, Nz=100)",
+        ["kernel", "ms/frame"],
+    )
+
+    # --- proportional map: allocating vs out= scratch -----------------
+    t_alloc = best_of(lambda: apply_proportional(phi[0], uv0[0])) * 1e3
+    scratch = (np.empty((N_EVENTS, nz)), np.empty((N_EVENTS, nz)))
+    t_out = best_of(lambda: apply_proportional(phi[0], uv0[0], out=scratch)) * 1e3
+    table.add_row("apply_proportional (alloc)", f"{t_alloc:.3f}")
+    table.add_row("apply_proportional (out=)", f"{t_out:.3f}")
+    u_ref, v_ref = apply_proportional(phi[0], uv0[0])
+    np.testing.assert_array_equal(scratch[0], u_ref)
+    np.testing.assert_array_equal(scratch[1], v_ref)
+
+    # --- per-frame voting kernels -------------------------------------
+    u, v = u_ref, v_ref
+    flat_nearest = np.zeros(int(np.prod(SHAPE)), dtype=np.int64)
+    t_nearest = best_of(lambda: vote_nearest_into(flat_nearest, u, v, SHAPE)) * 1e3
+    flat_bilinear = np.zeros(int(np.prod(SHAPE)))
+    t_bilinear = best_of(
+        lambda: vote_bilinear_into(flat_bilinear, u, v, SHAPE)
+    ) * 1e3
+    table.add_row("vote_nearest_into", f"{t_nearest:.3f}")
+    table.add_row("vote_bilinear_into", f"{t_bilinear:.3f}")
+
+    # --- fused batched kernel (proportional + vote in one) ------------
+    def run_batched():
+        voter = BatchedNearestVoter(SHAPE)
+        voter.vote_batch(phi, uv0, valid)
+        return voter
+
+    t_batch = best_of(run_batched, repeats=3) * 1e3 / N_FRAMES
+    table.add_row(
+        f"BatchedNearestVoter (B={N_FRAMES}, incl. proportional)",
+        f"{t_batch:.3f}",
+    )
+
+    # Correctness: the fused kernel equals proportional + reference votes.
+    voter = run_batched()
+    fused = np.zeros(int(np.prod(SHAPE)), dtype=np.int64)
+    voter.materialize_into(fused)
+    ref = np.zeros(int(np.prod(SHAPE)), dtype=np.int64)
+    for b in range(N_FRAMES):
+        ub, vb = apply_proportional(phi[b], uv0[b])
+        ub[~valid[b]] = np.nan
+        vb[~valid[b]] = np.nan
+        vote_nearest_into(ref, ub, vb, SHAPE)
+    np.testing.assert_array_equal(fused, ref)
+
+    table.add_note(
+        "the fused batch kernel folds the proportional map, rounding, "
+        "bounds handling and scatter into one pass over segment scratch"
+    )
+    write_result("hotpath_kernels", table.render())
+
+    # Directional pins (far from noise): scratch beats re-allocation, and
+    # the fused kernel beats proportional + nearest voting run separately.
+    assert t_out < t_alloc
+    assert t_batch < t_alloc + t_nearest
+
+
+@pytest.mark.benchmark(group="hotpath")
+def test_batched_parameter_stage_baseline(benchmark):
+    """Per-frame pose sampling + (H_Z0, phi) computation, batched vs scalar.
+
+    Covers the whole ARM-side parameter stage: trajectory interpolation at
+    the frame timestamps (``Trajectory.sample_batch`` vs a scalar
+    ``sample`` loop) feeding the stacked ``frame_parameters_batch`` pass.
+    """
+    from repro.core.backprojection import BackProjector
+    from repro.core.dsi import depth_planes
+    from repro.geometry.camera import PinholeCamera
+    from repro.geometry.trajectory import linear_trajectory
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    camera = PinholeCamera.davis240c()
+    depths = depth_planes(0.5, 5.0, SHAPE[0])
+    proj = BackProjector(camera, SE3.identity(), depths)
+    trajectory = linear_trajectory(
+        [-0.2, 0.0, 0.0],
+        [0.2, 0.1, 0.05],
+        duration=2.0,
+        n_poses=401,
+        rotation=Quaternion.from_axis_angle([0.0, 0.0, 1.0], 0.2),
+    )
+    frame_times = np.linspace(0.1, 1.9, N_FRAMES)
+
+    t_sample_scalar = best_of(
+        lambda: [trajectory.sample(float(t)) for t in frame_times], repeats=3
+    ) * 1e3 / N_FRAMES
+    t_sample_batch = best_of(
+        lambda: trajectory.sample_batch(frame_times), repeats=3
+    ) * 1e3 / N_FRAMES
+    poses = trajectory.sample_batch(frame_times)
+    rotations, translations = stack_poses(poses)
+
+    def scalar():
+        return [proj.frame_parameters(p) for p in poses]
+
+    t_scalar = best_of(scalar, repeats=3) * 1e3 / N_FRAMES
+    t_batch = best_of(
+        lambda: proj.frame_parameters_batch(rotations, translations), repeats=3
+    ) * 1e3 / N_FRAMES
+
+    table = Table(
+        "Frame-parameter stage (per frame)",
+        ["path", "ms/frame"],
+    )
+    table.add_row("Trajectory.sample (scalar loop)", f"{t_sample_scalar:.3f}")
+    table.add_row(f"Trajectory.sample_batch (B={N_FRAMES})", f"{t_sample_batch:.3f}")
+    table.add_row("frame_parameters (scalar loop)", f"{t_scalar:.3f}")
+    table.add_row(f"frame_parameters_batch (B={N_FRAMES})", f"{t_batch:.3f}")
+    table.add_note("stacked (B,3,3) inverse/matmul vs B Python SE3 trips")
+    write_result("hotpath_parameters", table.render())
+
+    # Vectorized sampling interpolates the same poses (to float rounding).
+    for t, pose in zip(frame_times, poses):
+        scalar_pose = trajectory.sample(float(t))
+        np.testing.assert_allclose(pose.rotation, scalar_pose.rotation, atol=1e-12)
+        np.testing.assert_allclose(
+            pose.translation, scalar_pose.translation, atol=1e-12
+        )
+    batch = proj.frame_parameters_batch(rotations, translations)
+    for k, params in enumerate(scalar()):
+        np.testing.assert_array_equal(batch.H_Z0[k], params.H_Z0)
+        np.testing.assert_array_equal(batch.phi[k], params.phi)
+    assert t_batch < t_scalar
+    assert t_sample_batch < t_sample_scalar

@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""One dataflow, three substrates: the engine's backend registry.
+"""One dataflow, four substrates: the engine's backend registry.
 
 Runs the same reformulated EMVS dataflow through every registered
 execution backend — ``numpy-reference`` (per-frame scatter votes),
-``numpy-fast`` (fused, segment-batched votes) and ``hardware-model``
-(the cycle-accurate accelerator datapath) — and shows that the point
-clouds are identical while the costs differ: wall-clock for the NumPy
-backends, modelled cycles/energy for the hardware.
+``numpy-fast`` (fused per-frame votes), ``numpy-batch`` (segment-batched
+fused passes over buffered frame batches) and ``hardware-model`` (the
+cycle-accurate accelerator datapath) — and shows that the point clouds
+are identical while the costs differ: wall-clock for the NumPy backends,
+modelled cycles/energy for the hardware.
 
 Run:  python examples/engine_backends.py
 """

@@ -83,6 +83,12 @@ def _cmd_reconstruct(args) -> int:
     # --policy overrides the legacy --pipeline spelling; both name the same
     # dataflow presets.
     policy = POLICIES[args.policy or args.pipeline]
+    if args.batch_frames is not None:
+        import dataclasses
+
+        if args.batch_frames < 1:
+            raise SystemExit("--batch-frames must be >= 1")
+        policy = dataclasses.replace(policy, batch_frames=args.batch_frames)
     if args.backend == "hardware-model" and not policy.schema.enabled:
         raise SystemExit(
             "the hardware-model backend is quantized by design; "
@@ -186,9 +192,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_rec.add_argument(
         "--backend",
-        choices=("numpy-reference", "numpy-fast", "hardware-model"),
+        choices=("numpy-reference", "numpy-fast", "numpy-batch", "hardware-model"),
         default="numpy-reference",
         help="execution backend from the engine registry",
+    )
+    p_rec.add_argument(
+        "--batch-frames", type=int, default=None,
+        help="frames buffered per flush for batching backends "
+             "(numpy-batch; results are bit-identical for any value)",
     )
     p_rec.add_argument("--planes", type=int, default=100, help="DSI depth planes")
     p_rec.add_argument("--frame-size", type=int, default=1024)

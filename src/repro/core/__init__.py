@@ -4,9 +4,9 @@ The central abstraction is :class:`repro.core.engine.ReconstructionEngine`
 — a single streaming owner of the packetize → undistort → back-project →
 vote → detect → lift dataflow, parameterized by a
 :class:`repro.core.policy.DataflowPolicy` (correction scheduling, voting,
-quantization, score storage) and an execution backend from
-:data:`repro.core.engine.BACKENDS` (``numpy-reference``, ``numpy-fast``,
-``hardware-model``).
+quantization, score storage, batch scheduling) and an execution backend
+from :data:`repro.core.engine.BACKENDS` (``numpy-reference``,
+``numpy-fast``, ``numpy-batch``, ``hardware-model``).
 
 :class:`~repro.core.pipeline.EMVSPipeline` (original full-precision EMVS
 with bilinear voting, after Rebecq et al., IJCV 2018),

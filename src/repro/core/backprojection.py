@@ -28,10 +28,14 @@ from repro.fixedpoint.quantize import FLOAT_SCHEMA, QuantizationSchema
 from repro.geometry.camera import PinholeCamera
 from repro.geometry.homography import (
     apply_homography_with_scale,
+    apply_homography_with_scale_batch,
     apply_proportional,
     canonical_plane_homography,
+    canonical_plane_homography_batch,
     event_camera_center_in_virtual,
+    event_camera_centers_in_virtual,
     proportional_coefficients,
+    proportional_coefficients_batch,
 )
 from repro.geometry.se3 import SE3
 
@@ -48,6 +52,26 @@ class FrameParameters:
 
     H_Z0: np.ndarray
     phi: np.ndarray
+
+
+@dataclass(frozen=True)
+class BatchFrameParameters:
+    """Stacked :class:`FrameParameters` of one frame batch.
+
+    ``H_Z0`` is ``(B, 3, 3)`` and ``phi`` is ``(B, Nz, 3)``; slice ``k``
+    is bit-identical to the :class:`FrameParameters` the scalar path
+    computes for frame ``k``.
+    """
+
+    H_Z0: np.ndarray
+    phi: np.ndarray
+
+    def __len__(self) -> int:
+        return self.H_Z0.shape[0]
+
+    def frame(self, k: int) -> FrameParameters:
+        """The scalar parameter set of frame ``k`` (views, no copies)."""
+        return FrameParameters(H_Z0=self.H_Z0[k], phi=self.phi[k])
 
 
 class BackProjector:
@@ -100,6 +124,28 @@ class BackProjector:
             phi=self.schema.quantize_phi(phi),
         )
 
+    def frame_parameters_batch(
+        self, rotations: np.ndarray, translations: np.ndarray
+    ) -> BatchFrameParameters:
+        """Batched :meth:`frame_parameters` over stacked event poses.
+
+        One ``(B, 3, 3)`` inverse/matmul pass replaces ``B`` Python calls
+        through :class:`~repro.geometry.se3.SE3`; every slice is
+        bit-identical to the scalar computation (the equality the
+        ``numpy-batch`` backend's bit-exactness rests on, pinned by unit
+        tests).
+        """
+        H = canonical_plane_homography_batch(
+            self.T_w_ref, rotations, translations, self.camera, self.z0
+        )
+        H = H / np.abs(H).max(axis=(1, 2), keepdims=True)
+        c = event_camera_centers_in_virtual(self.T_w_ref, translations)
+        phi = proportional_coefficients_batch(c, self.z0, self.depths, self.camera)
+        return BatchFrameParameters(
+            H_Z0=self.schema.quantize_homography(H),
+            phi=self.schema.quantize_phi(phi),
+        )
+
     # ------------------------------------------------------------------
     # Per-event maps (FPGA-side tasks in Eventor)
     # ------------------------------------------------------------------
@@ -121,16 +167,40 @@ class BackProjector:
         uv0 = self.schema.quantize_canonical(uv0)
         return uv0, valid
 
+    def canonical_batch(
+        self, params: BatchFrameParameters, xy: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`canonical` over a ``(B, N, 2)`` event block.
+
+        Frame ``b``'s pixels go through ``params.H_Z0[b]`` in one stacked
+        matmul; validity masking and quantization are elementwise, so the
+        ``(B, N, 2)`` / ``(B, N)`` result slices are bit-identical to the
+        per-frame path.
+        """
+        xy = self.schema.quantize_event_coords(np.asarray(xy, dtype=float))
+        uv0, scale = apply_homography_with_scale_batch(params.H_Z0, xy)
+        valid = scale > 0
+        valid &= ~self.schema.canonical_overflow(uv0[..., 0])
+        valid &= ~self.schema.canonical_overflow(uv0[..., 1])
+        uv0 = np.where(valid[..., None], uv0, 0.0)
+        uv0 = self.schema.quantize_canonical(uv0)
+        return uv0, valid
+
     def proportional(
-        self, params: FrameParameters, uv0: np.ndarray
+        self,
+        params: FrameParameters,
+        uv0: np.ndarray,
+        out: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """``P(Z0 -> Zi)``: canonical pixels -> per-plane pixel coordinates.
 
         Returns ``(u, v)`` of shape ``(N, Nz)``.  No quantization is applied
         here: under nearest voting the subsequent rounding to integer voxel
         indices *is* the 8-bit plane-coordinate quantization of Table 1.
+        ``out`` forwards to :func:`~repro.geometry.homography.apply_proportional`
+        for allocation-free execution into scratch buffers.
         """
-        return apply_proportional(params.phi, uv0)
+        return apply_proportional(params.phi, uv0, out=out)
 
     # ------------------------------------------------------------------
     def project_frame(

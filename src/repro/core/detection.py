@@ -58,18 +58,18 @@ def median_reject(
     k = config.median_size // 2
     h, w = depth.shape
     sparse = np.where(mask, depth, np.nan)
-    # Stack every in-window shift, NaN-padded, and take the NaN-median.
-    shifts = []
-    for dy in range(-k, k + 1):
-        for dx in range(-k, k + 1):
-            shifted = np.full((h, w), np.nan)
-            ys_src = slice(max(0, -dy), min(h, h - dy))
-            xs_src = slice(max(0, -dx), min(w, w - dx))
-            ys_dst = slice(max(0, dy), min(h, h + dy))
-            xs_dst = slice(max(0, dx), min(w, w + dx))
-            shifted[ys_dst, xs_dst] = sparse[ys_src, xs_src]
-            shifts.append(shifted)
-    stack = np.stack(shifts)
+    # One preallocated NaN-padded stack of every in-window shift, filled
+    # layer by layer in place (the per-shift ``np.full`` copies plus the
+    # final ``np.stack`` re-copy would double the allocations).
+    stack = np.full((config.median_size**2, h, w), np.nan)
+    for i, (dy, dx) in enumerate(
+        (dy, dx) for dy in range(-k, k + 1) for dx in range(-k, k + 1)
+    ):
+        ys_src = slice(max(0, -dy), min(h, h - dy))
+        xs_src = slice(max(0, -dx), min(w, w - dx))
+        ys_dst = slice(max(0, dy), min(h, h + dy))
+        xs_dst = slice(max(0, dx), min(w, w + dx))
+        stack[i, ys_dst, xs_dst] = sparse[ys_src, xs_src]
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", RuntimeWarning)  # all-NaN windows
         local_median = np.nanmedian(stack, axis=0)

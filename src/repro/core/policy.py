@@ -52,6 +52,12 @@ class DataflowPolicy:
         Store DSI scores as saturating integers (Table 1) instead of
         float64 — the score-storage axis, kept separate from ``schema``
         because the ablations exercise them independently.
+    batch_frames:
+        Frames the engine buffers per flush for batching backends
+        (``numpy-batch``).  A pure scheduling knob: results are
+        bit-identical for any value; larger batches amortize per-frame
+        Python dispatch, smaller ones bound buffering latency for
+        streaming consumers.  Per-frame backends ignore it.
     name:
         Human-readable label used by the CLI and reports.
     """
@@ -60,7 +66,12 @@ class DataflowPolicy:
     voting: VotingMethod = VotingMethod.NEAREST
     schema: QuantizationSchema = EVENTOR_SCHEMA
     integer_scores: bool = True
+    batch_frames: int = 16
     name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.batch_frames < 1:
+            raise ValueError("batch_frames must be >= 1")
 
     def score_limit(self) -> int | None:
         """Saturation bound of the DSI score registers (None = unbounded)."""

@@ -11,7 +11,7 @@ accelerator make.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Iterator
+from collections.abc import Generator
 
 from repro.events.containers import EventArray
 from repro.geometry.se3 import SE3
@@ -139,7 +139,8 @@ def aggregate_frames(
     trajectory: Trajectory,
     frame_size: int = DEFAULT_FRAME_SIZE,
     drop_partial: bool = True,
-) -> list[EventFrame]:
+    return_dropped: bool = False,
+) -> list[EventFrame] | tuple[list[EventFrame], int]:
     """Split an event stream into pose-stamped frames.
 
     Parameters
@@ -153,13 +154,28 @@ def aggregate_frames(
     drop_partial:
         Drop the trailing frame if it has fewer than ``frame_size`` events
         (matches the fixed-size hardware buffers).
+    return_dropped:
+        Also return how many trailing events were dropped, mirroring
+        :meth:`Packetizer.drop_pending` — callers that account work (e.g.
+        ``PipelineProfile.dropped_events``) should pass True instead of
+        losing the tail silently.
+
+    Returns
+    -------
+    The frame list, or ``(frames, n_dropped)`` when ``return_dropped`` is
+    True (``n_dropped`` is 0 when ``drop_partial`` is False).
     """
     packetizer = Packetizer(trajectory, frame_size)
     frames = packetizer.push(events)
-    if not drop_partial:
+    if drop_partial:
+        dropped = packetizer.drop_pending()
+    else:
+        dropped = 0
         tail = packetizer.flush()
         if tail is not None:
             frames.append(tail)
+    if return_dropped:
+        return frames, dropped
     return frames
 
 
@@ -167,10 +183,16 @@ def iter_frames(
     events: EventArray,
     trajectory: Trajectory,
     frame_size: int = DEFAULT_FRAME_SIZE,
-) -> Iterator[EventFrame]:
-    """Generator variant of :func:`aggregate_frames` for streaming use."""
-    n_full = len(events) // frame_size
+) -> Generator[EventFrame, None, int]:
+    """Generator variant of :func:`aggregate_frames` for streaming use.
+
+    Yields exactly the frames of ``aggregate_frames(drop_partial=True)``:
+    the trailing partial frame is dropped, never yielded.  The generator's
+    ``return`` value (``StopIteration.value``, or the target of
+    ``yield from``) carries the dropped-event count so streaming drivers
+    can account the tail just like :meth:`Packetizer.drop_pending` users.
+    """
     packetizer = Packetizer(trajectory, frame_size)
-    for i in range(n_full):
-        chunk = events[i * frame_size : (i + 1) * frame_size]
-        yield from packetizer.push(chunk)
+    for start in range(0, len(events), frame_size):
+        yield from packetizer.push(events[start : start + frame_size])
+    return packetizer.drop_pending()

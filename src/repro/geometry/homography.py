@@ -104,6 +104,44 @@ def canonical_plane_homography(
     return np.linalg.inv(H_ev)
 
 
+def canonical_plane_homography_batch(
+    T_w_virtual: SE3,
+    rotations: np.ndarray,
+    translations: np.ndarray,
+    camera: PinholeCamera,
+    z0: float,
+) -> np.ndarray:
+    """Batched :func:`canonical_plane_homography` over stacked event poses.
+
+    ``rotations``/``translations`` hold ``B`` camera-to-world event poses as
+    ``(B, 3, 3)`` / ``(B, 3)`` arrays (see :func:`repro.geometry.se3.stack_poses`);
+    the result is the ``(B, 3, 3)`` stack of per-frame ``H_Z0`` matrices.
+
+    Each slice is **bit-identical** to the scalar function: stacked
+    ``matmul``/``inv`` execute the same per-slice kernels as their 2-D
+    forms (pinned by unit tests), and every remaining operation is
+    elementwise, so one ``(B, 3, 3)`` pass replaces ``B`` Python trips
+    through :class:`~repro.geometry.se3.SE3` without perturbing a ULP.
+    """
+    if z0 <= 0:
+        raise ValueError(f"canonical plane depth must be positive, got {z0}")
+    R_we = np.asarray(rotations, dtype=float)
+    t_we = np.asarray(translations, dtype=float)
+    # T_event_virtual = T_w_event.inverse() @ T_w_virtual, with the exact
+    # operation order of SE3.inverse / SE3.__matmul__.
+    R_we_t = R_we.transpose(0, 2, 1)
+    t_inv = -np.matmul(R_we_t, t_we[:, :, None])[:, :, 0]
+    R_ev = np.matmul(R_we_t, T_w_virtual.rotation)
+    t_ev = np.matmul(R_we_t, T_w_virtual.translation[:, None])[:, :, 0] + t_inv
+    # plane_homography(T_event_virtual, n, z0, K, K): n = (0, 0, 1), so the
+    # outer product contributes t to the third column (and signed zeros
+    # elsewhere, reproduced exactly by the broadcasted multiply).
+    H_metric = R_ev + (t_ev[:, :, None] * _PLANE_NORMAL[None, None, :]) / z0
+    K_inv = np.linalg.inv(camera.K)
+    H_ev = np.matmul(np.matmul(camera.K, H_metric), K_inv)
+    return np.linalg.inv(H_ev)
+
+
 def apply_homography(H: np.ndarray, pixels: np.ndarray) -> np.ndarray:
     """Apply a 3x3 homography to ``(N, 2)`` pixels with perspective division."""
     uv, _ = apply_homography_with_scale(H, pixels)
@@ -128,9 +166,36 @@ def apply_homography_with_scale(
     return uv, w
 
 
+def apply_homography_with_scale_batch(
+    H: np.ndarray, pixels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`apply_homography_with_scale`: per-frame homographies.
+
+    ``H`` is ``(B, 3, 3)`` and ``pixels`` is a ``(B, N, 2)`` block (frame
+    ``b`` transformed by ``H[b]``).  Returns ``(uv, w)`` of shapes
+    ``(B, N, 2)`` / ``(B, N)``; each slice is bit-identical to the scalar
+    function (the stacked matmul runs the same per-slice GEMM).
+    """
+    pixels = np.asarray(pixels, dtype=float)
+    ones = np.ones(pixels.shape[:-1] + (1,))
+    hom = np.concatenate([pixels, ones], axis=-1) @ H.transpose(0, 2, 1)
+    w = hom[..., 2]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        uv = hom[..., :2] / hom[..., 2:3]
+    return uv, w
+
+
 def event_camera_center_in_virtual(T_w_virtual: SE3, T_w_event: SE3) -> np.ndarray:
     """Event-camera optical centre expressed in the virtual frame."""
     return T_w_virtual.inverse().transform(T_w_event.translation)
+
+
+def event_camera_centers_in_virtual(
+    T_w_virtual: SE3, translations: np.ndarray
+) -> np.ndarray:
+    """Batched :func:`event_camera_center_in_virtual` over ``(B, 3)`` centres."""
+    T_inv = T_w_virtual.inverse()
+    return np.asarray(translations, dtype=float) @ T_inv.rotation.T + T_inv.translation
 
 
 def proportional_coefficients(
@@ -178,7 +243,38 @@ def proportional_coefficients(
     return np.stack([alpha, beta, gamma], axis=1)
 
 
-def apply_proportional(phi: np.ndarray, uv0: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def proportional_coefficients_batch(
+    camera_centers: np.ndarray,
+    z0: float,
+    depths: np.ndarray,
+    camera: PinholeCamera,
+) -> np.ndarray:
+    """Batched :func:`proportional_coefficients` over ``(B, 3)`` centres.
+
+    Returns the ``(B, Nz, 3)`` stack of per-frame φ coefficient tables.
+    All arithmetic is elementwise, so every slice is bit-identical to the
+    scalar function.
+    """
+    c = np.asarray(camera_centers, dtype=float).reshape(-1, 3)
+    depths = np.asarray(depths, dtype=float)
+    denom = depths[None, :] * (z0 - c[:, 2:3])
+    if np.any(np.abs(denom) < 1e-12):
+        raise ValueError(
+            "degenerate geometry: camera centre lies on the canonical plane"
+        )
+    alpha = z0 * (depths[None, :] - c[:, 2:3]) / denom
+    beta_n = c[:, 0:1] * (z0 - depths[None, :]) / denom
+    gamma_n = c[:, 1:2] * (z0 - depths[None, :]) / denom
+    beta = camera.fx * beta_n + camera.cx * (1.0 - alpha)
+    gamma = camera.fy * gamma_n + camera.cy * (1.0 - alpha)
+    return np.stack([alpha, beta, gamma], axis=2)
+
+
+def apply_proportional(
+    phi: np.ndarray,
+    uv0: np.ndarray,
+    out: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Back-project canonical-plane pixels onto every depth plane.
 
     Parameters
@@ -187,6 +283,11 @@ def apply_proportional(phi: np.ndarray, uv0: np.ndarray) -> tuple[np.ndarray, np
         ``(Nz, 3)`` coefficients from :func:`proportional_coefficients`.
     uv0:
         ``(N, 2)`` canonical-plane pixel coordinates.
+    out:
+        Optional pre-allocated ``(u, v)`` destination arrays of shape
+        ``(N, Nz)``.  The hot loop calls this once per frame; writing into
+        segment-lifetime scratch removes two large allocations per call
+        while producing bit-identical values (same multiply, same add).
 
     Returns
     -------
@@ -196,6 +297,13 @@ def apply_proportional(phi: np.ndarray, uv0: np.ndarray) -> tuple[np.ndarray, np
     """
     uv0 = np.atleast_2d(np.asarray(uv0, dtype=float))
     alpha = phi[:, 0][None, :]
-    u = uv0[:, 0:1] * alpha + phi[:, 1][None, :]
-    v = uv0[:, 1:2] * alpha + phi[:, 2][None, :]
+    if out is None:
+        u = uv0[:, 0:1] * alpha + phi[:, 1][None, :]
+        v = uv0[:, 1:2] * alpha + phi[:, 2][None, :]
+        return u, v
+    u, v = out
+    np.multiply(uv0[:, 0:1], alpha, out=u)
+    u += phi[:, 1][None, :]
+    np.multiply(uv0[:, 1:2], alpha, out=v)
+    v += phi[:, 2][None, :]
     return u, v

@@ -143,6 +143,21 @@ class Quaternion:
         return 2.0 * math.acos(min(1.0, dot))
 
 
+def stack_poses(poses) -> tuple[np.ndarray, np.ndarray]:
+    """Stack ``B`` poses into ``(B, 3, 3)`` rotations and ``(B, 3)`` translations.
+
+    The batched geometry kernels (:mod:`repro.geometry.homography`) operate
+    on stacked pose arrays so one ``(B, 3, 3)`` matmul/inverse pass replaces
+    ``B`` Python trips through :class:`SE3`.
+    """
+    poses = list(poses)
+    if not poses:
+        return np.empty((0, 3, 3)), np.empty((0, 3))
+    rotations = np.stack([p.rotation for p in poses])
+    translations = np.stack([p.translation for p in poses])
+    return rotations, translations
+
+
 class SO3:
     """Rotation represented by a 3x3 matrix with exp/log maps."""
 

@@ -102,6 +102,22 @@ class Trajectory:
         quats = _batch_slerp(self._quats[idx], self._quats[idx + 1], alpha)
         return _quat_to_matrix(quats), trans
 
+    def sample_batch(self, times: np.ndarray) -> list[SE3]:
+        """Interpolated poses at many timestamps through one vectorized pass.
+
+        Functionally equivalent to ``[self.sample(t) for t in times]`` but
+        runs the interpolation as a single :meth:`sample_many` call — the
+        pose-side batch driver used by the hot-path benchmarks
+        (``benchmarks/bench_hotpath_kernels.py``) and offline tooling that
+        needs many poses at once.  The scalar and vectorized slerp may
+        differ by float rounding in the last bits; callers that must match
+        :meth:`sample` bit-for-bit (the engine's packetizer, whose frame
+        poses the ``numpy-batch`` backend stacks unchanged) keep the
+        scalar path.
+        """
+        rotations, translations = self.sample_many(np.asarray(times, dtype=float))
+        return [SE3(R, t) for R, t in zip(rotations, translations)]
+
     def subsampled(self, step: int) -> "Trajectory":
         """Every ``step``-th pose (always keeping the last one)."""
         if step < 1:

@@ -1,16 +1,22 @@
-"""Engine-level backend equivalence: one front-end, three substrates.
+"""Engine-level backend equivalence: one front-end, four substrates.
 
 The acceptance bar of the engine refactor: under ``EVENTOR_SCHEMA`` the
 ``numpy-reference`` and ``hardware-model`` backends produce *identical*
 depth maps through the same :class:`ReconstructionEngine` front-end, and
-``numpy-fast`` is bit-exact with ``numpy-reference`` while batching its
-DSI updates per reference segment.
+``numpy-fast`` / ``numpy-batch`` are bit-exact with ``numpy-reference`` —
+the fast backend while batching its DSI updates per reference segment,
+the batch backend while executing whole buffered frame batches as fused
+array passes (across every voting method × correction scheduling
+combination, including identical profile counters).
 """
 
 import numpy as np
 import pytest
 
 from repro.core import EMVSConfig, ReconstructionEngine, REFORMULATED_POLICY
+from repro.core.policy import CorrectionScheduling, DataflowPolicy
+from repro.core.voting import VotingMethod
+from repro.fixedpoint.quantize import EVENTOR_SCHEMA, FLOAT_SCHEMA
 from repro.hardware.backend import HardwareBackend
 
 
@@ -131,3 +137,96 @@ class TestFastBackendBitExact:
         assert len(ref.keyframes) >= 2
         assert len(fast.keyframes) == len(ref.keyframes)
         np.testing.assert_allclose(ref.cloud.points, fast.cloud.points, atol=1e-12)
+
+
+#: The full voting × correction design-space corners the batch backend
+#: must reproduce bit-exactly.  Quantization follows the pairing the
+#: presets use (quantized nearest, float bilinear) plus the two crossed
+#: corners, so both schemas appear under both schedulings.
+BATCH_POLICIES = [
+    DataflowPolicy(
+        correction=CorrectionScheduling.PER_EVENT,
+        voting=VotingMethod.NEAREST,
+        schema=EVENTOR_SCHEMA,
+        integer_scores=True,
+        name="nearest/per-event",
+    ),
+    DataflowPolicy(
+        correction=CorrectionScheduling.PER_FRAME,
+        voting=VotingMethod.NEAREST,
+        schema=FLOAT_SCHEMA,
+        integer_scores=False,
+        name="nearest/per-frame",
+    ),
+    DataflowPolicy(
+        correction=CorrectionScheduling.PER_FRAME,
+        voting=VotingMethod.BILINEAR,
+        schema=FLOAT_SCHEMA,
+        integer_scores=False,
+        name="bilinear/per-frame",
+    ),
+    DataflowPolicy(
+        correction=CorrectionScheduling.PER_EVENT,
+        voting=VotingMethod.BILINEAR,
+        schema=EVENTOR_SCHEMA,
+        integer_scores=True,
+        name="bilinear/per-event",
+    ),
+]
+
+
+class TestBatchBackendBitExact:
+    """numpy-batch vs numpy-reference over the whole policy design space."""
+
+    @pytest.mark.parametrize("policy", BATCH_POLICIES, ids=lambda p: p.name)
+    def test_bit_exact_across_policies(self, seq_3planes_fast, policy):
+        seq = seq_3planes_fast
+        events = seq.events.time_slice(0.4, 1.6)
+        config = EMVSConfig(
+            n_depth_planes=64, frame_size=1024, keyframe_distance=0.12
+        )
+        results = {}
+        for backend in ("numpy-reference", "numpy-batch"):
+            engine = ReconstructionEngine(
+                seq.camera,
+                seq.trajectory,
+                config,
+                depth_range=seq.depth_range,
+                policy=policy,
+                backend=backend,
+            )
+            results[backend] = engine.run(events)
+        ref, batch = results["numpy-reference"], results["numpy-batch"]
+
+        # Identical profile counters...
+        assert batch.profile.votes_cast == ref.profile.votes_cast
+        assert batch.profile.dropped_events == ref.profile.dropped_events
+        assert batch.profile.n_keyframes == ref.profile.n_keyframes
+        assert batch.profile.n_frames == ref.profile.n_frames
+        assert batch.profile.n_events == ref.profile.n_events
+        assert ref.profile.n_keyframes >= 2  # the slice crosses segments
+
+        # ...identical depth maps (bitwise, not approximately)...
+        assert len(batch.keyframes) == len(ref.keyframes)
+        for sw_kf, bt_kf in zip(ref.keyframes, batch.keyframes):
+            np.testing.assert_array_equal(sw_kf.depth_map.mask, bt_kf.depth_map.mask)
+            np.testing.assert_array_equal(
+                sw_kf.depth_map.confidence, bt_kf.depth_map.confidence
+            )
+            np.testing.assert_array_equal(
+                np.nan_to_num(sw_kf.depth_map.depth),
+                np.nan_to_num(bt_kf.depth_map.depth),
+            )
+
+        # ...and an identical map.
+        np.testing.assert_array_equal(ref.cloud.points, batch.cloud.points)
+
+    def test_matches_hardware_model(self, setup, reference):
+        """Transitivity check: batch == reference == hardware datapath."""
+        _, batch = run_backend(setup, "numpy-batch")
+        assert batch.profile.votes_cast == reference.profile.votes_cast
+        for a, b in zip(reference.keyframes, batch.keyframes):
+            np.testing.assert_array_equal(a.depth_map.mask, b.depth_map.mask)
+            np.testing.assert_array_equal(
+                a.depth_map.confidence, b.depth_map.confidence
+            )

@@ -126,3 +126,59 @@ class TestFullProjection:
         u, v, _ = proj.project_frame(SE3.identity(), np.array([[77.0, 55.0]]))
         np.testing.assert_allclose(u[0], 77.0, atol=1e-9)
         np.testing.assert_allclose(v[0], 55.0, atol=1e-9)
+
+
+class TestBatchedProjector:
+    """Batched parameter/canonical stages == per-frame stages, bit for bit."""
+
+    @pytest.fixture
+    def poses(self):
+        rng = np.random.default_rng(21)
+        from repro.geometry.se3 import Quaternion
+
+        out = []
+        for _ in range(9):
+            q = Quaternion.from_axis_angle(
+                rng.standard_normal(3), rng.uniform(0.0, 0.3)
+            )
+            out.append(
+                SE3.from_quaternion_translation(q, rng.uniform(-0.15, 0.15, 3))
+            )
+        return out
+
+    @pytest.mark.parametrize("schema", [EVENTOR_SCHEMA, FLOAT_SCHEMA])
+    def test_frame_parameters_batch_exact(self, camera, depths, poses, schema):
+        from repro.geometry.se3 import stack_poses
+
+        proj = BackProjector(camera, SE3.identity(), depths, schema=schema)
+        rotations, translations = stack_poses(poses)
+        batch = proj.frame_parameters_batch(rotations, translations)
+        assert len(batch) == len(poses)
+        for k, pose in enumerate(poses):
+            scalar = proj.frame_parameters(pose)
+            np.testing.assert_array_equal(batch.H_Z0[k], scalar.H_Z0)
+            np.testing.assert_array_equal(batch.phi[k], scalar.phi)
+            np.testing.assert_array_equal(batch.frame(k).H_Z0, scalar.H_Z0)
+
+    @pytest.mark.parametrize("schema", [EVENTOR_SCHEMA, FLOAT_SCHEMA])
+    def test_canonical_batch_exact(self, camera, depths, poses, schema):
+        from repro.geometry.se3 import stack_poses
+
+        rng = np.random.default_rng(22)
+        proj = BackProjector(camera, SE3.identity(), depths, schema=schema)
+        # Include far-out-of-sensor pixels so the miss path is exercised.
+        xy = rng.uniform(-200, 600, (len(poses), 128, 2))
+        rotations, translations = stack_poses(poses)
+        params = proj.frame_parameters_batch(rotations, translations)
+        uv0_b, valid_b = proj.canonical_batch(params, xy)
+        any_miss = False
+        for k, pose in enumerate(poses):
+            scalar_params = proj.frame_parameters(pose)
+            uv0, valid = proj.canonical(scalar_params, xy[k])
+            np.testing.assert_array_equal(uv0_b[k], uv0)
+            np.testing.assert_array_equal(valid_b[k], valid)
+            any_miss |= bool((~valid).any())
+        if schema.enabled:
+            # Quantized canonical coordinates have a representable range,
+            # so the far-out pixels must actually exercise the miss branch.
+            assert any_miss

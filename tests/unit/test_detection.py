@@ -93,3 +93,55 @@ class TestDetectStructure:
             DetectionConfig(gaussian_sigma=0.0)
         with pytest.raises(ValueError):
             DetectionConfig(median_size=4)
+
+
+class TestMedianRejectRegression:
+    """The in-place-filled shift stack reproduces the old implementation."""
+
+    @staticmethod
+    def _median_reject_reference(depth, mask, config):
+        """The pre-optimization algorithm: per-shift NaN copies + np.stack."""
+        import warnings
+
+        if config.median_size <= 1:
+            return mask
+        k = config.median_size // 2
+        h, w = depth.shape
+        sparse = np.where(mask, depth, np.nan)
+        shifts = []
+        for dy in range(-k, k + 1):
+            for dx in range(-k, k + 1):
+                shifted = np.full((h, w), np.nan)
+                ys_src = slice(max(0, -dy), min(h, h - dy))
+                xs_src = slice(max(0, -dx), min(w, w - dx))
+                ys_dst = slice(max(0, dy), min(h, h + dy))
+                xs_dst = slice(max(0, dx), min(w, w + dx))
+                shifted[ys_dst, xs_dst] = sparse[ys_src, xs_src]
+                shifts.append(shifted)
+        stack = np.stack(shifts)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            local_median = np.nanmedian(stack, axis=0)
+        good = np.abs(depth - local_median) <= 0.15 * np.abs(local_median)
+        return mask & np.where(np.isfinite(local_median), good, True)
+
+    @pytest.mark.parametrize("median_size", [3, 5, 7])
+    def test_masked_fixture_equality(self, median_size):
+        rng = np.random.default_rng(17)
+        depth = rng.uniform(0.5, 5.0, (40, 52))
+        # Sparse mask with clusters, isolated points and empty regions.
+        mask = rng.random((40, 52)) < 0.3
+        mask[:8, :] = False
+        mask[20:24, 10:30] = True
+        depth[22, 15] = 50.0  # a gross outlier the median must reject
+        config = DetectionConfig(median_size=median_size)
+        new = median_reject(depth, mask, config)
+        old = self._median_reject_reference(depth, mask, config)
+        np.testing.assert_array_equal(new, old)
+        assert new.sum() < mask.sum()  # the outlier (at least) was rejected
+
+    def test_size_one_passthrough(self):
+        depth = np.ones((5, 5))
+        mask = np.eye(5, dtype=bool)
+        config = DetectionConfig(median_size=1)
+        assert median_reject(depth, mask, config) is mask

@@ -40,7 +40,12 @@ def make_engine(seq, config, **kwargs):
 
 class TestRegistry:
     def test_required_backends_registered(self):
-        for name in ("numpy-reference", "numpy-fast", "hardware-model"):
+        for name in (
+            "numpy-reference",
+            "numpy-fast",
+            "numpy-batch",
+            "hardware-model",
+        ):
             assert name in BACKENDS
 
     def test_unknown_backend_rejected(self, scene, config):
@@ -253,4 +258,177 @@ class TestNumpyFastBackend:
         ref = make_engine(seq, config, backend="numpy-reference").run(events)
         np.testing.assert_allclose(
             result.cloud.points, ref.cloud.points, atol=1e-12
+        )
+
+
+class TestNumpyBatchBackend:
+    """Engine lifecycle under the segment-batched backend."""
+
+    def run_pair(self, seq, events, config, policy=REFORMULATED_POLICY, **kwargs):
+        ref = make_engine(
+            seq, config, policy=policy, backend="numpy-reference"
+        ).run(events)
+        batch = make_engine(
+            seq, config, policy=policy, backend="numpy-batch", **kwargs
+        ).run(events)
+        return ref, batch
+
+    def assert_bit_exact(self, ref, batch):
+        assert batch.profile.votes_cast == ref.profile.votes_cast
+        assert batch.profile.dropped_events == ref.profile.dropped_events
+        assert batch.profile.n_keyframes == ref.profile.n_keyframes
+        assert batch.profile.n_frames == ref.profile.n_frames
+        assert len(batch.keyframes) == len(ref.keyframes)
+        for a, b in zip(ref.keyframes, batch.keyframes):
+            np.testing.assert_array_equal(a.depth_map.mask, b.depth_map.mask)
+            np.testing.assert_array_equal(
+                a.depth_map.confidence, b.depth_map.confidence
+            )
+        np.testing.assert_allclose(ref.cloud.points, batch.cloud.points, atol=0)
+
+    def test_bit_exact_with_keyframes(self, seq_3planes_fast):
+        seq = seq_3planes_fast
+        events = seq.events.time_slice(0.4, 1.6)
+        config = EMVSConfig(
+            n_depth_planes=48, frame_size=1024, keyframe_distance=0.12
+        )
+        ref, batch = self.run_pair(seq, events, config)
+        assert ref.profile.n_keyframes >= 2  # the fixture crosses segments
+        self.assert_bit_exact(ref, batch)
+
+    def test_bit_exact_bilinear(self, scene, config):
+        seq, events = scene
+        ref, batch = self.run_pair(seq, events, config, policy=ORIGINAL_POLICY)
+        self.assert_bit_exact(ref, batch)
+
+    @pytest.mark.parametrize("batch_frames", [1, 3, 64])
+    def test_batch_frames_is_pure_scheduling(self, scene, config, batch_frames):
+        import dataclasses
+
+        seq, events = scene
+        policy = dataclasses.replace(
+            REFORMULATED_POLICY, batch_frames=batch_frames
+        )
+        ref, batch = self.run_pair(seq, events, config, policy=policy)
+        self.assert_bit_exact(ref, batch)
+
+    def test_batch_frames_validated(self):
+        import dataclasses
+
+        from repro.core.policy import DataflowPolicy
+
+        with pytest.raises(ValueError, match="batch_frames"):
+            DataflowPolicy(batch_frames=0)
+        assert dataclasses.replace(
+            REFORMULATED_POLICY, batch_frames=8
+        ).batch_frames == 8
+
+    def test_streaming_equals_batch_run(self, scene, config):
+        seq, events = scene
+        whole = make_engine(seq, config, backend="numpy-batch").run(events)
+        streamed = make_engine(seq, config, backend="numpy-batch")
+        boundaries = np.linspace(0, len(events), 9).astype(int)
+        for a, b in zip(boundaries[:-1], boundaries[1:]):
+            streamed.push(events[int(a):int(b)])
+        result = streamed.finish()
+        assert result.profile.votes_cast == whole.profile.votes_cast
+        np.testing.assert_allclose(
+            result.cloud.points, whole.cloud.points, atol=0
+        )
+
+    def test_on_keyframe_fires_at_segment_close(self, scene, config):
+        """Buffered frames must be flushed before the callback's detection."""
+        seq, events = scene
+        seen_ref, seen_batch = [], []
+        make_engine(
+            seq, config, backend="numpy-reference",
+            on_keyframe=lambda kf: seen_ref.append(kf),
+        ).run(events)
+        make_engine(
+            seq, config, backend="numpy-batch",
+            on_keyframe=lambda kf: seen_batch.append(kf),
+        ).run(events)
+        assert len(seen_batch) == len(seen_ref) >= 1
+        for a, b in zip(seen_ref, seen_batch):
+            assert (a.n_events, a.n_frames) == (b.n_events, b.n_frames)
+            np.testing.assert_array_equal(
+                a.depth_map.confidence, b.depth_map.confidence
+            )
+
+    def test_ragged_frames_fall_back(self, scene, config):
+        """Direct backend users may hand over mixed frame sizes."""
+        from repro.events.packetizer import aggregate_frames
+
+        seq, events = scene
+        engine = make_engine(seq, config, backend="numpy-batch")
+        frames = aggregate_frames(
+            events, seq.trajectory, config.frame_size, drop_partial=False
+        )[-3:]
+        assert len({len(f) for f in frames}) > 1  # tail frame is partial
+        engine.backend.start_reference(frames[0].T_wc)
+        votes, misses = engine.backend.process_batch(frames)
+        assert votes > 0
+        flat_batch = engine.backend.read_dsi().scores.copy()
+
+        ref = make_engine(seq, config, backend="numpy-reference")
+        ref.backend.start_reference(frames[0].T_wc)
+        for f in frames:
+            ref.backend.process_frame(f)
+        np.testing.assert_array_equal(flat_batch, ref.backend.read_dsi().scores)
+
+
+class TestPreviewRematerialization:
+    """Preview -> more votes -> finalize equals a no-preview run.
+
+    ``numpy-fast`` and ``numpy-batch`` defer vote materialization into the
+    DSI, so ``read_dsi`` must be non-destructive and re-materialize
+    correctly after further votes arrive mid-segment.
+    """
+
+    @pytest.mark.parametrize(
+        "backend", ["numpy-reference", "numpy-fast", "numpy-batch"]
+    )
+    def test_interleaved_previews_do_not_perturb(self, scene, config, backend):
+        seq, events = scene
+        plain = make_engine(seq, config, backend=backend).run(events)
+        probed = make_engine(seq, config, backend=backend)
+        boundaries = np.linspace(0, len(events), 5).astype(int)
+        previews = 0
+        for a, b in zip(boundaries[:-1], boundaries[1:]):
+            probed.push(events[int(a):int(b)])
+            if probed.preview_depth_map() is not None:
+                previews += 1
+        result = probed.finish()
+        assert previews >= 2  # the probe actually forced mid-segment reads
+        assert result.profile.votes_cast == plain.profile.votes_cast
+        assert result.profile.dropped_events == plain.profile.dropped_events
+        assert len(result.keyframes) == len(plain.keyframes)
+        for a, b in zip(plain.keyframes, result.keyframes):
+            np.testing.assert_array_equal(a.depth_map.mask, b.depth_map.mask)
+            np.testing.assert_array_equal(
+                a.depth_map.confidence, b.depth_map.confidence
+            )
+            np.testing.assert_array_equal(
+                np.nan_to_num(a.depth_map.depth), np.nan_to_num(b.depth_map.depth)
+            )
+        np.testing.assert_allclose(
+            result.cloud.points, plain.cloud.points, atol=0
+        )
+
+    @pytest.mark.parametrize("backend", ["numpy-fast", "numpy-batch"])
+    def test_preview_is_consistent_snapshot(self, scene, config, backend):
+        """A mid-segment preview equals the reference backend's preview."""
+        seq, events = scene
+        half = len(events) // 2
+        engines = {}
+        for name in ("numpy-reference", backend):
+            engine = make_engine(seq, config, backend=name)
+            engine.push(events[:half])
+            engines[name] = engine.preview_depth_map()
+        assert engines[backend] is not None
+        np.testing.assert_array_equal(
+            engines["numpy-reference"].confidence, engines[backend].confidence
+        )
+        np.testing.assert_array_equal(
+            engines["numpy-reference"].mask, engines[backend].mask
         )

@@ -131,3 +131,91 @@ class TestApplyHomography:
     def test_identity(self):
         pixels = np.array([[3.0, 4.0]])
         np.testing.assert_allclose(apply_homography(np.eye(3), pixels), pixels)
+
+
+class TestBatchedKernels:
+    """Batched geometry == scalar geometry, bit for bit.
+
+    The ``numpy-batch`` backend's bit-exactness guarantee rests on stacked
+    matmul/inverse executing the same per-slice kernels as the 2-D forms;
+    these tests pin that equality (exact, not approximate) on random poses.
+    """
+
+    @pytest.fixture
+    def poses(self):
+        rng = np.random.default_rng(7)
+        poses = []
+        for _ in range(23):
+            q = Quaternion.from_axis_angle(
+                rng.standard_normal(3), rng.uniform(0.0, 1.2)
+            )
+            poses.append(
+                SE3.from_quaternion_translation(q, rng.uniform(-0.8, 0.8, 3))
+            )
+        return poses
+
+    def test_canonical_plane_homography_batch_exact(self, camera, poses):
+        from repro.geometry.homography import canonical_plane_homography_batch
+        from repro.geometry.se3 import stack_poses
+
+        T_w_virtual = poses[0]
+        rotations, translations = stack_poses(poses)
+        batched = canonical_plane_homography_batch(
+            T_w_virtual, rotations, translations, camera, z0=1.5
+        )
+        for k, pose in enumerate(poses):
+            scalar = canonical_plane_homography(T_w_virtual, pose, camera, 1.5)
+            np.testing.assert_array_equal(batched[k], scalar)
+
+    def test_apply_homography_with_scale_batch_exact(self, poses, camera):
+        from repro.geometry.homography import apply_homography_with_scale_batch
+
+        rng = np.random.default_rng(11)
+        H = rng.standard_normal((5, 3, 3))
+        pixels = rng.uniform(-20, 260, (5, 64, 2))
+        uv_b, w_b = apply_homography_with_scale_batch(H, pixels)
+        for k in range(5):
+            uv, w = apply_homography_with_scale(H[k], pixels[k])
+            np.testing.assert_array_equal(uv_b[k], uv)
+            np.testing.assert_array_equal(w_b[k], w)
+
+    def test_camera_centers_batch_exact(self, poses):
+        from repro.geometry.homography import event_camera_centers_in_virtual
+        from repro.geometry.se3 import stack_poses
+
+        T_w_virtual = poses[0]
+        _, translations = stack_poses(poses)
+        batched = event_camera_centers_in_virtual(T_w_virtual, translations)
+        for k, pose in enumerate(poses):
+            scalar = event_camera_center_in_virtual(T_w_virtual, pose)
+            np.testing.assert_array_equal(batched[k], scalar)
+
+    def test_proportional_coefficients_batch_exact(self, camera):
+        from repro.geometry.homography import proportional_coefficients_batch
+
+        rng = np.random.default_rng(3)
+        depths = 1.0 / np.linspace(1.0 / 0.5, 1.0 / 5.0, 40)
+        centers = rng.uniform(-0.3, 0.3, (17, 3))
+        batched = proportional_coefficients_batch(centers, 0.5, depths, camera)
+        for k in range(len(centers)):
+            scalar = proportional_coefficients(centers[k], 0.5, depths, camera)
+            np.testing.assert_array_equal(batched[k], scalar)
+
+    def test_proportional_coefficients_batch_degenerate_raises(self, camera):
+        from repro.geometry.homography import proportional_coefficients_batch
+
+        depths = np.array([0.5, 1.0, 2.0])
+        centers = np.array([[0.1, 0.0, 0.2], [0.0, 0.0, 0.5]])  # second on plane
+        with pytest.raises(ValueError, match="degenerate"):
+            proportional_coefficients_batch(centers, 0.5, depths, camera)
+
+    def test_apply_proportional_out_exact(self):
+        rng = np.random.default_rng(5)
+        phi = rng.standard_normal((30, 3))
+        uv0 = rng.uniform(0, 240, (100, 2))
+        u_ref, v_ref = apply_proportional(phi, uv0)
+        scratch = (np.empty((100, 30)), np.empty((100, 30)))
+        u_out, v_out = apply_proportional(phi, uv0, out=scratch)
+        assert u_out is scratch[0] and v_out is scratch[1]
+        np.testing.assert_array_equal(u_out, u_ref)
+        np.testing.assert_array_equal(v_out, v_ref)

@@ -99,3 +99,65 @@ class TestAggregateFrames:
         assert len(batch) == len(streamed)
         for a, b in zip(batch, streamed):
             assert a.timestamp == pytest.approx(b.timestamp)
+
+
+class TestDropAccounting:
+    """The trailing partial frame is accounted, never silently lost."""
+
+    def test_aggregate_frames_returns_dropped_count(self, simple_trajectory):
+        frames, dropped = aggregate_frames(
+            stream(250), simple_trajectory, frame_size=100, return_dropped=True
+        )
+        assert len(frames) == 2
+        assert dropped == 50
+
+    def test_aggregate_frames_keep_partial_drops_nothing(self, simple_trajectory):
+        frames, dropped = aggregate_frames(
+            stream(250),
+            simple_trajectory,
+            frame_size=100,
+            drop_partial=False,
+            return_dropped=True,
+        )
+        assert len(frames) == 3
+        assert dropped == 0
+
+    def test_aggregate_frames_default_shape_unchanged(self, simple_trajectory):
+        frames = aggregate_frames(stream(250), simple_trajectory, frame_size=100)
+        assert isinstance(frames, list)
+        assert len(frames) == 2
+
+    def test_iter_frames_matches_aggregate_drop_partial(self, simple_trajectory):
+        agg = aggregate_frames(stream(430), simple_trajectory, frame_size=100)
+        it = list(iter_frames(stream(430), simple_trajectory, frame_size=100))
+        assert len(it) == len(agg) == 4
+        for a, b in zip(agg, it):
+            assert a.events == b.events
+            assert a.index == b.index
+
+    def test_iter_frames_returns_dropped_count(self, simple_trajectory):
+        def drive():
+            dropped = yield from iter_frames(
+                stream(430), simple_trajectory, frame_size=100
+            )
+            return dropped
+
+        gen = drive()
+        frames = []
+        try:
+            while True:
+                frames.append(next(gen))
+        except StopIteration as stop:
+            dropped = stop.value
+        assert len(frames) == 4
+        assert dropped == 30
+
+    def test_iter_frames_no_tail(self, simple_trajectory):
+        gen = iter_frames(stream(200), simple_trajectory, frame_size=100)
+        frames = []
+        try:
+            while True:
+                frames.append(next(gen))
+        except StopIteration as stop:
+            assert stop.value == 0
+        assert len(frames) == 2

@@ -162,3 +162,26 @@ class TestSE3:
     def test_rotation_shape_validated(self):
         with pytest.raises(ValueError):
             SE3(rotation=np.eye(2))
+
+
+class TestStackPoses:
+    def test_stacks_rotations_and_translations(self):
+        from repro.geometry.se3 import stack_poses
+
+        poses = [
+            SE3(translation=[1.0, 2.0, 3.0]),
+            SE3(Quaternion.from_axis_angle([0, 0, 1], 0.3), [0.5, 0.0, -1.0]),
+        ]
+        rotations, translations = stack_poses(poses)
+        assert rotations.shape == (2, 3, 3)
+        assert translations.shape == (2, 3)
+        for k, pose in enumerate(poses):
+            np.testing.assert_array_equal(rotations[k], pose.rotation)
+            np.testing.assert_array_equal(translations[k], pose.translation)
+
+    def test_empty(self):
+        from repro.geometry.se3 import stack_poses
+
+        rotations, translations = stack_poses([])
+        assert rotations.shape == (0, 3, 3)
+        assert translations.shape == (0, 3)

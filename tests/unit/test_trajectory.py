@@ -87,3 +87,19 @@ class TestHelpers:
     def test_linear_trajectory_needs_two_poses(self):
         with pytest.raises(ValueError):
             linear_trajectory([0, 0, 0], [1, 0, 0], 1.0, n_poses=1)
+
+
+class TestSampleBatch:
+    def test_matches_scalar_sampling(self, simple_trajectory):
+        times = np.linspace(-0.5, 2.5, 37)  # includes out-of-span clamping
+        batched = simple_trajectory.sample_batch(times)
+        assert len(batched) == len(times)
+        for t, pose in zip(times, batched):
+            scalar = simple_trajectory.sample(float(t))
+            np.testing.assert_allclose(pose.rotation, scalar.rotation, atol=1e-12)
+            np.testing.assert_allclose(
+                pose.translation, scalar.translation, atol=1e-12
+            )
+
+    def test_empty_times(self, simple_trajectory):
+        assert simple_trajectory.sample_batch(np.empty(0)) == []

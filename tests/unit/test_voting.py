@@ -180,3 +180,109 @@ class TestVoteTermHelpers:
         assert nearest_vote_indices(u, v, SHAPE).size == 0
         lin, w, n = bilinear_vote_terms(u, v, SHAPE)
         assert lin.size == 0 and w.size == 0 and n == 0
+
+
+class TestBatchedNearestVoter:
+    """The fused batch kernel reproduces the reference votes exactly."""
+
+    def make_batch(self, rng, batch=6, n=40, nz=SHAPE[0]):
+        # Coefficients spreading coordinates across in- and out-of-bounds.
+        phi = np.stack(
+            [
+                np.stack(
+                    [
+                        rng.uniform(0.4, 1.6, nz),
+                        rng.uniform(-6.0, 12.0, nz),
+                        rng.uniform(-5.0, 9.0, nz),
+                    ],
+                    axis=1,
+                )
+                for _ in range(batch)
+            ]
+        )
+        uv0 = rng.uniform(-2.0, 12.0, (batch, n, 2))
+        valid = rng.random((batch, n)) > 0.1
+        uv0[~valid] = 0.0  # the canonical stage zeroes miss rows
+        return phi, uv0, valid
+
+    def reference_counts(self, phi, uv0, valid):
+        """Per-frame reference path: proportional + NaN misses + kernel."""
+        from repro.geometry.homography import apply_proportional
+
+        flat = np.zeros(int(np.prod(SHAPE)), dtype=np.int64)
+        votes = 0
+        for b in range(uv0.shape[0]):
+            u, v = apply_proportional(phi[b], uv0[b])
+            u[~valid[b]] = np.nan
+            v[~valid[b]] = np.nan
+            votes += vote_nearest_into(flat, u, v, SHAPE)
+        return flat, votes
+
+    def test_matches_reference_kernel(self):
+        from repro.core.voting import BatchedNearestVoter
+
+        rng = np.random.default_rng(42)
+        phi, uv0, valid = self.make_batch(rng)
+        voter = BatchedNearestVoter(SHAPE)
+        votes, misses = voter.vote_batch(phi, uv0, valid)
+        flat = np.zeros(int(np.prod(SHAPE)), dtype=np.int64)
+        voter.materialize_into(flat)
+        ref_flat, ref_votes = self.reference_counts(phi, uv0, valid)
+        np.testing.assert_array_equal(flat, ref_flat)
+        assert votes == ref_votes
+        assert misses == int((~valid).sum())
+        assert ref_flat.sum() > 0  # the fixture casts real votes
+        assert votes < uv0.shape[0] * uv0.shape[1] * SHAPE[0]  # and real misses
+
+    def test_incremental_batches_accumulate(self):
+        from repro.core.voting import BatchedNearestVoter
+
+        rng = np.random.default_rng(43)
+        voter = BatchedNearestVoter(SHAPE)
+        ref_flat = np.zeros(int(np.prod(SHAPE)), dtype=np.int64)
+        total_votes = ref_votes = 0
+        for batch in (1, 3, 2):  # uneven batch sizes, one voter
+            phi, uv0, valid = self.make_batch(rng, batch=batch)
+            votes, _ = voter.vote_batch(phi, uv0, valid)
+            total_votes += votes
+            part, part_votes = self.reference_counts(phi, uv0, valid)
+            ref_flat += part
+            ref_votes += part_votes
+        flat = np.zeros(int(np.prod(SHAPE)), dtype=np.int64)
+        voter.materialize_into(flat)
+        np.testing.assert_array_equal(flat, ref_flat)
+        assert total_votes == ref_votes
+
+    def test_all_misses_cancel(self):
+        from repro.core.voting import BatchedNearestVoter
+
+        rng = np.random.default_rng(44)
+        phi, uv0, _ = self.make_batch(rng, batch=2)
+        valid = np.zeros(uv0.shape[:2], dtype=bool)
+        uv0[...] = 0.0
+        voter = BatchedNearestVoter(SHAPE)
+        votes, misses = voter.vote_batch(phi, uv0, valid)
+        assert votes == 0
+        assert misses == valid.size
+        flat = np.empty(int(np.prod(SHAPE)), dtype=np.int64)
+        voter.materialize_into(flat)
+        assert flat.sum() == 0
+
+    def test_materialize_overwrites(self):
+        """Re-materialization after more votes equals a fresh readout."""
+        from repro.core.voting import BatchedNearestVoter
+
+        rng = np.random.default_rng(45)
+        voter = BatchedNearestVoter(SHAPE)
+        phi, uv0, valid = self.make_batch(rng, batch=2)
+        voter.vote_batch(phi, uv0, valid)
+        early = np.zeros(int(np.prod(SHAPE)), dtype=np.int64)
+        voter.materialize_into(early)
+        phi2, uv02, valid2 = self.make_batch(rng, batch=2)
+        voter.vote_batch(phi2, uv02, valid2)
+        late = np.zeros(int(np.prod(SHAPE)), dtype=np.int64)
+        voter.materialize_into(late)
+        a, _ = self.reference_counts(phi, uv0, valid)
+        b, _ = self.reference_counts(phi2, uv02, valid2)
+        np.testing.assert_array_equal(late, a + b)
+        assert (late >= early).all()
