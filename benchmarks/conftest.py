@@ -23,6 +23,17 @@ from repro.events.datasets import SEQUENCE_NAMES, load_sequence
 from repro.fixedpoint.quantize import EVENTOR_SCHEMA, FLOAT_SCHEMA
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+# The directory is gitignored (artifacts are produced per run and, in CI,
+# uploaded); guarantee it exists before any bench writes a BENCH_*.json
+# directly.
+os.makedirs(RESULTS_DIR, exist_ok=True)
+
+#: Sequence quality for the whole bench session.  ``full`` is evaluation
+#: fidelity; CI's bench-smoke job exports ``REPRO_BENCH_QUALITY=fast`` to
+#: run the perf-bar benches in quick mode (~4x fewer events) — relative
+#: claims (speedup bars, breakdown structure) hold at either quality,
+#: absolute accuracy figures are only reproduced at ``full``.
+BENCH_QUALITY = os.environ.get("REPRO_BENCH_QUALITY", "full")
 
 #: Per-sequence evaluation windows (seconds) — chosen mid-trajectory where
 #: parallax is well developed, sized to a few hundred 1024-event frames.
@@ -47,8 +58,10 @@ def write_result(name: str, text: str) -> None:
 
 @pytest.fixture(scope="session")
 def sequences():
-    """The four evaluation sequences at full quality (cached in-process)."""
-    return {name: load_sequence(name, quality="full") for name in SEQUENCE_NAMES}
+    """The four evaluation sequences at session quality (cached in-process)."""
+    return {
+        name: load_sequence(name, quality=BENCH_QUALITY) for name in SEQUENCE_NAMES
+    }
 
 
 def eval_events(seq):

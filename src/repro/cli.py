@@ -22,11 +22,17 @@ import numpy as np
 
 
 def _cmd_info(args) -> int:
-    from repro.events.datasets import SEQUENCE_NAMES, SHORT_NAMES
+    from repro.core import BACKENDS, POLICIES
+    from repro.events.datasets import SCENARIO_NAMES, SEQUENCE_NAMES, SHORT_NAMES
 
     print("Eventor reproduction — available sequence replicas:")
     for name in SEQUENCE_NAMES:
         print(f"  {name}  (short: {SHORT_NAMES[name]})")
+    print("extended multi-keyframe scenarios (parallel mapping workloads):")
+    for name in SCENARIO_NAMES:
+        print(f"  {name}  (short: {SHORT_NAMES[name]})")
+    print(f"\nregistered backends: {', '.join(sorted(BACKENDS))}")
+    print(f"registered policies: {', '.join(sorted(POLICIES))}")
     print("\nDefault configuration: 1024-event frames, Nz=100 planes,")
     print("nearest voting + Table 1 quantization (reformulated pipeline).")
     return 0
@@ -52,7 +58,11 @@ def _load_input(args):
     if args.sequence:
         from repro.events.datasets import load_sequence
 
-        seq = load_sequence(args.sequence, quality=args.quality)
+        try:
+            seq = load_sequence(args.sequence, quality=args.quality)
+        except KeyError as e:
+            # load_sequence's message already lists the available names.
+            raise SystemExit(e.args[0]) from None
         return seq.events, seq.trajectory, seq.camera, seq
     if args.dataset:
         from repro.events.davis_io import load_dataset_dir
@@ -62,8 +72,41 @@ def _load_input(args):
     raise SystemExit("one of --sequence or --dataset is required")
 
 
+def _resolve_backend(name: str):
+    """Validate a backend name against the live registry (helpful error)."""
+    from repro.core import BACKENDS
+
+    if name not in BACKENDS:
+        raise SystemExit(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(sorted(BACKENDS))}"
+        )
+    return name
+
+
+def _resolve_policy(name: str):
+    """Validate a policy name against the live registry (helpful error)."""
+    from repro.core import POLICIES
+
+    if name not in POLICIES:
+        raise SystemExit(
+            f"unknown policy {name!r}; registered policies: "
+            f"{', '.join(sorted(POLICIES))}"
+        )
+    return POLICIES[name]
+
+
 def _cmd_reconstruct(args) -> int:
-    from repro.core import EMVSConfig, POLICIES, ReconstructionEngine
+    from repro.core import EMVSConfig, MappingOrchestrator, ReconstructionEngine
+
+    _resolve_backend(args.backend)
+    # --policy overrides the legacy --pipeline spelling; both name the same
+    # dataflow presets.
+    policy = _resolve_policy(args.policy or args.pipeline)
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.fuse_voxel is not None and args.fuse_voxel <= 0:
+        raise SystemExit("--fuse-voxel must be positive")
 
     events, trajectory, camera, seq = _load_input(args)
     if args.t_start is not None or args.t_end is not None:
@@ -75,14 +118,14 @@ def _cmd_reconstruct(args) -> int:
     depth_range = (
         seq.depth_range if seq is not None else (args.z_min, args.z_max)
     )
+    keyframe_distance = args.keyframe_distance
+    if keyframe_distance is None and seq is not None:
+        keyframe_distance = seq.keyframe_distance  # scenario recommendation
     config = EMVSConfig(
         n_depth_planes=args.planes,
         frame_size=args.frame_size,
-        keyframe_distance=args.keyframe_distance,
+        keyframe_distance=keyframe_distance,
     )
-    # --policy overrides the legacy --pipeline spelling; both name the same
-    # dataflow presets.
-    policy = POLICIES[args.policy or args.pipeline]
     if args.batch_frames is not None:
         import dataclasses
 
@@ -94,28 +137,62 @@ def _cmd_reconstruct(args) -> int:
             "the hardware-model backend is quantized by design; "
             "use --policy reformulated"
         )
-    engine = ReconstructionEngine(
-        camera,
-        trajectory,
-        config,
-        depth_range=depth_range,
-        policy=policy,
-        backend=args.backend,
-    )
-    result = engine.run(events)
-    print(
-        f"reconstructed {result.n_points} points across "
-        f"{len(result.keyframes)} key frame(s) "
-        f"[policy={policy.name}, backend={args.backend}]"
-    )
+
+    # An explicit fusion voxel is a request to fuse.
+    fused = args.fuse or args.workers > 1 or args.fuse_voxel is not None
+    if fused:
+        if args.workers > 1 and keyframe_distance is None:
+            print(
+                "note: no key-frame distance set — the stream is a single "
+                "segment, so extra workers cannot help; pass "
+                "--keyframe-distance to shard it"
+            )
+        orchestrator = MappingOrchestrator(
+            camera,
+            trajectory,
+            config,
+            depth_range=depth_range,
+            policy=policy,
+            backend=args.backend,
+            workers=args.workers,
+            voxel_size=args.fuse_voxel,
+        )
+        result = orchestrator.run(events)
+        print(
+            f"mapped {len(result.segments)} segment(s) on "
+            f"{result.workers} worker(s) in {result.wall_seconds:.2f} s"
+        )
+        print(
+            f"fused global map: {result.n_points} points "
+            f"({result.global_map.n_raw_points} observations, "
+            f"voxel {result.global_map.voxel_size * 1e3:.1f} mm) "
+            f"[policy={policy.name}, backend={args.backend}]"
+        )
+    else:
+        engine = ReconstructionEngine(
+            camera,
+            trajectory,
+            config,
+            depth_range=depth_range,
+            policy=policy,
+            backend=args.backend,
+        )
+        result = engine.run(events)
+        print(
+            f"reconstructed {result.n_points} points across "
+            f"{len(result.keyframes)} key frame(s) "
+            f"[policy={policy.name}, backend={args.backend}]"
+        )
     if result.profile.dropped_events:
         print(f"dropped events (misses + trailing partial frame): "
               f"{result.profile.dropped_events}")
 
     if seq is not None and result.keyframes:
-        from repro.eval.metrics import evaluate_reconstruction
+        from repro.eval.metrics import evaluate_fused_map, evaluate_reconstruction
 
         print(f"accuracy vs. ground truth: {evaluate_reconstruction(result, seq)}")
+        if fused and result.n_points:
+            print(f"fused-map accuracy: {evaluate_fused_map(result.cloud, seq)}")
 
     if args.output:
         cloud = result.cloud
@@ -186,15 +263,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--pipeline", choices=("original", "reformulated"), default="reformulated",
         help="legacy alias of --policy",
     )
+    # --policy/--backend are validated against the live registries at run
+    # time (not argparse choices), so registered extensions are accepted
+    # and unknown names get an error listing what exists.
     p_rec.add_argument(
-        "--policy", choices=("original", "reformulated"), default=None,
-        help="dataflow policy preset (overrides --pipeline)",
+        "--policy", default=None,
+        help="dataflow policy preset (overrides --pipeline; see `repro info`)",
     )
     p_rec.add_argument(
         "--backend",
-        choices=("numpy-reference", "numpy-fast", "numpy-batch", "hardware-model"),
         default="numpy-reference",
-        help="execution backend from the engine registry",
+        help="execution backend from the engine registry (see `repro info`)",
+    )
+    p_rec.add_argument(
+        "--workers", type=int, default=1,
+        help="worker-pool width for parallel multi-keyframe mapping; "
+             ">1 shards the stream into key-frame segments (results are "
+             "bit-identical for any width)",
+    )
+    p_rec.add_argument(
+        "--fuse", action="store_true",
+        help="fuse per-keyframe depth maps into one voxel-deduplicated, "
+             "confidence-weighted global map (implied by --workers > 1)",
+    )
+    p_rec.add_argument(
+        "--fuse-voxel", type=float, default=None,
+        help="fusion voxel edge in metres (default: 1%% of the mean DSI depth)",
     )
     p_rec.add_argument(
         "--batch-frames", type=int, default=None,

@@ -37,8 +37,11 @@ from repro.core.engine import (
     BACKENDS,
     ExecutionBackend,
     ReconstructionEngine,
+    SegmentPlan,
+    plan_segments,
     register_backend,
 )
+from repro.core.mapping import GlobalMap, MappingOrchestrator, MappingResult
 from repro.core.pipeline import EMVSPipeline
 from repro.core.reformulated import ReformulatedPipeline
 from repro.core.online import OnlineEMVS
@@ -67,7 +70,12 @@ __all__ = [
     "BACKENDS",
     "ExecutionBackend",
     "ReconstructionEngine",
+    "SegmentPlan",
+    "plan_segments",
     "register_backend",
+    "GlobalMap",
+    "MappingOrchestrator",
+    "MappingResult",
     "EMVSPipeline",
     "ReformulatedPipeline",
     "OnlineEMVS",

@@ -52,6 +52,14 @@ class SemiDenseDepthMap:
         """``(N,)`` depth values aligned with :meth:`pixels`."""
         return self.depth[self.mask]
 
+    def confidences(self) -> np.ndarray:
+        """``(N,)`` detection confidences aligned with :meth:`pixels`.
+
+        The ray-density score at the chosen depth — the natural per-point
+        weight for confidence-weighted map fusion.
+        """
+        return self.confidence[self.mask]
+
     def mean_depth(self) -> float:
         if self.n_points == 0:
             raise ValueError("empty depth map has no mean depth")

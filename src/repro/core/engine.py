@@ -47,6 +47,7 @@ from __future__ import annotations
 import abc
 import time
 from collections.abc import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -72,7 +73,13 @@ from repro.core.voting import (
     cast_votes_into,
 )
 from repro.events.containers import EventArray
-from repro.events.packetizer import EventFrame, Packetizer
+from repro.events.packetizer import (
+    EventFrame,
+    Packetizer,
+    frame_midtimes,
+    n_full_frames,
+    segment_slice,
+)
 from repro.geometry.camera import PinholeCamera
 from repro.geometry.distortion import NoDistortion
 from repro.geometry.homography import apply_proportional
@@ -472,6 +479,92 @@ def _make_hardware_backend(engine: "ReconstructionEngine") -> ExecutionBackend:
 
 
 # ----------------------------------------------------------------------
+# Segment planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SegmentPlan:
+    """One key-frame segment of a planned stream: frames sharing a reference.
+
+    Frame and event indices are relative to the planned stream; event
+    ranges are frame-aligned, so ``events[start_event:end_event]``
+    re-packetizes into exactly the segment's frames.
+    """
+
+    index: int
+    start_frame: int
+    end_frame: int
+    frame_size: int
+    t_ref: float
+
+    @property
+    def n_frames(self) -> int:
+        return self.end_frame - self.start_frame
+
+    @property
+    def start_event(self) -> int:
+        return self.start_frame * self.frame_size
+
+    @property
+    def end_event(self) -> int:
+        return self.end_frame * self.frame_size
+
+    @property
+    def n_events(self) -> int:
+        return self.end_event - self.start_event
+
+    def slice(self, events: EventArray) -> EventArray:
+        """The segment's events out of the planned stream."""
+        return segment_slice(events, self.start_frame, self.end_frame, self.frame_size)
+
+
+def plan_segments(
+    events: EventArray,
+    trajectory: Trajectory,
+    config: EMVSConfig,
+) -> tuple[list[SegmentPlan], int]:
+    """Pre-compute the key-frame segments a streaming run would produce.
+
+    Key-frame selection depends only on frame poses, frame poses only on
+    frame mid-span timestamps, and those only on event timestamps and
+    ``frame_size`` — none of which the voting dataflow touches.  So one
+    cheap pose-only pass (no back-projection, no DSI) predicts the exact
+    segment boundaries of :meth:`ReconstructionEngine.run`, using the same
+    scalar pose sampling and the same :class:`KeyframeSelector` arithmetic.
+    Per-keyframe segments are embarrassingly parallel; this plan is what a
+    :class:`repro.core.mapping.MappingOrchestrator` shards across workers.
+
+    Returns
+    -------
+    ``(plans, n_dropped)`` — the segment list (empty when the stream has
+    no complete frame) and the trailing partial-frame event count the run
+    would drop at stream end.
+    """
+    n_frames = n_full_frames(events, config.frame_size)
+    dropped = len(events) - n_frames * config.frame_size
+    if n_frames == 0:
+        return [], dropped
+    midtimes = frame_midtimes(events, config.frame_size)
+    selector = KeyframeSelector(config.keyframe_distance)
+    starts = [
+        i
+        for i in range(n_frames)
+        if selector.is_new_keyframe(trajectory.sample(float(midtimes[i])))
+    ]
+    bounds = starts + [n_frames]
+    plans = [
+        SegmentPlan(
+            index=k,
+            start_frame=bounds[k],
+            end_frame=bounds[k + 1],
+            frame_size=config.frame_size,
+            t_ref=float(midtimes[bounds[k]]),
+        )
+        for k in range(len(starts))
+    ]
+    return plans, dropped
+
+
+# ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
 class ReconstructionEngine:
@@ -641,6 +734,36 @@ class ReconstructionEngine:
         """Batch convenience: push the whole stream, then finish."""
         self.push(events)
         return self.finish()
+
+    def run_segment(self, events: EventArray) -> list[KeyframeReconstruction]:
+        """Process one frame-aligned segment and close it; engine stays open.
+
+        The resumable unit of parallel mapping: push a
+        :class:`SegmentPlan`'s slice, force the finalize-lift-merge tail
+        (instead of waiting for the next key frame to arrive), and return
+        the reconstructions it produced.  The engine remains usable, so one
+        engine can replay consecutive segments of a planned stream —
+        ``run_segment(plan.slice(events))`` per plan, then :meth:`finish` —
+        and produce bit-identical keyframes, cloud and profile counters to
+        a single :meth:`run` over the whole stream.
+
+        A fresh engine always keys on a segment's first frame (first pose
+        observed), so per-segment workers reconstruct exactly their
+        segment; planning guarantees no interior frame re-keys.
+        """
+        if self._finished:
+            raise RuntimeError("engine already finished; build a new one")
+        before = len(self._keyframes)
+        self.push(events)
+        if self._packetizer.pending_count:
+            raise ValueError(
+                "segment is not frame-aligned: "
+                f"{self._packetizer.pending_count} events short of a frame "
+                f"(frame_size={self._packetizer.frame_size}); slice segments "
+                "with SegmentPlan.slice()/segment_slice()"
+            )
+        self._finalize_segment()
+        return self._keyframes[before:]
 
     # ------------------------------------------------------------------
     def preview_depth_map(self) -> SemiDenseDepthMap | None:

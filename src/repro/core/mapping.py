@@ -1,0 +1,327 @@
+"""Parallel multi-keyframe mapping with fused global maps.
+
+EMVS reconstructs one *local* DSI per key reference view, and the segments
+between key frames share nothing — no DSI state, no detection state — so
+they are embarrassingly parallel.  This module exploits that:
+
+* :func:`repro.core.engine.plan_segments` predicts the exact key-frame
+  segments of a stream from a cheap pose-only pass;
+* :class:`MappingOrchestrator` shards the stream along that plan, runs
+  each segment's :class:`~repro.core.engine.ReconstructionEngine` on a
+  ``concurrent.futures`` worker pool (processes for the numpy backends,
+  threads for the in-process hardware model), and
+* :class:`GlobalMap` fuses the per-keyframe depth maps into one global
+  point map with voxel-hash deduplication and confidence-weighted
+  averaging, in the spirit of multi-view event-camera depth fusion
+  (Ghosh & Gallego, 2022).
+
+Determinism is a hard invariant, not an aspiration: each segment runs in
+its own engine regardless of worker count, results are fused in segment
+order, and every fusion reduction is an order-fixed numpy pass — so the
+fused map and the aggregate profile counters are bit-identical for 1, 2
+or N workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import EMVSConfig
+from repro.core.engine import ReconstructionEngine, SegmentPlan, plan_segments
+from repro.core.pointcloud import PointCloud
+from repro.core.policy import DataflowPolicy, REFORMULATED_POLICY, resolve_policy
+from repro.core.results import KeyframeReconstruction, PipelineProfile
+from repro.events.containers import EventArray
+from repro.geometry.camera import PinholeCamera
+from repro.geometry.trajectory import Trajectory
+
+
+class GlobalMap:
+    """Voxel-hash fused world map with confidence-weighted merging.
+
+    Points are accumulated in insertion order; :meth:`fused_points`
+    deduplicates them into one point per occupied voxel, positioned at the
+    confidence-weighted mean of the observations that fell into it.  A
+    voxel seen by several key frames therefore converges toward its
+    best-supported observations instead of duplicating semi-transparent
+    shells around the surface — the standard refocused-events fusion move.
+
+    All reductions are order-fixed numpy passes over the concatenated
+    observations, so for a given insertion order the fused arrays are
+    bit-reproducible (the property parallel mapping's determinism tests
+    pin).
+    """
+
+    def __init__(self, voxel_size: float):
+        if voxel_size <= 0:
+            raise ValueError("voxel_size must be positive")
+        self.voxel_size = float(voxel_size)
+        self._points: list[np.ndarray] = []
+        self._weights: list[np.ndarray] = []
+        self._fused: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_raw_points(self) -> int:
+        """Observations inserted (before voxel deduplication)."""
+        return sum(len(p) for p in self._points)
+
+    def insert(self, points: np.ndarray, weights: np.ndarray | None = None) -> None:
+        """Add world-frame observations with positive confidence weights."""
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"points must be (N, 3), got {points.shape}")
+        if len(points) == 0:
+            return
+        if weights is None:
+            weights = np.ones(len(points))
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (len(points),):
+                raise ValueError("need one weight per point")
+            if not np.all(weights > 0):
+                raise ValueError("confidence weights must be positive")
+        self._points.append(points)
+        self._weights.append(weights)
+        self._fused = None
+
+    def insert_keyframe(
+        self,
+        reconstruction: KeyframeReconstruction,
+        camera: PinholeCamera,
+    ) -> None:
+        """Lift one key-frame depth map and insert it, confidence-weighted."""
+        depth_map = reconstruction.depth_map
+        cloud = PointCloud.from_depth_map(depth_map, camera, reconstruction.T_w_ref)
+        if len(cloud) == 0:
+            return
+        # pixels()/depths()/confidences() share the mask's nonzero order,
+        # so the lifted points and their weights stay aligned.
+        self.insert(cloud.points, np.asarray(depth_map.confidences(), dtype=float))
+
+    # ------------------------------------------------------------------
+    def _fuse(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self._fused is None:
+            if not self._points:
+                self._fused = (
+                    np.empty((0, 3)),
+                    np.empty(0),
+                    np.empty(0, dtype=np.int64),
+                )
+                return self._fused
+            points = np.concatenate(self._points)
+            weights = np.concatenate(self._weights)
+            keys = np.floor(points / self.voxel_size).astype(np.int64)
+            _, inverse = np.unique(keys, axis=0, return_inverse=True)
+            n_vox = int(inverse.max()) + 1
+            weight_sum = np.zeros(n_vox)
+            np.add.at(weight_sum, inverse, weights)
+            centers = np.zeros((n_vox, 3))
+            np.add.at(centers, inverse, points * weights[:, None])
+            centers /= weight_sum[:, None]
+            counts = np.bincount(inverse, minlength=n_vox)
+            self._fused = (centers, weight_sum, counts)
+        return self._fused
+
+    @property
+    def n_voxels(self) -> int:
+        return len(self._fuse()[0])
+
+    def fused_points(self) -> np.ndarray:
+        """``(V, 3)`` one confidence-weighted mean point per occupied voxel."""
+        return self._fuse()[0]
+
+    def fused_confidences(self) -> np.ndarray:
+        """``(V,)`` total confidence accumulated per voxel."""
+        return self._fuse()[1]
+
+    def fused_counts(self) -> np.ndarray:
+        """``(V,)`` observation count per voxel."""
+        return self._fuse()[2]
+
+    def fused_cloud(self, min_observations: int = 1) -> PointCloud:
+        """The fused map as a :class:`PointCloud`.
+
+        ``min_observations > 1`` keeps only voxels supported by several
+        observations — cross-view agreement filtering for multi-keyframe
+        runs.
+        """
+        centers, _, counts = self._fuse()
+        if min_observations > 1:
+            centers = centers[counts >= min_observations]
+        return PointCloud(centers.copy())
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Output of a :class:`MappingOrchestrator` run.
+
+    Duck-compatible with :class:`~repro.core.results.EMVSResult` where it
+    matters (``keyframes``, ``cloud``, ``profile``, ``n_points``), with
+    ``cloud`` holding the *fused* global map.
+    """
+
+    keyframes: list[KeyframeReconstruction]
+    global_map: GlobalMap
+    cloud: PointCloud
+    profile: PipelineProfile
+    segments: tuple[SegmentPlan, ...]
+    workers: int
+    wall_seconds: float
+
+    @property
+    def n_points(self) -> int:
+        return len(self.cloud)
+
+
+# ----------------------------------------------------------------------
+# Segment execution
+# ----------------------------------------------------------------------
+def _run_segment(
+    task: tuple,
+) -> tuple[int, list[KeyframeReconstruction], PipelineProfile]:
+    """Run one planned segment in a fresh engine (worker entry point).
+
+    Module-level so process pools can pickle it; every argument and return
+    value round-trips through pickle losslessly (numpy arrays serialize
+    bit-exactly), so process execution cannot perturb the results.
+    """
+    index, events, camera, trajectory, config, depth_range, policy, backend = task
+    engine = ReconstructionEngine(
+        camera,
+        trajectory,
+        config,
+        depth_range=depth_range,
+        policy=policy,
+        backend=backend,
+    )
+    keyframes = engine.run_segment(events)
+    return index, keyframes, engine.profile
+
+
+class MappingOrchestrator:
+    """Shard a stream into key-frame segments and map them in parallel.
+
+    Constructor parameters mirror :class:`ReconstructionEngine`, plus:
+
+    Parameters
+    ----------
+    workers:
+        Worker-pool width.  ``None`` uses the machine's CPU count capped
+        by the segment count; ``1`` runs serially (still through the
+        segment plan, so results are identical to any parallel width).
+    voxel_size:
+        :class:`GlobalMap` fusion voxel edge in metres.  Defaults to 1 %
+        of the mean DSI depth.
+    executor:
+        ``"process"``, ``"thread"`` or ``None`` to choose per backend:
+        processes for the numpy backends (sidesteps the GIL for the
+        vectorized hot path), threads for ``hardware-model`` (the
+        cycle-accurate system is cheap-state python that gains nothing
+        from pickling across processes).
+
+    The backend must be a registry *name* (workers construct their own
+    instances; a bound backend instance cannot be shared across pools).
+    """
+
+    def __init__(
+        self,
+        camera: PinholeCamera,
+        trajectory: Trajectory,
+        config: EMVSConfig | None = None,
+        depth_range: tuple[float, float] = (0.5, 5.0),
+        policy: DataflowPolicy | str = REFORMULATED_POLICY,
+        backend: str = "numpy-batch",
+        workers: int | None = None,
+        voxel_size: float | None = None,
+        executor: str | None = None,
+    ):
+        if not isinstance(backend, str):
+            raise TypeError(
+                "MappingOrchestrator needs a backend registry name; worker "
+                "engines each construct their own backend instance"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for auto)")
+        if voxel_size is not None and voxel_size <= 0:
+            raise ValueError("voxel_size must be positive (or None for auto)")
+        if executor not in (None, "process", "thread"):
+            raise ValueError("executor must be 'process', 'thread' or None")
+        self.camera = camera
+        self.trajectory = trajectory
+        self.config = config or EMVSConfig()
+        self.depth_range = depth_range
+        self.policy = resolve_policy(policy)
+        self.backend = backend
+        self.workers = workers
+        self.voxel_size = (
+            voxel_size
+            if voxel_size is not None
+            else 0.01 * 0.5 * (depth_range[0] + depth_range[1])
+        )
+        self.executor = executor
+
+    # ------------------------------------------------------------------
+    def _resolve_workers(self, n_segments: int) -> int:
+        requested = self.workers or os.cpu_count() or 1
+        return max(1, min(requested, n_segments))
+
+    def _make_pool(self, workers: int) -> Executor:
+        kind = self.executor or (
+            "thread" if self.backend == "hardware-model" else "process"
+        )
+        if kind == "thread":
+            return ThreadPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    def run(self, events: EventArray) -> MappingResult:
+        """Plan, execute (possibly in parallel) and fuse one stream."""
+        t_wall = time.perf_counter()
+        plans, dropped = plan_segments(events, self.trajectory, self.config)
+        tasks = [
+            (
+                plan.index,
+                plan.slice(events),
+                self.camera,
+                self.trajectory,
+                self.config,
+                self.depth_range,
+                self.policy,
+                self.backend,
+            )
+            for plan in plans
+        ]
+        workers = self._resolve_workers(len(plans))
+        if workers == 1:
+            outcomes = [_run_segment(task) for task in tasks]
+        else:
+            with self._make_pool(workers) as pool:
+                outcomes = list(pool.map(_run_segment, tasks))
+        # Deterministic fusion: segment order, whatever the pool's
+        # completion order was.
+        outcomes.sort(key=lambda out: out[0])
+
+        profile = PipelineProfile()
+        keyframes: list[KeyframeReconstruction] = []
+        for _, segment_keyframes, segment_profile in outcomes:
+            keyframes.extend(segment_keyframes)
+            profile.merge(segment_profile)
+        profile.dropped_events += dropped
+
+        global_map = GlobalMap(self.voxel_size)
+        for reconstruction in keyframes:
+            global_map.insert_keyframe(reconstruction, self.camera)
+        return MappingResult(
+            keyframes=keyframes,
+            global_map=global_map,
+            cloud=global_map.fused_cloud(),
+            profile=profile,
+            segments=tuple(plans),
+            workers=workers,
+            wall_seconds=time.perf_counter() - t_wall,
+        )

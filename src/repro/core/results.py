@@ -49,6 +49,36 @@ class PipelineProfile:
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
 
+    def merge(self, other: "PipelineProfile") -> None:
+        """Fold another profile into this one (parallel mapping aggregation).
+
+        Counters add; stage times add per stage.  Summed wall-clock times of
+        concurrent runs measure total *work*, not elapsed time — elapsed
+        time of a parallel run is tracked by its orchestrator.
+        """
+        self.n_events += other.n_events
+        self.n_frames += other.n_frames
+        self.n_keyframes += other.n_keyframes
+        self.votes_cast += other.votes_cast
+        self.dropped_events += other.dropped_events
+        for stage, seconds in other.stage_seconds.items():
+            self.add_time(stage, seconds)
+
+    def counters(self) -> dict:
+        """The deterministic (timing-free) counters as a plain dict.
+
+        Two runs of the same stream must agree on these exactly, whatever
+        the backend, batching or worker count — the equality the
+        determinism tests pin.
+        """
+        return {
+            "n_events": self.n_events,
+            "n_frames": self.n_frames,
+            "n_keyframes": self.n_keyframes,
+            "votes_cast": self.votes_cast,
+            "dropped_events": self.dropped_events,
+        }
+
 
 @dataclass(frozen=True)
 class EMVSResult:

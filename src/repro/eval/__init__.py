@@ -7,13 +7,23 @@ and :mod:`repro.eval.reporting` renders aligned text tables next to the
 paper's published values.
 """
 
-from repro.eval.metrics import DepthMetrics, absrel, evaluate_reconstruction
+from repro.eval.metrics import (
+    DepthMetrics,
+    FusedMapMetrics,
+    absrel,
+    evaluate_fused_map,
+    evaluate_reconstruction,
+    point_to_scene_distance,
+)
 from repro.eval.reporting import Table, format_percent
 
 __all__ = [
     "DepthMetrics",
+    "FusedMapMetrics",
     "absrel",
+    "evaluate_fused_map",
     "evaluate_reconstruction",
+    "point_to_scene_distance",
     "Table",
     "format_percent",
 ]

@@ -83,6 +83,98 @@ def compute_metrics(
     )
 
 
+@dataclass(frozen=True)
+class FusedMapMetrics:
+    """Accuracy of a fused world-frame point map against scene geometry.
+
+    Per-keyframe depth maps are evaluated along their own reference rays
+    (:func:`evaluate_reconstruction`); a *fused* map has no single
+    reference view, so its natural error measure is the distance from
+    each fused point to the closest scene surface.
+
+    Attributes
+    ----------
+    mean_distance:
+        Mean point-to-surface distance in metres.
+    rmse:
+        Root-mean-square point-to-surface distance in metres.
+    outlier_ratio:
+        Fraction of points farther than ``outlier_distance`` from every
+        surface.
+    outlier_distance:
+        The threshold the ratio was computed with.
+    n_points:
+        Fused points evaluated.
+    """
+
+    mean_distance: float
+    rmse: float
+    outlier_ratio: float
+    outlier_distance: float
+    n_points: int
+
+    def __str__(self) -> str:
+        return (
+            f"surf-dist mean={self.mean_distance:.4f} m rmse={self.rmse:.4f} m "
+            f"outliers={self.outlier_ratio:.3f} (>{self.outlier_distance:.3f} m) "
+            f"n={self.n_points}"
+        )
+
+
+def point_to_scene_distance(scene, points: np.ndarray) -> np.ndarray:
+    """Distance from world points to the nearest scene surface, per point.
+
+    Uses the planar scenes' analytic geometry: for each finite textured
+    rectangle, the closest point is the rectangle-clamped orthogonal
+    projection, so the distance is exact (no sampling, no ray casting).
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    if points.shape[1] != 3:
+        raise ValueError(f"points must be (N, 3), got {points.shape}")
+    if not scene.planes:
+        raise ValueError("scene has no surfaces to measure against")
+    best = np.full(points.shape[0], np.inf)
+    for plane in scene.planes:
+        rel = points - plane.origin
+        u = np.clip(rel @ plane.u_axis, -plane.half_u, plane.half_u)
+        v = np.clip(rel @ plane.v_axis, -plane.half_v, plane.half_v)
+        closest = plane.origin + u[:, None] * plane.u_axis + v[:, None] * plane.v_axis
+        np.minimum(best, np.linalg.norm(points - closest, axis=1), out=best)
+    return best
+
+
+def evaluate_fused_map(
+    cloud, sequence, outlier_distance: float | None = None
+) -> FusedMapMetrics:
+    """Evaluate a fused global map against a sequence's analytic scene.
+
+    Parameters
+    ----------
+    cloud:
+        A :class:`~repro.core.pointcloud.PointCloud` (or anything with a
+        ``points`` array) — typically ``MappingResult.cloud``.
+    sequence:
+        The generating :class:`~repro.events.datasets.Sequence`.
+    outlier_distance:
+        Surface-distance threshold for the outlier ratio; defaults to 2 %
+        of the sequence's mean DSI depth (depth-scale invariant).
+    """
+    points = np.asarray(getattr(cloud, "points", cloud), dtype=float)
+    if points.size == 0:
+        raise ValueError("fused map contains no points to evaluate")
+    if outlier_distance is None:
+        z_min, z_max = sequence.depth_range
+        outlier_distance = 0.02 * 0.5 * (z_min + z_max)
+    distances = point_to_scene_distance(sequence.scene, points)
+    return FusedMapMetrics(
+        mean_distance=float(np.mean(distances)),
+        rmse=float(np.sqrt(np.mean(distances**2))),
+        outlier_ratio=float(np.mean(distances > outlier_distance)),
+        outlier_distance=float(outlier_distance),
+        n_points=int(points.shape[0]),
+    )
+
+
 def evaluate_reconstruction(result: EMVSResult, sequence) -> DepthMetrics:
     """Evaluate a pipeline result against a sequence's analytic ground truth.
 

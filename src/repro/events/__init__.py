@@ -20,7 +20,13 @@ from repro.events.davis_io import (
 )
 from repro.events.simulator import EventCameraSimulator, SimulatorConfig
 from repro.events.scenes import PlanarScene, TexturedPlane
-from repro.events.datasets import Sequence, load_sequence, SEQUENCE_NAMES
+from repro.events.datasets import (
+    ALL_SEQUENCE_NAMES,
+    SCENARIO_NAMES,
+    SEQUENCE_NAMES,
+    Sequence,
+    load_sequence,
+)
 
 __all__ = [
     "EventArray",
@@ -43,4 +49,6 @@ __all__ = [
     "Sequence",
     "load_sequence",
     "SEQUENCE_NAMES",
+    "SCENARIO_NAMES",
+    "ALL_SEQUENCE_NAMES",
 ]

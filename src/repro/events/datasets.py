@@ -23,6 +23,7 @@ import numpy as np
 from repro.events.containers import EventArray
 from repro.events.scenes import (
     PlanarScene,
+    corridor_scene,
     slider_scene,
     three_planes_scene,
     three_walls_scene,
@@ -32,7 +33,7 @@ from repro.geometry.camera import PinholeCamera
 from repro.geometry.se3 import SE3, Quaternion
 from repro.geometry.trajectory import Trajectory, linear_trajectory
 
-#: Names accepted by :func:`load_sequence`, in the paper's order.
+#: The paper's four evaluation sequences, in the paper's order.
 SEQUENCE_NAMES = (
     "simulation_3planes",
     "simulation_3walls",
@@ -40,12 +41,27 @@ SEQUENCE_NAMES = (
     "slider_far",
 )
 
-#: Short labels used in the paper's figures.
+#: Extended scenario sequences beyond the paper: longer trajectories that
+#: cross many key-frame segments, built for multi-keyframe parallel
+#: mapping (see :mod:`repro.core.mapping`).  Kept out of
+#: :data:`SEQUENCE_NAMES` so the paper benchmarks stay exactly the
+#: published four-sequence suite.
+SCENARIO_NAMES = (
+    "slider_long",
+    "corridor_sweep",
+)
+
+#: Every name :func:`load_sequence` accepts.
+ALL_SEQUENCE_NAMES = SEQUENCE_NAMES + SCENARIO_NAMES
+
+#: Short labels used in the paper's figures and reports.
 SHORT_NAMES = {
     "simulation_3planes": "3planes",
     "simulation_3walls": "3walls",
     "slider_close": "close",
     "slider_far": "far",
+    "slider_long": "long",
+    "corridor_sweep": "corridor",
 }
 
 
@@ -69,6 +85,12 @@ class Sequence:
     depth_range:
         ``(z_min, z_max)`` bounds for the DSI, analogous to the dataset's
         published scene depth ranges.
+    keyframe_distance:
+        Recommended key-frame translation threshold (metres) for
+        multi-keyframe mapping over this sequence, or ``None`` when the
+        sequence is short enough that a single reference view suffices
+        (the paper's four sequences).  The CLI uses it as the
+        ``--keyframe-distance`` default.
     """
 
     name: str
@@ -77,6 +99,7 @@ class Sequence:
     camera: PinholeCamera
     scene: PlanarScene
     depth_range: tuple[float, float]
+    keyframe_distance: float | None = None
 
     @property
     def short_name(self) -> str:
@@ -177,11 +200,84 @@ def _build_slider(name: str, mean_depth: float, seed: int, quality: str) -> Sequ
     )
 
 
+def _build_slider_long(quality: str) -> Sequence:
+    """Long-baseline slider sweep crossing many key-frame segments.
+
+    Same slider-style scene family as ``slider_close``/``slider_far`` but
+    with a board wide enough to stay textured across a 0.9 m sweep — a
+    ~7-segment workload at the recommended key-frame distance, versus the
+    single-reference paper sequences.
+    """
+    mean_depth = 0.9
+    scene = slider_scene(mean_depth, seed=9)
+    camera = PinholeCamera.davis240c(distorted=False)
+    trajectory = linear_trajectory(
+        start=[-0.45, 0.0, 0.0],
+        end=[0.45, 0.0, 0.0],
+        duration=3.2,
+        n_poses=321,
+        rotation=Quaternion.identity(),
+    )
+    config = SimulatorConfig(
+        contrast_threshold=0.17,
+        n_render_steps=_quality_steps(quality, 560),
+        threshold_mismatch=0.03,
+        noise_rate=0.05,
+        seed=9,
+    )
+    events = EventCameraSimulator(scene, camera, trajectory, config).run()
+    return Sequence(
+        name="slider_long",
+        events=events,
+        trajectory=trajectory,
+        camera=camera,
+        scene=scene,
+        depth_range=(0.55 * mean_depth, 2.2 * mean_depth),
+        keyframe_distance=0.15 * mean_depth,
+    )
+
+
+def _build_corridor_sweep(quality: str) -> Sequence:
+    """Forward sweep down a textured corridor: continuously fresh structure.
+
+    The camera translates 2.4 m along the corridor axis; side-wall texture
+    sweeps outward through the field of view, so each key-frame segment
+    observes different geometry — the fused global map genuinely unions
+    per-segment reconstructions instead of re-seeing one board.
+    """
+    scene = corridor_scene(half_width=0.8, length=6.0, seed=31)
+    camera = PinholeCamera.davis240c(distorted=False)
+    trajectory = linear_trajectory(
+        start=[0.0, 0.0, 0.0],
+        end=[0.0, 0.0, 2.4],
+        duration=4.0,
+        n_poses=401,
+        rotation=Quaternion.identity(),
+    )
+    config = SimulatorConfig(
+        contrast_threshold=0.16,
+        n_render_steps=_quality_steps(quality, 640),
+        seed=31,
+    )
+    events = EventCameraSimulator(scene, camera, trajectory, config).run()
+    return Sequence(
+        name="corridor_sweep",
+        events=events,
+        trajectory=trajectory,
+        camera=camera,
+        scene=scene,
+        depth_range=(1.1, 6.5),
+        keyframe_distance=0.3,
+    )
+
+
 _BUILDERS = {
     "simulation_3planes": lambda q: _build_simulation_3planes(q),
     "simulation_3walls": lambda q: _build_simulation_3walls(q),
     "slider_close": lambda q: _build_slider("slider_close", 0.45, seed=3, quality=q),
     "slider_far": lambda q: _build_slider("slider_far", 1.3, seed=4, quality=q),
+    "slider_long": lambda q: _build_slider_long(q),
+    "corridor_sweep": lambda q: _build_corridor_sweep(q),
 }
 
 
@@ -192,13 +288,14 @@ def load_sequence(name: str, quality: str = "full") -> Sequence:
     Parameters
     ----------
     name:
-        One of :data:`SEQUENCE_NAMES`.
+        One of :data:`ALL_SEQUENCE_NAMES` (the paper's four plus the
+        extended multi-keyframe scenarios).
     quality:
         ``"full"`` for evaluation fidelity, ``"fast"`` for quick tests
         (coarser temporal sampling, ~4x fewer events).
     """
     if name not in _BUILDERS:
         raise KeyError(
-            f"unknown sequence {name!r}; available: {', '.join(SEQUENCE_NAMES)}"
+            f"unknown sequence {name!r}; available: {', '.join(ALL_SEQUENCE_NAMES)}"
         )
     return _BUILDERS[name](quality)

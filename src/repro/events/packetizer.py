@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Generator
 
+import numpy as np
+
 from repro.events.containers import EventArray
 from repro.geometry.se3 import SE3
 from repro.geometry.trajectory import Trajectory
@@ -177,6 +179,55 @@ def aggregate_frames(
     if return_dropped:
         return frames, dropped
     return frames
+
+
+def n_full_frames(events: EventArray, frame_size: int = DEFAULT_FRAME_SIZE) -> int:
+    """How many complete frames a stream yields (the tail is dropped)."""
+    if frame_size < 1:
+        raise ValueError("frame_size must be >= 1")
+    return len(events) // frame_size
+
+
+def frame_midtimes(
+    events: EventArray, frame_size: int = DEFAULT_FRAME_SIZE
+) -> np.ndarray:
+    """Representative (mid-span) timestamps of every complete frame.
+
+    Computes, without materializing any :class:`EventFrame`, exactly the
+    ``timestamp`` values a :class:`Packetizer` would stamp on the frames of
+    ``events``: ``0.5 * (t_first + t_last)`` of each ``frame_size`` slice,
+    evaluated in the same float64 arithmetic.  Segment planners
+    (:func:`repro.core.engine.plan_segments`) rely on this bit-exactness to
+    predict key-frame boundaries without running the pipeline.
+    """
+    n = n_full_frames(events, frame_size)
+    if n == 0:
+        return np.empty(0, dtype=float)
+    ts = events.t
+    starts = np.arange(n, dtype=np.int64) * frame_size
+    return 0.5 * (ts[starts] + ts[starts + frame_size - 1])
+
+
+def segment_slice(
+    events: EventArray,
+    start_frame: int,
+    end_frame: int,
+    frame_size: int = DEFAULT_FRAME_SIZE,
+) -> EventArray:
+    """The events of frames ``[start_frame, end_frame)`` as one slice.
+
+    Frame-aligned by construction, so re-packetizing the slice with the
+    same ``frame_size`` reproduces the original frames (same events, same
+    mid-span timestamps) — the property per-segment parallel runs rest on.
+    """
+    if not 0 <= start_frame <= end_frame:
+        raise ValueError("need 0 <= start_frame <= end_frame")
+    if end_frame * frame_size > len(events):
+        raise ValueError(
+            f"segment [{start_frame}, {end_frame}) needs "
+            f"{end_frame * frame_size} events but the stream has {len(events)}"
+        )
+    return events[start_frame * frame_size : end_frame * frame_size]
 
 
 def iter_frames(

@@ -247,6 +247,53 @@ def three_walls_scene() -> PlanarScene:
     return PlanarScene(planes=planes, background=0.35, name="3walls")
 
 
+def corridor_scene(
+    half_width: float = 0.8,
+    length: float = 6.0,
+    seed: int = 31,
+) -> PlanarScene:
+    """A textured corridor: two side walls flanking the motion axis + end wall.
+
+    Built for the *long multi-keyframe* scenario sequences: a camera
+    translating down the corridor sees wall texture sweep past with depth
+    varying continuously along each wall, so every key-frame segment views
+    fresh structure — the workload parallel mapping shards.
+    """
+    if half_width <= 0 or length <= 0:
+        raise ValueError("corridor dimensions must be positive")
+    z_mid = 0.5 * length
+    planes = [
+        TexturedPlane(  # left wall, spanned along the corridor (Z) and Y
+            origin=[-half_width, 0.0, z_mid],
+            u_axis=np.array([0.0, 0.0, 1.0]),
+            v_axis=_Y,
+            half_u=z_mid + 1.0,
+            half_v=1.0,
+            texture=tex.quantized_noise(seed=seed, scale=0.14, levels=5),
+            name="left",
+        ),
+        TexturedPlane(  # right wall
+            origin=[half_width, 0.0, z_mid],
+            u_axis=np.array([0.0, 0.0, 1.0]),
+            v_axis=_Y,
+            half_u=z_mid + 1.0,
+            half_v=1.0,
+            texture=tex.quantized_noise(seed=seed + 1, scale=0.14, levels=5),
+            name="right",
+        ),
+        TexturedPlane(  # end wall closing the corridor
+            origin=[0.0, 0.0, length],
+            u_axis=_X,
+            v_axis=_Y,
+            half_u=2.5,
+            half_v=1.8,
+            texture=tex.quantized_noise(seed=seed + 2, scale=0.2, levels=4),
+            name="end",
+        ),
+    ]
+    return PlanarScene(planes=planes, background=0.4, name="corridor")
+
+
 def slider_scene(mean_depth: float, seed: int = 3) -> PlanarScene:
     """Replica of the ``slider_*`` scenes: textured boards facing a slider.
 

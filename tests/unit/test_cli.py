@@ -33,11 +33,51 @@ class TestParser:
         assert args.backend == "numpy-fast"
         assert args.policy == "original"
 
-    def test_unknown_backend_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["reconstruct", "-s", "slider_far", "--backend", "cuda"]
-            )
+    def test_parallel_mapping_flags_parse(self):
+        args = build_parser().parse_args(
+            ["reconstruct", "-s", "slider_long",
+             "--workers", "4", "--fuse", "--fuse-voxel", "0.02"]
+        )
+        assert args.workers == 4
+        assert args.fuse is True
+        assert args.fuse_voxel == pytest.approx(0.02)
+
+    def test_parallel_mapping_flag_defaults(self):
+        args = build_parser().parse_args(["reconstruct", "-s", "slider_far"])
+        assert args.workers == 1
+        assert args.fuse is False
+        assert args.fuse_voxel is None
+
+    def test_unknown_backend_rejected_with_registry_listing(self, capsys):
+        # Runtime validation against the live registry (not argparse
+        # choices): the error must name what *is* registered.
+        with pytest.raises(SystemExit, match="unknown backend 'cuda'") as exc:
+            main(["reconstruct", "-s", "slider_far", "--backend", "cuda"])
+        message = str(exc.value)
+        for name in ("numpy-reference", "numpy-fast", "numpy-batch",
+                     "hardware-model"):
+            assert name in message
+
+    def test_unknown_policy_rejected_with_registry_listing(self):
+        with pytest.raises(SystemExit, match="unknown policy 'magic'") as exc:
+            main(["reconstruct", "-s", "slider_far", "--policy", "magic"])
+        message = str(exc.value)
+        assert "original" in message
+        assert "reformulated" in message
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["reconstruct", "-s", "slider_far", "--workers", "0"])
+
+    def test_unknown_sequence_rejected_with_listing(self):
+        # Same clean-error contract as --backend/--policy: no raw KeyError.
+        with pytest.raises(SystemExit, match="unknown sequence") as exc:
+            main(["reconstruct", "-s", "slider_lnog"])
+        assert "slider_long" in str(exc.value)
+
+    def test_bad_fuse_voxel_rejected(self):
+        with pytest.raises(SystemExit, match="--fuse-voxel"):
+            main(["reconstruct", "-s", "slider_far", "--fuse-voxel", "0"])
 
 
 class TestCommands:
@@ -46,6 +86,53 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "simulation_3planes" in out
         assert "slider_far" in out
+
+    def test_info_lists_scenarios_and_registries(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "slider_long" in out
+        assert "corridor_sweep" in out
+        assert "numpy-batch" in out
+        assert "reformulated" in out
+
+    def test_fuse_voxel_alone_implies_fusion(self, capsys):
+        code = main(
+            [
+                "reconstruct", "-s", "simulation_3planes",
+                "--quality", "fast",
+                "--planes", "48",
+                "--t-start", "0.95", "--t-end", "1.1",
+                "--fuse-voxel", "0.02",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fused global map" in out
+        assert "voxel 20.0 mm" in out
+
+    def test_reconstruct_fused_parallel(self, tmp_path, capsys):
+        ply = os.path.join(tmp_path, "fused.ply")
+        code = main(
+            [
+                "reconstruct", "-s", "simulation_3planes",
+                "--quality", "fast",
+                "--planes", "48",
+                "--t-start", "0.4", "--t-end", "1.6",
+                "--keyframe-distance", "0.12",
+                "--backend", "numpy-batch",
+                "--workers", "2",
+                "-o", ply,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "segment(s)" in out
+        assert "fused global map" in out
+        assert "fused-map accuracy" in out
+        from repro.io.ply import load_ply
+
+        points, _ = load_ply(ply)
+        assert points.shape[0] > 100
 
     def test_models_runs(self, capsys):
         assert main(["models"]) == 0

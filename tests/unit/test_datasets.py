@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.events.datasets import SEQUENCE_NAMES, SHORT_NAMES, load_sequence
+from repro.events.datasets import (
+    ALL_SEQUENCE_NAMES,
+    SCENARIO_NAMES,
+    SEQUENCE_NAMES,
+    SHORT_NAMES,
+    load_sequence,
+)
 
 
 class TestRegistry:
@@ -14,6 +20,12 @@ class TestRegistry:
             "slider_close",
             "slider_far",
         )
+
+    def test_scenario_sequences_extend_not_replace(self):
+        assert SCENARIO_NAMES == ("slider_long", "corridor_sweep")
+        assert ALL_SEQUENCE_NAMES == SEQUENCE_NAMES + SCENARIO_NAMES
+        for name in ALL_SEQUENCE_NAMES:
+            assert name in SHORT_NAMES
 
     def test_unknown_name_rejected(self):
         with pytest.raises(KeyError):
@@ -66,3 +78,42 @@ class TestSequenceContents:
         # Raw sensor events have integer pixel coordinates.
         x = seq_3planes_fast.events.x
         np.testing.assert_array_equal(x, np.round(x))
+
+    def test_paper_sequences_have_no_keyframe_recommendation(
+        self, seq_3planes_fast
+    ):
+        assert seq_3planes_fast.keyframe_distance is None
+
+
+class TestScenarioSequences:
+    """The long multi-keyframe workloads behind parallel mapping."""
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_multi_keyframe_structure(self, name):
+        from repro.core import EMVSConfig, plan_segments
+
+        seq = load_sequence(name, quality="fast")
+        assert seq.keyframe_distance is not None
+        assert len(seq.events) > 200_000
+        config = EMVSConfig(
+            n_depth_planes=32, keyframe_distance=seq.keyframe_distance
+        )
+        plans, _ = plan_segments(seq.events, seq.trajectory, config)
+        assert len(plans) >= 4  # genuinely multi-keyframe
+
+    def test_slider_long_sweeps_wide_baseline(self):
+        seq = load_sequence("slider_long", quality="fast")
+        assert seq.trajectory.path_length() == pytest.approx(0.9, rel=1e-6)
+
+    def test_corridor_sweep_moves_forward(self):
+        seq = load_sequence("corridor_sweep", quality="fast")
+        start = seq.trajectory.sample(seq.trajectory.t_start).translation
+        end = seq.trajectory.sample(seq.trajectory.t_end).translation
+        assert end[2] - start[2] == pytest.approx(2.4, rel=1e-6)
+
+    def test_corridor_depth_range_brackets_scene(self):
+        seq = load_sequence("corridor_sweep", quality="fast")
+        pose = seq.trajectory.sample(seq.trajectory.t_start)
+        lo, hi = seq.scene.depth_extent(seq.camera, pose)
+        assert seq.depth_range[0] <= lo
+        assert seq.depth_range[1] >= hi

@@ -1,0 +1,199 @@
+"""Unit tests for segment planning and the fused global map."""
+
+import numpy as np
+import pytest
+
+from repro.core import EMVSConfig, GlobalMap, MappingOrchestrator, plan_segments
+from repro.core.engine import SegmentPlan
+from repro.core.keyframes import KeyframeSelector
+from repro.events.containers import EventArray
+from repro.events.packetizer import aggregate_frames
+
+
+def stream(n, rate=1000.0, t0=0.0):
+    t = t0 + np.arange(n) / rate
+    return EventArray.from_arrays(t, np.zeros(n), np.zeros(n), np.ones(n, dtype=int))
+
+
+class TestSegmentPlan:
+    def test_event_ranges_follow_frames(self):
+        plan = SegmentPlan(index=1, start_frame=3, end_frame=7, frame_size=100, t_ref=0.0)
+        assert plan.n_frames == 4
+        assert plan.start_event == 300
+        assert plan.end_event == 700
+        assert plan.n_events == 400
+
+    def test_slice_is_frame_aligned(self):
+        events = stream(1000)
+        plan = SegmentPlan(index=0, start_frame=2, end_frame=5, frame_size=100, t_ref=0.0)
+        part = plan.slice(events)
+        assert len(part) == 300
+        np.testing.assert_array_equal(part.t, events.t[200:500])
+
+
+class TestPlanSegments:
+    def test_empty_stream(self, simple_trajectory):
+        config = EMVSConfig(frame_size=100, keyframe_distance=0.05)
+        plans, dropped = plan_segments(EventArray.empty(), simple_trajectory, config)
+        assert plans == []
+        assert dropped == 0
+
+    def test_short_stream_all_dropped(self, simple_trajectory):
+        config = EMVSConfig(frame_size=100, keyframe_distance=0.05)
+        plans, dropped = plan_segments(stream(60), simple_trajectory, config)
+        assert plans == []
+        assert dropped == 60
+
+    def test_no_keyframing_single_segment(self, simple_trajectory):
+        config = EMVSConfig(frame_size=100, keyframe_distance=None)
+        plans, dropped = plan_segments(stream(430), simple_trajectory, config)
+        assert len(plans) == 1
+        assert plans[0].start_frame == 0
+        assert plans[0].end_frame == 4
+        assert dropped == 30
+
+    def test_segments_partition_the_frames(self, simple_trajectory):
+        # 2000 events over 2 s sweep 0.4 m; 0.05 m threshold -> many segments.
+        config = EMVSConfig(frame_size=100, keyframe_distance=0.05)
+        events = stream(2000)
+        plans, _ = plan_segments(events, simple_trajectory, config)
+        assert len(plans) > 3
+        assert plans[0].start_frame == 0
+        assert plans[-1].end_frame == 20
+        for a, b in zip(plans[:-1], plans[1:]):
+            assert a.end_frame == b.start_frame
+            assert b.index == a.index + 1
+
+    def test_boundaries_match_selector_over_frames(self, simple_trajectory):
+        """The plan reproduces KeyframeSelector decisions over frame poses."""
+        config = EMVSConfig(frame_size=100, keyframe_distance=0.05)
+        events = stream(2000)
+        plans, _ = plan_segments(events, simple_trajectory, config)
+        frames = aggregate_frames(events, simple_trajectory, frame_size=100)
+        selector = KeyframeSelector(config.keyframe_distance)
+        expected_starts = [
+            i for i, f in enumerate(frames) if selector.is_new_keyframe(f.T_wc)
+        ]
+        assert [p.start_frame for p in plans] == expected_starts
+        # The reference timestamp is the key frame's mid-span timestamp.
+        for plan in plans:
+            assert plan.t_ref == frames[plan.start_frame].timestamp
+
+
+class TestGlobalMap:
+    def test_rejects_bad_voxel(self):
+        with pytest.raises(ValueError):
+            GlobalMap(0.0)
+
+    def test_empty_map(self):
+        gmap = GlobalMap(0.1)
+        assert gmap.n_raw_points == 0
+        assert gmap.n_voxels == 0
+        assert len(gmap.fused_cloud()) == 0
+        gmap.insert(np.empty((0, 3)))  # no-op
+        assert gmap.n_raw_points == 0
+
+    def test_validates_inputs(self):
+        gmap = GlobalMap(0.1)
+        with pytest.raises(ValueError, match=r"\(N, 3\)"):
+            gmap.insert(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="one weight per point"):
+            gmap.insert(np.zeros((2, 3)), np.ones(3))
+        with pytest.raises(ValueError, match="positive"):
+            gmap.insert(np.zeros((2, 3)), np.array([1.0, 0.0]))
+
+    def test_voxel_deduplication(self):
+        gmap = GlobalMap(1.0)
+        gmap.insert(np.array([[0.1, 0.1, 0.1], [0.2, 0.2, 0.2], [1.5, 0.0, 0.0]]))
+        assert gmap.n_raw_points == 3
+        assert gmap.n_voxels == 2
+        np.testing.assert_array_equal(gmap.fused_counts(), [2, 1])
+
+    def test_confidence_weighted_mean(self):
+        gmap = GlobalMap(1.0)
+        gmap.insert(
+            np.array([[0.1, 0.0, 0.0], [0.4, 0.0, 0.0]]), np.array([1.0, 3.0])
+        )
+        fused = gmap.fused_points()
+        assert fused.shape == (1, 3)
+        # Weighted mean: (0.1*1 + 0.4*3) / 4 = 0.325.
+        np.testing.assert_allclose(fused[0], [0.325, 0.0, 0.0])
+        np.testing.assert_allclose(gmap.fused_confidences(), [4.0])
+
+    def test_min_observations_filter(self):
+        gmap = GlobalMap(1.0)
+        gmap.insert(np.array([[0.1, 0.1, 0.1], [0.2, 0.2, 0.2], [1.5, 0.0, 0.0]]))
+        assert len(gmap.fused_cloud()) == 2
+        assert len(gmap.fused_cloud(min_observations=2)) == 1
+
+    def test_insert_after_fuse_invalidates_cache(self):
+        gmap = GlobalMap(1.0)
+        gmap.insert(np.array([[0.1, 0.1, 0.1]]))
+        assert gmap.n_voxels == 1
+        gmap.insert(np.array([[2.5, 0.0, 0.0]]))
+        assert gmap.n_voxels == 2
+
+    def test_fusion_bit_reproducible_for_fixed_order(self, rng):
+        points = rng.uniform(-1, 1, size=(500, 3))
+        weights = rng.uniform(0.5, 5.0, size=500)
+        maps = []
+        for _ in range(2):
+            gmap = GlobalMap(0.2)
+            # Same chunking, same order -> identical bits.
+            gmap.insert(points[:200], weights[:200])
+            gmap.insert(points[200:], weights[200:])
+            maps.append(gmap)
+        np.testing.assert_array_equal(
+            maps[0].fused_points(), maps[1].fused_points()
+        )
+        np.testing.assert_array_equal(
+            maps[0].fused_confidences(), maps[1].fused_confidences()
+        )
+
+
+class TestOrchestratorValidation:
+    def test_rejects_backend_instances(self, simple_trajectory, davis_camera):
+        from repro.core.engine import BACKENDS
+
+        with pytest.raises(TypeError, match="registry name"):
+            MappingOrchestrator(
+                davis_camera, simple_trajectory, backend=object()
+            )
+        assert "numpy-batch" in BACKENDS  # names stay the supported currency
+
+    def test_rejects_bad_workers(self, simple_trajectory, davis_camera):
+        with pytest.raises(ValueError, match="workers"):
+            MappingOrchestrator(davis_camera, simple_trajectory, workers=0)
+
+    def test_rejects_bad_voxel_size(self, simple_trajectory, davis_camera):
+        # Must fail at construction, not after a full run inside GlobalMap.
+        with pytest.raises(ValueError, match="voxel_size"):
+            MappingOrchestrator(davis_camera, simple_trajectory, voxel_size=0.0)
+
+    def test_rejects_bad_executor(self, simple_trajectory, davis_camera):
+        with pytest.raises(ValueError, match="executor"):
+            MappingOrchestrator(
+                davis_camera, simple_trajectory, executor="greenlets"
+            )
+
+    def test_hardware_model_defaults_to_threads(
+        self, simple_trajectory, davis_camera
+    ):
+        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+        hw = MappingOrchestrator(
+            davis_camera, simple_trajectory, backend="hardware-model"
+        )
+        with hw._make_pool(2) as pool:
+            assert isinstance(pool, ThreadPoolExecutor)
+        sw = MappingOrchestrator(
+            davis_camera, simple_trajectory, backend="numpy-batch"
+        )
+        with sw._make_pool(2) as pool:
+            assert isinstance(pool, ProcessPoolExecutor)
+
+    def test_default_voxel_tracks_depth_range(self, simple_trajectory, davis_camera):
+        orch = MappingOrchestrator(
+            davis_camera, simple_trajectory, depth_range=(1.0, 3.0)
+        )
+        assert orch.voxel_size == pytest.approx(0.02)

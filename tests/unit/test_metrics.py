@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.eval.metrics import absrel, compute_metrics
+from repro.eval.metrics import (
+    absrel,
+    compute_metrics,
+    evaluate_fused_map,
+    point_to_scene_distance,
+)
+from repro.events.scenes import PlanarScene, TexturedPlane
 
 
 class TestAbsRel:
@@ -56,3 +62,104 @@ class TestComputeMetrics:
     def test_str_contains_absrel(self):
         m = compute_metrics(np.array([1.0]), np.array([1.0]), sensor_pixels=10)
         assert "AbsRel" in str(m)
+
+
+def square_plane_scene():
+    """One 2x2 m plane at z = 2, axis-aligned."""
+    plane = TexturedPlane(
+        origin=[0.0, 0.0, 2.0],
+        u_axis=[1.0, 0.0, 0.0],
+        v_axis=[0.0, 1.0, 0.0],
+        half_u=1.0,
+        half_v=1.0,
+    )
+    return PlanarScene(planes=[plane])
+
+
+class TestPointToSceneDistance:
+    def test_on_surface_is_zero(self):
+        scene = square_plane_scene()
+        d = point_to_scene_distance(scene, np.array([[0.5, -0.5, 2.0]]))
+        assert d[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_offset(self):
+        scene = square_plane_scene()
+        d = point_to_scene_distance(scene, np.array([[0.0, 0.0, 1.5]]))
+        assert d[0] == pytest.approx(0.5)
+
+    def test_beyond_edge_clamps_to_rectangle(self):
+        scene = square_plane_scene()
+        # 0.5 m past the +u edge, on the plane: distance is to the edge.
+        d = point_to_scene_distance(scene, np.array([[1.5, 0.0, 2.0]]))
+        assert d[0] == pytest.approx(0.5)
+        # Diagonal: past the corner in u and off the plane in z.
+        d = point_to_scene_distance(scene, np.array([[1.3, 0.0, 1.6]]))
+        assert d[0] == pytest.approx(np.hypot(0.3, 0.4))
+
+    def test_nearest_of_many_planes_wins(self):
+        scene = square_plane_scene()
+        scene.planes.append(
+            TexturedPlane(
+                origin=[0.0, 0.0, 1.0],
+                u_axis=[1.0, 0.0, 0.0],
+                v_axis=[0.0, 1.0, 0.0],
+                half_u=1.0,
+                half_v=1.0,
+            )
+        )
+        d = point_to_scene_distance(scene, np.array([[0.0, 0.0, 1.2]]))
+        assert d[0] == pytest.approx(0.2)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            point_to_scene_distance(square_plane_scene(), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            point_to_scene_distance(PlanarScene(planes=[]), np.zeros((1, 3)))
+
+
+class FakeSequence:
+    """Duck-typed Sequence stub for fused-map metric tests."""
+
+    def __init__(self, scene, depth_range):
+        self.scene = scene
+        self.depth_range = depth_range
+
+
+class TestEvaluateFusedMap:
+    def test_perfect_map(self):
+        seq = FakeSequence(square_plane_scene(), (1.0, 3.0))
+        points = np.stack(
+            [
+                np.linspace(-0.9, 0.9, 20),
+                np.zeros(20),
+                np.full(20, 2.0),
+            ],
+            axis=1,
+        )
+        m = evaluate_fused_map(points, seq)
+        assert m.n_points == 20
+        assert m.mean_distance == pytest.approx(0.0, abs=1e-12)
+        assert m.outlier_ratio == 0.0
+        # Default threshold: 2 % of the mean DSI depth.
+        assert m.outlier_distance == pytest.approx(0.04)
+
+    def test_outliers_counted(self):
+        seq = FakeSequence(square_plane_scene(), (1.0, 3.0))
+        points = np.array([[0.0, 0.0, 2.0], [0.0, 0.0, 1.0]])
+        m = evaluate_fused_map(points, seq, outlier_distance=0.5)
+        assert m.outlier_ratio == pytest.approx(0.5)
+        assert m.rmse == pytest.approx(np.sqrt(0.5 * 1.0**2))
+        assert "surf-dist" in str(m)
+
+    def test_empty_map_raises(self):
+        seq = FakeSequence(square_plane_scene(), (1.0, 3.0))
+        with pytest.raises(ValueError):
+            evaluate_fused_map(np.empty((0, 3)), seq)
+
+    def test_accepts_point_clouds(self):
+        from repro.core.pointcloud import PointCloud
+
+        seq = FakeSequence(square_plane_scene(), (1.0, 3.0))
+        cloud = PointCloud(np.array([[0.0, 0.0, 2.1]]))
+        m = evaluate_fused_map(cloud, seq)
+        assert m.mean_distance == pytest.approx(0.1)

@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.events.containers import EventArray
-from repro.events.packetizer import Packetizer, aggregate_frames, iter_frames
+from repro.events.packetizer import (
+    Packetizer,
+    aggregate_frames,
+    frame_midtimes,
+    iter_frames,
+    n_full_frames,
+    segment_slice,
+)
 
 
 def stream(n, rate=1000.0, t0=0.0):
@@ -161,3 +168,47 @@ class TestDropAccounting:
         except StopIteration as stop:
             assert stop.value == 0
         assert len(frames) == 2
+
+
+class TestSegmentHelpers:
+    """The plan-time helpers mirror Packetizer output bit-for-bit."""
+
+    def test_n_full_frames(self):
+        assert n_full_frames(stream(430), 100) == 4
+        assert n_full_frames(stream(99), 100) == 0
+        with pytest.raises(ValueError):
+            n_full_frames(stream(10), 0)
+
+    def test_frame_midtimes_match_packetizer(self, simple_trajectory):
+        events = stream(430)
+        frames = aggregate_frames(events, simple_trajectory, frame_size=100)
+        mids = frame_midtimes(events, 100)
+        assert mids.shape == (4,)
+        for frame, mid in zip(frames, mids):
+            assert frame.timestamp == mid  # exact, not approx
+
+    def test_frame_midtimes_empty(self):
+        assert frame_midtimes(stream(50), 100).shape == (0,)
+
+    def test_segment_slice_repacketizes_identically(self, simple_trajectory):
+        events = stream(640)
+        frames = aggregate_frames(events, simple_trajectory, frame_size=100)
+        part = segment_slice(events, 2, 5, 100)
+        assert len(part) == 300
+        refrmd = aggregate_frames(part, simple_trajectory, frame_size=100)
+        assert len(refrmd) == 3
+        for a, b in zip(frames[2:5], refrmd):
+            assert a.events == b.events
+            assert a.timestamp == b.timestamp
+
+    def test_segment_slice_validates(self):
+        with pytest.raises(ValueError):
+            segment_slice(stream(100), 3, 2, 10)
+        with pytest.raises(ValueError):
+            segment_slice(stream(100), -1, 2, 10)
+
+    def test_segment_slice_rejects_overrun(self):
+        # An out-of-range segment must error, not silently truncate.
+        with pytest.raises(ValueError, match="stream has 500"):
+            segment_slice(stream(500), 3, 8, 100)
+        assert len(segment_slice(stream(500), 3, 5, 100)) == 200
