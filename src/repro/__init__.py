@@ -22,6 +22,9 @@ Packages
     The Intel i5 CPU timing model Eventor is compared against.
 :mod:`repro.eval`
     AbsRel metrics, experiment runners, table rendering.
+:mod:`repro.serve`
+    Multi-session reconstruction serving: shared worker pool, fair
+    round-robin scheduling, backpressure, LRU result caching.
 
 Quick start
 -----------
@@ -44,4 +47,5 @@ __all__ = [
     "hardware",
     "baseline",
     "eval",
+    "serve",
 ]

@@ -96,6 +96,19 @@ def _resolve_policy(name: str):
     return POLICIES[name]
 
 
+def _save_cloud(path: str, cloud) -> None:
+    """Write a point cloud as .ply or (anything else) .xyz."""
+    if path.endswith(".ply"):
+        from repro.io.ply import save_ply
+
+        save_ply(path, cloud)
+    else:
+        from repro.io.xyz import save_xyz
+
+        save_xyz(path, cloud)
+    print(f"wrote {len(cloud)} points to {path}")
+
+
 def _cmd_reconstruct(args) -> int:
     from repro.core import EMVSConfig, MappingOrchestrator, ReconstructionEngine
 
@@ -198,15 +211,7 @@ def _cmd_reconstruct(args) -> int:
         cloud = result.cloud
         if args.filter_radius > 0:
             cloud = cloud.radius_filter(args.filter_radius, min_neighbors=2)
-        if args.output.endswith(".ply"):
-            from repro.io.ply import save_ply
-
-            save_ply(args.output, cloud)
-        else:
-            from repro.io.xyz import save_xyz
-
-            save_xyz(args.output, cloud)
-        print(f"wrote {len(cloud)} points to {args.output}")
+        _save_cloud(args.output, cloud)
 
     if args.depth_map and result.keyframes:
         from repro.io.pgm import depth_to_image, save_pgm
@@ -214,6 +219,162 @@ def _cmd_reconstruct(args) -> int:
         dm = result.keyframes[-1].depth_map
         save_pgm(args.depth_map, depth_to_image(dm.depth, depth_range))
         print(f"wrote depth map ({dm.n_points} px) to {args.depth_map}")
+    return 0
+
+
+def _validate_serve_limits(args) -> None:
+    """Shared numeric validation of the serving knobs (registry-error style)."""
+    from repro.serve import OVERFLOW_POLICIES
+
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    if args.queue_limit < 1:
+        raise SystemExit("--queue-limit must be >= 1")
+    if args.cache_size < 0:
+        raise SystemExit("--cache-size must be >= 0 (0 disables the cache)")
+    if args.overflow not in OVERFLOW_POLICIES:
+        raise SystemExit(
+            f"unknown overflow policy {args.overflow!r}; "
+            f"known policies: {', '.join(OVERFLOW_POLICIES)}"
+        )
+    if args.repeat < 1:
+        raise SystemExit("--repeat must be >= 1")
+
+
+def _sequence_job(args, name: str, policy):
+    """Load a named sequence and build its (events, EngineSpec) pair."""
+    from repro.core import EMVSConfig, EngineSpec
+    from repro.events.datasets import load_sequence
+
+    try:
+        seq = load_sequence(name, quality=args.quality)
+    except KeyError as e:
+        raise SystemExit(e.args[0]) from None
+    events = seq.events
+    if args.t_start is not None or args.t_end is not None:
+        t0 = events.t_start if args.t_start is None else args.t_start
+        t1 = events.t_end if args.t_end is None else args.t_end
+        events = events.time_slice(t0, t1)
+    keyframe_distance = args.keyframe_distance
+    if keyframe_distance is None:
+        keyframe_distance = seq.keyframe_distance
+    config = EMVSConfig(
+        n_depth_planes=args.planes,
+        frame_size=args.frame_size,
+        keyframe_distance=keyframe_distance,
+    )
+    spec = EngineSpec(
+        seq.camera,
+        seq.trajectory,
+        config,
+        depth_range=seq.depth_range,
+        policy=policy,
+        backend=args.backend,
+    )
+    return seq, events, spec
+
+
+def _print_service_report(service, job_ids) -> None:
+    from repro.serve import JobState
+
+    print(f"{'job':<22} {'session':<12} {'state':<8} "
+          f"{'segs':>4} {'points':>8} {'ms':>8} cache")
+    for job_id in job_ids:
+        status = service.poll(job_id)
+        job = service.jobs[job_id]
+        points = job.result.n_points if job.result is not None else 0
+        ms = (status.latency_seconds or 0.0) * 1e3
+        via = "hit" if status.cache_hit else (
+            "coalesced" if status.coalesced else "-"
+        )
+        print(
+            f"{job_id:<22} {status.session:<12} {status.state.value:<8} "
+            f"{status.segments_done:>2}/{status.segments_total:<2} "
+            f"{points:>8} {ms:>8.1f} {via}"
+        )
+        if status.state is JobState.FAILED:
+            print(f"  error: {status.error}")
+    stats = service.stats()
+    print(
+        f"cache: {stats.cache.hits} hit(s) / {stats.cache.misses} miss(es), "
+        f"{stats.cache.size}/{stats.cache.capacity} entries, "
+        f"{stats.jobs_coalesced} coalesced; "
+        f"refused {stats.jobs_refused}, dropped {stats.jobs_dropped}"
+    )
+    if stats.segments_dispatched:
+        shares = ", ".join(
+            f"{name}={count}" for name, count in stats.segments_dispatched.items()
+        )
+        print(f"segments dispatched per session: {shares}")
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import ReconstructionService, SessionBacklogFull
+
+    _resolve_backend(args.backend)
+    policy = _resolve_policy(args.policy)
+    _validate_serve_limits(args)
+    job_tokens = args.job or ["slider_long", "corridor_sweep"]
+
+    with ReconstructionService(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_size=args.cache_size,
+        overflow=args.overflow,
+    ) as service:
+        submitted = []
+        for token in job_tokens:
+            name, _, session = token.partition(":")
+            _, events, spec = _sequence_job(args, name, policy)
+            for _ in range(args.repeat):
+                try:
+                    submitted.append(
+                        service.submit(events, spec, session=session or name)
+                    )
+                except SessionBacklogFull as e:
+                    print(f"refused {name!r}: {e}")
+        print(
+            f"serving {len(submitted)} job(s) from {len(job_tokens)} stream(s) "
+            f"on {service.workers} worker(s) [{service.executor}]"
+        )
+        service.drain()
+        _print_service_report(service, submitted)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve import ReconstructionService
+
+    _resolve_backend(args.backend)
+    policy = _resolve_policy(args.policy)
+    _validate_serve_limits(args)
+
+    _, events, spec = _sequence_job(args, args.sequence, policy)
+    print(f"input: {len(events)} events over {events.duration:.2f} s")
+    with ReconstructionService(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_size=args.cache_size,
+        overflow=args.overflow,
+    ) as service:
+        from repro.serve import JobFailed, SessionBacklogFull
+
+        job_ids = []
+        for _ in range(args.repeat):
+            try:
+                job_ids.append(service.submit(events, spec, session=args.session))
+            except SessionBacklogFull as e:
+                raise SystemExit(str(e)) from None
+        service.drain()
+        try:
+            result = service.result(job_ids[-1])
+        except JobFailed as e:
+            _print_service_report(service, job_ids)
+            raise SystemExit(str(e)) from None
+        _print_service_report(service, job_ids)
+
+    if args.output:
+        _save_cloud(args.output, result.cloud)
     return 0
 
 
@@ -306,6 +467,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--output", "-o", help="cloud output (.ply or .xyz)")
     p_rec.add_argument("--depth-map", help="last key frame depth map (.pgm)")
     p_rec.set_defaults(func=_cmd_reconstruct)
+
+    def add_serve_options(p, *, default_backend="numpy-batch"):
+        """Engine + service knobs shared by `serve` and `submit`."""
+        p.add_argument("--quality", choices=("full", "fast"), default="full")
+        p.add_argument(
+            "--policy", default="reformulated",
+            help="dataflow policy preset (see `repro info`)",
+        )
+        p.add_argument(
+            "--backend", default=default_backend,
+            help="execution backend from the engine registry (see `repro info`)",
+        )
+        p.add_argument("--planes", type=int, default=100, help="DSI depth planes")
+        p.add_argument("--frame-size", type=int, default=1024)
+        p.add_argument(
+            "--keyframe-distance", type=float, default=None,
+            help="key-frame translation threshold (default: the sequence's "
+                 "recommendation)",
+        )
+        p.add_argument("--t-start", type=float, default=None)
+        p.add_argument("--t-end", type=float, default=None)
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="shared worker-pool width (default: one per CPU core)",
+        )
+        p.add_argument(
+            "--queue-limit", type=int, default=8,
+            help="max active jobs per session before backpressure applies",
+        )
+        p.add_argument(
+            "--cache-size", type=int, default=32,
+            help="LRU result-cache capacity in entries (0 disables)",
+        )
+        p.add_argument(
+            "--overflow", default="refuse",
+            help="full-queue policy: refuse (reject the submission) or "
+                 "drop-oldest (evict the session's oldest queued job)",
+        )
+        p.add_argument(
+            "--repeat", type=int, default=1,
+            help="submit each job this many times (repeats hit the result "
+                 "cache)",
+        )
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run a multi-session reconstruction service over demo jobs",
+    )
+    p_srv.add_argument(
+        "--job", action="append", default=None, metavar="SEQUENCE[:SESSION]",
+        help="submit this sequence as a job (repeatable; session defaults "
+             "to the sequence name; default jobs: slider_long, corridor_sweep)",
+    )
+    add_serve_options(p_srv)
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_sub2 = sub.add_parser(
+        "submit", help="submit one sequence through the reconstruction service"
+    )
+    p_sub2.add_argument("--sequence", "-s", required=True)
+    p_sub2.add_argument("--session", default="cli")
+    p_sub2.add_argument("--output", "-o", help="fused cloud output (.ply or .xyz)")
+    add_serve_options(p_sub2)
+    p_sub2.set_defaults(func=_cmd_submit)
 
     p_mod = sub.add_parser("models", help="print the hardware model tables")
     p_mod.add_argument("--pe", type=int, default=2, help="PE_Zi count")

@@ -35,13 +35,24 @@ from repro.core.policy import (
 )
 from repro.core.engine import (
     BACKENDS,
+    EngineSpec,
     ExecutionBackend,
     ReconstructionEngine,
     SegmentPlan,
     plan_segments,
     register_backend,
 )
-from repro.core.mapping import GlobalMap, MappingOrchestrator, MappingResult
+from repro.core.mapping import (
+    GlobalMap,
+    MappingOrchestrator,
+    MappingResult,
+    SegmentTask,
+    default_voxel_size,
+    fuse_keyframes,
+    merge_outcomes,
+    run_segment_task,
+    segment_tasks,
+)
 from repro.core.pipeline import EMVSPipeline
 from repro.core.reformulated import ReformulatedPipeline
 from repro.core.online import OnlineEMVS
@@ -68,6 +79,7 @@ __all__ = [
     "REFORMULATED_POLICY",
     "POLICIES",
     "BACKENDS",
+    "EngineSpec",
     "ExecutionBackend",
     "ReconstructionEngine",
     "SegmentPlan",
@@ -76,6 +88,12 @@ __all__ = [
     "GlobalMap",
     "MappingOrchestrator",
     "MappingResult",
+    "SegmentTask",
+    "default_voxel_size",
+    "fuse_keyframes",
+    "merge_outcomes",
+    "run_segment_task",
+    "segment_tasks",
     "EMVSPipeline",
     "ReformulatedPipeline",
     "OnlineEMVS",

@@ -479,6 +479,63 @@ def _make_hardware_backend(engine: "ReconstructionEngine") -> ExecutionBackend:
 
 
 # ----------------------------------------------------------------------
+# Engine specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything needed to build a :class:`ReconstructionEngine`, as data.
+
+    One engine run is fully determined by this bundle plus the event
+    stream, so anything that constructs *many* engines — the parallel
+    :class:`~repro.core.mapping.MappingOrchestrator`'s per-segment
+    workers, the :class:`~repro.serve.ReconstructionService`'s job
+    sharding and its result-cache keys — passes a spec around instead of
+    six loose parameters.  The backend is held by registry *name* (not
+    instance) so a spec pickles cleanly into process pools and two specs
+    naming the same configuration compare equal.
+
+    ``policy`` may be given as a preset name; it is resolved at
+    construction, so a spec always carries the concrete
+    :class:`~repro.core.policy.DataflowPolicy`.
+    """
+
+    camera: PinholeCamera
+    trajectory: Trajectory
+    config: EMVSConfig
+    depth_range: tuple[float, float] = (0.5, 5.0)
+    policy: DataflowPolicy = REFORMULATED_POLICY
+    backend: str = "numpy-reference"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.backend, str):
+            raise TypeError(
+                "EngineSpec holds a backend registry name; engine builders "
+                "each construct their own backend instance"
+            )
+        object.__setattr__(self, "policy", resolve_policy(self.policy))
+        object.__setattr__(self, "config", self.config or EMVSConfig())
+        object.__setattr__(
+            self, "depth_range", tuple(float(z) for z in self.depth_range)
+        )
+
+    def build(self, **kwargs) -> "ReconstructionEngine":
+        """Construct a fresh engine for this specification."""
+        return ReconstructionEngine(
+            self.camera,
+            self.trajectory,
+            self.config,
+            depth_range=self.depth_range,
+            policy=self.policy,
+            backend=self.backend,
+            **kwargs,
+        )
+
+    def plan(self, events: EventArray) -> tuple[list["SegmentPlan"], int]:
+        """Segment plan of ``events`` under this spec (pose-only pass)."""
+        return plan_segments(events, self.trajectory, self.config)
+
+
+# ----------------------------------------------------------------------
 # Segment planning
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

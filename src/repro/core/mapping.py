@@ -20,6 +20,14 @@ its own engine regardless of worker count, results are fused in segment
 order, and every fusion reduction is an order-fixed numpy pass — so the
 fused map and the aggregate profile counters are bit-identical for 1, 2
 or N workers.
+
+The per-segment unit (:class:`SegmentTask` / :func:`run_segment_task`)
+and the reduction tail (:func:`merge_outcomes` / :func:`fuse_keyframes`)
+are module-level building blocks shared with the serving layer
+(:mod:`repro.serve`): a job served by the multi-session
+:class:`~repro.serve.ReconstructionService` travels the exact code path
+of an orchestrator run, which is why the two are bit-identical by
+construction.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import EMVSConfig
-from repro.core.engine import ReconstructionEngine, SegmentPlan, plan_segments
+from repro.core.engine import EngineSpec, SegmentPlan, plan_segments
 from repro.core.pointcloud import PointCloud
 from repro.core.policy import DataflowPolicy, REFORMULATED_POLICY, resolve_policy
 from repro.core.results import KeyframeReconstruction, PipelineProfile
@@ -180,28 +188,88 @@ class MappingResult:
 
 
 # ----------------------------------------------------------------------
-# Segment execution
+# Segment execution — the shared unit of parallel mapping *and* serving
 # ----------------------------------------------------------------------
-def _run_segment(
-    task: tuple,
-) -> tuple[int, list[KeyframeReconstruction], PipelineProfile]:
+def default_voxel_size(depth_range: tuple[float, float]) -> float:
+    """Default fusion voxel edge: 1 % of the mean DSI depth.
+
+    One definition shared by :class:`MappingOrchestrator` and the serving
+    layer, so a service job and a direct orchestrator run fuse identically
+    by construction.
+    """
+    return 0.01 * 0.5 * (depth_range[0] + depth_range[1])
+
+
+@dataclass(frozen=True)
+class SegmentTask:
+    """One planned segment's worth of work, self-contained and picklable.
+
+    ``index`` orders the outcome back into the stream's segment sequence;
+    ``events`` is the frame-aligned slice the plan cut; ``spec`` carries
+    the full engine configuration.  Both the parallel orchestrator and the
+    reconstruction service shard streams into these, so their per-segment
+    execution is the *same code path* — the determinism equivalence
+    between the two is structural.
+    """
+
+    index: int
+    events: EventArray
+    spec: EngineSpec
+
+
+#: A finished segment: ``(index, keyframes, profile)``.
+SegmentOutcome = tuple[int, list[KeyframeReconstruction], PipelineProfile]
+
+
+def run_segment_task(task: SegmentTask) -> SegmentOutcome:
     """Run one planned segment in a fresh engine (worker entry point).
 
     Module-level so process pools can pickle it; every argument and return
     value round-trips through pickle losslessly (numpy arrays serialize
     bit-exactly), so process execution cannot perturb the results.
     """
-    index, events, camera, trajectory, config, depth_range, policy, backend = task
-    engine = ReconstructionEngine(
-        camera,
-        trajectory,
-        config,
-        depth_range=depth_range,
-        policy=policy,
-        backend=backend,
-    )
-    keyframes = engine.run_segment(events)
-    return index, keyframes, engine.profile
+    engine = task.spec.build()
+    keyframes = engine.run_segment(task.events)
+    return task.index, keyframes, engine.profile
+
+
+def segment_tasks(
+    plans: list[SegmentPlan], events: EventArray, spec: EngineSpec
+) -> list[SegmentTask]:
+    """Materialize a plan list into self-contained worker tasks."""
+    return [SegmentTask(plan.index, plan.slice(events), spec) for plan in plans]
+
+
+def merge_outcomes(
+    outcomes: list[SegmentOutcome], dropped_events: int = 0
+) -> tuple[list[KeyframeReconstruction], PipelineProfile]:
+    """Deterministic reduction of segment outcomes: segment order, always.
+
+    Outcomes may arrive in any pool-completion order; they are sorted by
+    segment index before merging, so keyframe order and the aggregate
+    profile are independent of scheduling.  ``dropped_events`` accounts
+    the trailing partial frame the plan dropped at stream end.
+    """
+    outcomes = sorted(outcomes, key=lambda out: out[0])
+    profile = PipelineProfile()
+    keyframes: list[KeyframeReconstruction] = []
+    for _, segment_keyframes, segment_profile in outcomes:
+        keyframes.extend(segment_keyframes)
+        profile.merge(segment_profile)
+    profile.dropped_events += dropped_events
+    return keyframes, profile
+
+
+def fuse_keyframes(
+    keyframes: list[KeyframeReconstruction],
+    camera: PinholeCamera,
+    voxel_size: float,
+) -> GlobalMap:
+    """Fuse key-frame depth maps into a fresh :class:`GlobalMap` (in order)."""
+    global_map = GlobalMap(voxel_size)
+    for reconstruction in keyframes:
+        global_map.insert_keyframe(reconstruction, camera)
+    return global_map
 
 
 class MappingOrchestrator:
@@ -252,19 +320,50 @@ class MappingOrchestrator:
             raise ValueError("voxel_size must be positive (or None for auto)")
         if executor not in (None, "process", "thread"):
             raise ValueError("executor must be 'process', 'thread' or None")
-        self.camera = camera
-        self.trajectory = trajectory
-        self.config = config or EMVSConfig()
-        self.depth_range = depth_range
-        self.policy = resolve_policy(policy)
-        self.backend = backend
+        self.spec = EngineSpec(
+            camera,
+            trajectory,
+            config or EMVSConfig(),
+            depth_range=depth_range,
+            policy=resolve_policy(policy),
+            backend=backend,
+        )
         self.workers = workers
+        # Derive the default from the spec-normalized (float) depth range
+        # so the serving layer — which only sees the spec — computes the
+        # exact same voxel edge and stays bit-identical.
         self.voxel_size = (
             voxel_size
             if voxel_size is not None
-            else 0.01 * 0.5 * (depth_range[0] + depth_range[1])
+            else default_voxel_size(self.spec.depth_range)
         )
         self.executor = executor
+
+    # Constructor-parameter views onto the spec (the public surface
+    # predates EngineSpec and stays stable).
+    @property
+    def camera(self) -> PinholeCamera:
+        return self.spec.camera
+
+    @property
+    def trajectory(self) -> Trajectory:
+        return self.spec.trajectory
+
+    @property
+    def config(self) -> EMVSConfig:
+        return self.spec.config
+
+    @property
+    def depth_range(self) -> tuple[float, float]:
+        return self.spec.depth_range
+
+    @property
+    def policy(self) -> DataflowPolicy:
+        return self.spec.policy
+
+    @property
+    def backend(self) -> str:
+        return self.spec.backend
 
     # ------------------------------------------------------------------
     def _resolve_workers(self, n_segments: int) -> int:
@@ -283,39 +382,17 @@ class MappingOrchestrator:
         """Plan, execute (possibly in parallel) and fuse one stream."""
         t_wall = time.perf_counter()
         plans, dropped = plan_segments(events, self.trajectory, self.config)
-        tasks = [
-            (
-                plan.index,
-                plan.slice(events),
-                self.camera,
-                self.trajectory,
-                self.config,
-                self.depth_range,
-                self.policy,
-                self.backend,
-            )
-            for plan in plans
-        ]
+        tasks = segment_tasks(plans, events, self.spec)
         workers = self._resolve_workers(len(plans))
         if workers == 1:
-            outcomes = [_run_segment(task) for task in tasks]
+            outcomes = [run_segment_task(task) for task in tasks]
         else:
             with self._make_pool(workers) as pool:
-                outcomes = list(pool.map(_run_segment, tasks))
+                outcomes = list(pool.map(run_segment_task, tasks))
         # Deterministic fusion: segment order, whatever the pool's
         # completion order was.
-        outcomes.sort(key=lambda out: out[0])
-
-        profile = PipelineProfile()
-        keyframes: list[KeyframeReconstruction] = []
-        for _, segment_keyframes, segment_profile in outcomes:
-            keyframes.extend(segment_keyframes)
-            profile.merge(segment_profile)
-        profile.dropped_events += dropped
-
-        global_map = GlobalMap(self.voxel_size)
-        for reconstruction in keyframes:
-            global_map.insert_keyframe(reconstruction, self.camera)
+        keyframes, profile = merge_outcomes(outcomes, dropped)
+        global_map = fuse_keyframes(keyframes, self.camera, self.voxel_size)
         return MappingResult(
             keyframes=keyframes,
             global_map=global_map,

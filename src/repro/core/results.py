@@ -34,6 +34,15 @@ class PipelineProfile:
     the quantity the accelerator's throughput is sized by.
     ``dropped_events`` counts events that produced no vote: projection
     misses plus the trailing partial frame dropped at stream end.
+
+    ``jobs_refused`` / ``jobs_dropped`` record the serving layer's
+    explicit backpressure outcomes (see :mod:`repro.serve`): jobs a full
+    session queue refused at submission, and queued jobs evicted by the
+    ``drop-oldest`` overflow policy.  They live here so a service's
+    aggregate profile carries its admission story next to its work
+    counters, but they are *load-dependent* — two runs of the same
+    stream need not agree on them — so they are deliberately excluded
+    from :meth:`counters`.
     """
 
     n_events: int = 0
@@ -41,6 +50,8 @@ class PipelineProfile:
     n_keyframes: int = 0
     votes_cast: int = 0
     dropped_events: int = 0
+    jobs_refused: int = 0
+    jobs_dropped: int = 0
     stage_seconds: dict = field(default_factory=dict)
 
     def add_time(self, stage: str, seconds: float) -> None:
@@ -61,6 +72,8 @@ class PipelineProfile:
         self.n_keyframes += other.n_keyframes
         self.votes_cast += other.votes_cast
         self.dropped_events += other.dropped_events
+        self.jobs_refused += other.jobs_refused
+        self.jobs_dropped += other.jobs_dropped
         for stage, seconds in other.stage_seconds.items():
             self.add_time(stage, seconds)
 

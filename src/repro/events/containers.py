@@ -131,6 +131,20 @@ class EventArray:
             f"t=[{self.t[0]:.6f}, {self.t[-1]:.6f}])"
         )
 
+    def content_digest(self) -> str:
+        """SHA-256 over the packed event records (hex).
+
+        Two arrays digest equally iff every ``(t, x, y, p)`` record is
+        bit-identical in the same order — the identity the serving
+        layer's result cache keys streams by.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(str(len(self)).encode())
+        digest.update(np.ascontiguousarray(self._data).tobytes())
+        return digest.hexdigest()
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

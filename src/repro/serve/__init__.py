@@ -1,0 +1,39 @@
+"""Multi-session reconstruction serving.
+
+The scaling layer above :mod:`repro.core.mapping`: many independent
+event-stream jobs, one shared bounded worker pool, fair round-robin
+segment scheduling across sessions, explicit backpressure, and an LRU
+result cache.  See :class:`ReconstructionService` for the API
+(``submit`` / ``poll`` / ``result`` / ``drain``) and
+``repro serve`` / ``repro submit`` for the CLI drivers.
+"""
+
+from repro.serve.cache import CacheStats, ResultCache, job_key
+from repro.serve.scheduler import Dispatch, RoundRobinScheduler
+from repro.serve.service import (
+    OVERFLOW_POLICIES,
+    JobFailed,
+    ReconstructionService,
+    ServeError,
+    ServiceStats,
+    SessionBacklogFull,
+)
+from repro.serve.session import Job, JobState, JobStatus, Session
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "job_key",
+    "Dispatch",
+    "RoundRobinScheduler",
+    "OVERFLOW_POLICIES",
+    "JobFailed",
+    "ReconstructionService",
+    "ServeError",
+    "ServiceStats",
+    "SessionBacklogFull",
+    "Job",
+    "JobState",
+    "JobStatus",
+    "Session",
+]

@@ -1,0 +1,162 @@
+"""LRU result cache for the reconstruction service.
+
+Reconstruction is a pure function of ``(events, engine spec, fuse
+parameters)`` — the engine is deterministic by construction and the
+fusion is an order-fixed reduction — so repeated requests for the same
+job are served from a bounded LRU cache instead of recomputed.
+
+Keys are content-addressed: the event stream contributes its
+:meth:`~repro.events.containers.EventArray.content_digest`, and every
+configuration object (camera, trajectory, config, policy) is normalized
+into a stable token tree and hashed.  Two submissions hit the same entry
+iff they would produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import EngineSpec
+from repro.events.containers import EventArray
+
+
+def _token(obj) -> object:
+    """Normalize ``obj`` into a deterministic, hashable-by-pickle token."""
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips the exact double, so 0.1 and 0.1000...01 differ.
+        return ("f", repr(obj))
+    if isinstance(obj, enum.Enum):
+        return ("enum", type(obj).__name__, obj.name)
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        return ("nd", arr.shape, arr.dtype.str, arr.tobytes())
+    if isinstance(obj, np.generic):
+        return _token(obj.item())
+    if isinstance(obj, EventArray):
+        return ("events", obj.content_digest())
+    if isinstance(obj, (tuple, list)):
+        return (type(obj).__name__, tuple(_token(item) for item in obj))
+    if isinstance(obj, dict):
+        return (
+            "dict",
+            tuple(sorted((_token(k), _token(v)) for k, v in obj.items())),
+        )
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__name__,
+            tuple(
+                (f.name, _token(getattr(obj, f.name)))
+                for f in dataclasses.fields(obj)
+            ),
+        )
+    state = getattr(obj, "__dict__", None)
+    if state is None and hasattr(type(obj), "__slots__"):
+        state = {
+            name: getattr(obj, name)
+            for name in type(obj).__slots__
+            if hasattr(obj, name)
+        }
+    if state is not None:
+        return (type(obj).__name__, _token(state))
+    # Last resort: pickle bytes are deterministic for a fixed in-process
+    # object layout, which is all an in-process cache needs.
+    return ("pickle", type(obj).__name__, pickle.dumps(obj, protocol=5))
+
+
+def job_key(
+    spec: EngineSpec,
+    events: EventArray,
+    voxel_size: float,
+    min_observations: int = 1,
+) -> str:
+    """Content hash identifying one reconstruction job (hex digest)."""
+    token = _token(
+        (
+            ("events", events),
+            ("camera", spec.camera),
+            ("trajectory", spec.trajectory),
+            ("config", spec.config),
+            ("depth_range", spec.depth_range),
+            ("policy", spec.policy),
+            ("backend", spec.backend),
+            ("voxel_size", float(voxel_size)),
+            ("min_observations", int(min_observations)),
+        )
+    )
+    return hashlib.sha256(pickle.dumps(token, protocol=5)).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class ResultCache:
+    """Bounded LRU map from job keys to finished results.
+
+    ``capacity == 0`` disables caching entirely (every lookup is a miss
+    and nothing is stored) — the switch the determinism tests and the
+    throughput bench use to compare cached and uncached serving.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0 (0 disables)")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: str):
+        """The cached result for ``key``, or ``None`` (counted) on a miss."""
+        if self.enabled and key in self._entries:
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return self._entries[key]
+        self._misses += 1
+        return None
+
+    def put(self, key: str, value) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        if not self.enabled:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )

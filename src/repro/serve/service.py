@@ -1,0 +1,616 @@
+"""The multi-session reconstruction service.
+
+:class:`ReconstructionService` accepts many independent event-stream
+jobs (``submit``), shards each job's pre-planned key-frame segments onto
+one shared bounded worker pool with fair round-robin scheduling across
+sessions, and fuses per-segment outcomes into the same
+:class:`~repro.core.mapping.MappingResult` a direct
+:class:`~repro.core.mapping.MappingOrchestrator` run would produce —
+bit-identically, because both layers execute the *same*
+:func:`~repro.core.mapping.run_segment_task` /
+:func:`~repro.core.mapping.merge_outcomes` /
+:func:`~repro.core.mapping.fuse_keyframes` path.
+
+Semantics in one breath:
+
+* **admission** — ``submit`` pre-plans the stream (cheap pose-only
+  pass), consults the LRU result cache, and enforces per-session
+  backpressure: a session at its queue bound either refuses the
+  submission (:class:`SessionBacklogFull`) or drops its oldest
+  still-queued job, per ``overflow``; both outcomes are recorded in the
+  service's aggregate :class:`~repro.core.results.PipelineProfile`
+  (``jobs_refused`` / ``jobs_dropped``).
+* **execution** — a cooperative pump: ``poll``/``result``/``drain``
+  collect finished segment futures and dispatch new ones whenever pool
+  slots free up.  The pump runs on the caller's thread; worker
+  parallelism comes from the pool.
+* **failure** — a worker exception mid-segment fails *that job* (state
+  ``FAILED``, error surfaced by ``result``), cancels its undispatched
+  segments, and leaves every other job and the pool serving.  A *hard*
+  crash that breaks a process pool cannot be attributed while several
+  futures fly, so the pool is rebuilt, lost segments requeue, and
+  dispatch turns serial until the pool proves healthy — a job that
+  breaks the pool while flying alone is the proven culprit and fails.
+* **caching** — results are cached under a content hash of (events,
+  camera, trajectory, config, policy, backend, fuse parameters); a
+  repeated submission returns the fused map without recompute.  An
+  identical job submitted while its twin is still *in flight* coalesces
+  onto it (no duplicate compute, both requests settle when the leader
+  finishes) — burst-duplicate traffic costs one reconstruction, not N.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+
+from repro.core.engine import EngineSpec
+from repro.core.mapping import (
+    MappingResult,
+    default_voxel_size,
+    fuse_keyframes,
+    merge_outcomes,
+    run_segment_task,
+)
+from repro.core.results import PipelineProfile
+from repro.events.containers import EventArray
+from repro.serve.cache import CacheStats, ResultCache, job_key
+from repro.serve.scheduler import RoundRobinScheduler
+from repro.serve.session import (
+    TERMINAL_STATES,
+    Job,
+    JobState,
+    JobStatus,
+    new_job_id,
+)
+
+#: Supported overflow policies for a full session queue.
+OVERFLOW_POLICIES = ("refuse", "drop-oldest")
+
+#: Successful segment completions required to leave serial probation
+#: after a pool break (see ``ReconstructionService._collect_done``).
+PROBATION_SUCCESSES = 3
+
+
+class ServeError(RuntimeError):
+    """Base class of service-level failures."""
+
+
+class SessionBacklogFull(ServeError):
+    """A submission was refused: the session's bounded queue is full."""
+
+
+class JobFailed(ServeError):
+    """``result`` was asked for a job that failed or was dropped."""
+
+
+class _InlineExecutor(Executor):
+    """Run tasks synchronously on the dispatching thread.
+
+    The zero-dependency serial substrate (``workers=1`` default): no
+    pool processes to spawn, identical scheduling decisions, and the
+    exact single-engine execution path — useful for tests and for hosts
+    where one core is all there is.
+    """
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except Exception as exc:  # surfaced via future.exception();
+            # KeyboardInterrupt/SystemExit propagate — a Ctrl-C must
+            # stop the pump, not fail one job and keep dispatching.
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Aggregate service counters (admission, outcomes, cache, fairness)."""
+
+    jobs_submitted: int
+    jobs_done: int
+    jobs_failed: int
+    jobs_refused: int
+    jobs_dropped: int
+    jobs_coalesced: int
+    cache: CacheStats
+    segments_dispatched: dict[str, int]
+    profile: PipelineProfile
+
+
+class ReconstructionService:
+    """Serve many concurrent reconstruction jobs over one worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Shared pool width.  ``None`` uses the machine's CPU count.
+    executor:
+        ``"process"``, ``"thread"``, ``"inline"`` or ``None`` to choose
+        automatically: inline for one worker, processes otherwise
+        (threads suit the in-process hardware model and test doubles).
+    queue_limit:
+        Per-session bound on active (queued + running) jobs.
+    cache_size:
+        LRU result-cache capacity in entries; ``0`` disables caching.
+    retain_jobs:
+        How many *terminal* (done/failed/dropped) job records to keep
+        for late ``poll``/``result`` calls; the oldest are evicted
+        beyond this, so a long-lived service's bookkeeping stays
+        bounded (active jobs are never evicted).
+    overflow:
+        ``"refuse"`` (submission raises :class:`SessionBacklogFull`) or
+        ``"drop-oldest"`` (the session's oldest undispatched job is
+        dropped to admit the new one; with nothing droppable the
+        submission is refused).  Either way the outcome is recorded in
+        the aggregate profile.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        executor: str | None = None,
+        queue_limit: int = 8,
+        cache_size: int = 32,
+        overflow: str = "refuse",
+        retain_jobs: int = 256,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for auto)")
+        if retain_jobs < 1:
+            raise ValueError("retain_jobs must be >= 1")
+        if executor not in (None, "process", "thread", "inline"):
+            raise ValueError("executor must be 'process', 'thread', 'inline' or None")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, got {overflow!r}"
+            )
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.executor = executor or ("inline" if self.workers == 1 else "process")
+        self.overflow = overflow
+        self.retain_jobs = retain_jobs
+        self.cache = ResultCache(cache_size)
+        self.profile = PipelineProfile()
+        self._scheduler = RoundRobinScheduler(queue_limit)
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[Future, Job] = {}
+        #: cache key -> in-flight job computing it (coalescing target).
+        self._leaders: dict[str, Job] = {}
+        self._pool: Executor | None = None
+        self._closed = False
+        #: Remaining successful collections before parallel dispatch
+        #: resumes after a pool break (0 = normal operation).
+        self._probation = 0
+        self._jobs_submitted = 0
+        self._jobs_done = 0
+        self._jobs_failed = 0
+        self._jobs_coalesced = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ReconstructionService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down; queued work is abandoned."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def _make_pool(self) -> Executor:
+        if self.executor == "inline":
+            return _InlineExecutor()
+        if self.executor == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    @property
+    def pool(self) -> Executor:
+        if self._closed:
+            raise ServeError("service is closed")
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        events: EventArray,
+        spec: EngineSpec,
+        *,
+        session: str = "default",
+        voxel_size: float | None = None,
+        min_observations: int = 1,
+    ) -> str:
+        """Admit one reconstruction job; returns its job id.
+
+        Admission is cheap (segment planning is a pose-only pass) and
+        never executes the hot path; call :meth:`poll` / :meth:`result` /
+        :meth:`drain` to make progress.  Raises
+        :class:`SessionBacklogFull` when backpressure refuses the job.
+        """
+        if self._closed:
+            raise ServeError("service is closed")
+        self._prune_terminal()
+        if not isinstance(spec, EngineSpec):
+            raise TypeError("submit() takes an EngineSpec (see EngineSpec.build)")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if voxel_size is None:
+            voxel_size = default_voxel_size(spec.depth_range)
+        if voxel_size <= 0:
+            raise ValueError("voxel_size must be positive")
+
+        key = None
+        if self.cache.enabled:
+            key = job_key(spec, events, voxel_size, min_observations)
+            leader = self._leaders.get(key)
+            if leader is not None and leader.state not in TERMINAL_STATES:
+                # Identical job already in flight: coalesce instead of
+                # recomputing (checked before the cache so a burst does
+                # not count one miss per duplicate).  Coalesced jobs
+                # consume no pool slots, so they bypass the
+                # compute-protecting backpressure bound and are excluded
+                # from its count (see Session.backlogged).
+                job = Job(
+                    job_id=new_job_id(session),
+                    session=session,
+                    spec=spec,
+                    events=events,
+                    plans=leader.plans,
+                    dropped_tail=leader.dropped_tail,
+                    voxel_size=voxel_size,
+                    min_observations=min_observations,
+                    cache_key=key,
+                    coalesced_with=leader.job_id,
+                )
+                job.next_segment = job.n_segments  # nothing to dispatch
+                leader.followers.append(job)
+                self._jobs_submitted += 1
+                self._jobs_coalesced += 1
+                self._scheduler.admit(job)
+                self._jobs[job.job_id] = job
+                return job.job_id
+            cached = self.cache.get(key)
+            if cached is not None:
+                job = Job(
+                    job_id=new_job_id(session),
+                    session=session,
+                    spec=spec,
+                    events=events,
+                    plans=tuple(cached.segments),
+                    dropped_tail=0,
+                    voxel_size=voxel_size,
+                    min_observations=min_observations,
+                    cache_key=key,
+                    cache_hit=True,
+                    result=cached,
+                )
+                job.outcomes = {plan.index: None for plan in cached.segments}
+                job.next_segment = job.n_segments
+                job.finish(JobState.DONE)
+                self._jobs_submitted += 1
+                self._jobs_done += 1
+                self._scheduler.admit(job)
+                self._jobs[job.job_id] = job
+                self._retire(job)
+                return job.job_id
+
+        target = self._scheduler.session(session)
+        if target.backlogged:
+            victim = (
+                target.oldest_queued() if self.overflow == "drop-oldest" else None
+            )
+            if victim is None:
+                self.profile.jobs_refused += 1
+                raise SessionBacklogFull(
+                    f"session {session!r} is at its queue limit "
+                    f"({target.queue_limit} active jobs); overflow policy "
+                    f"is {self.overflow!r}"
+                )
+            victim.error = "dropped by overflow policy 'drop-oldest'"
+            victim.finish(JobState.DROPPED)
+            self.profile.jobs_dropped += 1
+            self._settle_followers(victim)
+            self._retire(victim)
+
+        plans, dropped = spec.plan(events)
+        job = Job(
+            job_id=new_job_id(session),
+            session=session,
+            spec=spec,
+            events=events,
+            plans=tuple(plans),
+            dropped_tail=dropped,
+            voxel_size=voxel_size,
+            min_observations=min_observations,
+            cache_key=key,
+        )
+        self._scheduler.admit(job)
+        self._jobs[job.job_id] = job
+        self._jobs_submitted += 1
+        if key is not None:
+            self._leaders[key] = job
+        if not plans:
+            # Too short for a single frame: finish with an (accounted)
+            # empty result instead of parking a never-schedulable job.
+            self._finalize(job)
+        return job.job_id
+
+    def _retire(self, job: Job) -> None:
+        """Drop a terminal job from its session's scan list.
+
+        Scheduling decisions iterate ``Session.jobs`` per dispatch, so
+        finished records must not linger there; the ``_jobs`` registry
+        keeps them pollable until :meth:`_prune_terminal` evicts them.
+        """
+        jobs = self._scheduler.session(job.session).jobs
+        if job in jobs:  # identity: Job is eq=False
+            jobs.remove(job)
+
+    def _prune_terminal(self) -> None:
+        """Evict the oldest terminal job records beyond ``retain_jobs``.
+
+        Bounds the service's bookkeeping under sustained traffic: counters
+        and the cache survive eviction, but ``poll``/``result`` on an
+        evicted job id raise ``KeyError`` (its window has passed).
+        """
+        terminal = [
+            job for job in self._jobs.values() if job.state in TERMINAL_STATES
+        ]
+        for job in terminal[: max(0, len(terminal) - self.retain_jobs)]:
+            del self._jobs[job.job_id]
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def _dispatch_ready(self) -> bool:
+        # Serial probation after a pool break: one future at a time, so
+        # a repeat break is attributable to the job that was flying.
+        limit = 1 if self._probation > 0 else self.workers
+        dispatched = False
+        while len(self._inflight) < limit:
+            decision = self._scheduler.next_dispatch()
+            if decision is None:
+                break
+            future = self.pool.submit(run_segment_task, decision.task)
+            self._inflight[future] = decision.job
+            dispatched = True
+        return dispatched
+
+    def _collect_done(self) -> bool:
+        collected = False
+        # Pool-break attribution must be judged on the *break snapshot*,
+        # not on pop order: a break poisons every in-flight future at
+        # once, so the crash is attributable iff exactly one future was
+        # in flight when it happened.
+        sole_flight = len(self._inflight) == 1
+        for future in [f for f in self._inflight if f.done()]:
+            job = self._inflight.pop(future)
+            collected = True
+            if future.cancelled():  # close() cancelled queued work
+                continue
+            exc = future.exception()
+            if exc is not None:
+                if isinstance(exc, BrokenExecutor):
+                    # The pool itself died, which breaks *every*
+                    # in-flight future, not just the culprit's.  If this
+                    # job was flying alone the crash is attributable and
+                    # it fails; otherwise its lost segments requeue and
+                    # the service probes serially until the pool proves
+                    # healthy again (the culprit, once flying alone,
+                    # breaks the pool attributably and is removed).
+                    if self._pool is not None:
+                        self._pool.shutdown(wait=False, cancel_futures=True)
+                        self._pool = None
+                    self._probation = PROBATION_SUCCESSES
+                    if job.state in TERMINAL_STATES:
+                        continue
+                    if not sole_flight:
+                        job.requeued.extend(
+                            i
+                            for i in range(job.next_segment)
+                            if i not in job.outcomes and i not in job.requeued
+                        )
+                        continue
+                if job.state not in TERMINAL_STATES:
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.finish(JobState.FAILED)
+                    self._jobs_failed += 1
+                    self._scheduler.cancel_job(job)
+                    self._settle_followers(job)
+                    self._retire(job)
+                continue
+            if job.state in TERMINAL_STATES:
+                continue  # job already failed on a sibling segment
+            if self._probation > 0:
+                self._probation -= 1
+            index, keyframes, profile = future.result()
+            job.outcomes[index] = (index, keyframes, profile)
+            if job.complete:
+                self._finalize(job)
+        return collected
+
+    def _finalize(self, job: Job) -> None:
+        """Fuse a job's segment outcomes — the orchestrator-identical tail."""
+        keyframes, profile = merge_outcomes(
+            list(job.outcomes.values()), job.dropped_tail
+        )
+        global_map = fuse_keyframes(keyframes, job.spec.camera, job.voxel_size)
+        job.result = MappingResult(
+            keyframes=keyframes,
+            global_map=global_map,
+            cloud=global_map.fused_cloud(job.min_observations),
+            profile=profile,
+            segments=job.plans,
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - job.submitted_at,
+        )
+        job.finish(JobState.DONE)
+        self._jobs_done += 1
+        self.profile.merge(profile)
+        if job.cache_key is not None:
+            self.cache.put(job.cache_key, job.result)
+        self._settle_followers(job)
+        self._retire(job)
+
+    def _settle_followers(self, leader: Job) -> None:
+        """Propagate a leader's terminal outcome to its coalesced twins."""
+        if leader.cache_key is not None and self._leaders.get(leader.cache_key) is leader:
+            del self._leaders[leader.cache_key]
+        for follower in leader.followers:
+            if follower.state in TERMINAL_STATES:
+                continue
+            if leader.state is JobState.DONE:
+                follower.result = leader.result
+                follower.finish(JobState.DONE)
+                self._jobs_done += 1
+            else:
+                follower.error = (
+                    f"coalesced leader {leader.job_id} "
+                    f"{leader.state.value}: {leader.error}"
+                )
+                follower.finish(JobState.FAILED)
+                self._jobs_failed += 1
+            self._retire(follower)
+        leader.followers.clear()
+
+    def _pump(self) -> None:
+        """Collect and dispatch until no immediate progress remains.
+
+        A no-op on a closed service: close() cancelled the in-flight
+        futures and the pool is gone, so there is nothing to collect and
+        dispatching would silently resurrect a pool nobody will shut
+        down again.
+        """
+        if self._closed:
+            return
+        progressed = True
+        while progressed:
+            progressed = self._collect_done()
+            progressed = self._dispatch_ready() or progressed
+
+    def _job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def poll(self, job_id: str) -> JobStatus:
+        """Non-blocking progress snapshot (pumps the scheduler first)."""
+        job = self._job(job_id)
+        self._pump()
+        return JobStatus(
+            job_id=job.job_id,
+            session=job.session,
+            state=job.state,
+            segments_total=job.n_segments,
+            segments_done=job.segments_done,
+            cache_hit=job.cache_hit,
+            coalesced=job.coalesced_with is not None,
+            error=job.error,
+            latency_seconds=job.latency_seconds,
+        )
+
+    def result(self, job_id: str, timeout: float | None = None) -> MappingResult:
+        """Block until the job finishes; return its fused result.
+
+        Raises :class:`JobFailed` for failed or dropped jobs (carrying
+        the worker's error), ``TimeoutError`` past ``timeout`` seconds,
+        and ``KeyError`` for unknown ids.
+        """
+        job = self._job(job_id)
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        self._pump()
+        while job.state not in TERMINAL_STATES:
+            if self._closed:
+                raise ServeError(
+                    f"service is closed; job {job_id!r} will not complete"
+                )
+            if not self._inflight:
+                raise ServeError(
+                    f"job {job_id!r} cannot progress: nothing in flight "
+                    "(pool lost its work?)"
+                )
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise TimeoutError(f"job {job_id!r} not done within {timeout} s")
+            wait(set(self._inflight), timeout=remaining, return_when=FIRST_COMPLETED)
+            self._pump()
+        if job.state is JobState.DONE:
+            return job.result
+        raise JobFailed(
+            f"job {job_id!r} {job.state.value}: {job.error or 'no error recorded'}"
+        )
+
+    def drain(self, timeout: float | None = None) -> int:
+        """Run every admitted job to a terminal state; returns #completed."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        self._pump()
+        while self._inflight or self._scheduler.has_pending_dispatch:
+            if self._closed:
+                raise ServeError("service is closed; queued work was abandoned")
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise TimeoutError(f"drain() incomplete after {timeout} s")
+            if self._inflight:
+                wait(
+                    set(self._inflight),
+                    timeout=remaining,
+                    return_when=FIRST_COMPLETED,
+                )
+            self._pump()
+        return self._jobs_done + self._jobs_failed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def jobs(self) -> dict[str, Job]:
+        return dict(self._jobs)
+
+    @property
+    def dispatch_log(self) -> list[tuple[str, str, int]]:
+        """(session, job_id, segment_index) in dispatch order."""
+        return list(self._scheduler.dispatch_log)
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            jobs_submitted=self._jobs_submitted,
+            jobs_done=self._jobs_done,
+            jobs_failed=self._jobs_failed,
+            jobs_refused=self.profile.jobs_refused,
+            jobs_dropped=self.profile.jobs_dropped,
+            jobs_coalesced=self._jobs_coalesced,
+            cache=self.cache.stats(),
+            segments_dispatched={
+                name: session.segments_dispatched
+                for name, session in self._scheduler.sessions.items()
+            },
+            profile=self.profile,
+        )

@@ -1,0 +1,218 @@
+"""Sessions and jobs: the bookkeeping units of the reconstruction service.
+
+A *session* is one logical client stream source (a robot, a dataset
+replay, a tenant).  Sessions are the unit of fairness — the scheduler
+round-robins segment dispatch across them — and the unit of
+backpressure: each session holds a bounded queue of admitted jobs, and
+submissions beyond the bound are refused or displace the oldest queued
+job, per the service's overflow policy.
+
+A *job* is one independent event-stream reconstruction request.  At
+admission it is pre-planned into key-frame segments
+(:func:`repro.core.engine.plan_segments`); the scheduler then shards
+those segments onto the shared worker pool, and the service fuses the
+outcomes in segment order once the last one lands.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.core.engine import EngineSpec, SegmentPlan
+from repro.core.mapping import MappingResult, SegmentOutcome
+from repro.events.containers import EventArray
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job.
+
+    ``QUEUED -> RUNNING -> DONE | FAILED`` is the normal path; ``DONE``
+    is reached directly on a cache hit.  ``DROPPED`` marks queued jobs
+    displaced by the ``drop-oldest`` overflow policy (refused jobs are
+    never admitted, so they have no job record — the submission raises).
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    DROPPED = "dropped"
+
+
+#: States a job can never leave.
+TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.DROPPED})
+
+_job_ids = itertools.count(1)
+
+
+@dataclass(eq=False)
+class Job:
+    """One admitted reconstruction request and its progress.
+
+    Identity semantics (``eq=False``): a job is its record, not its
+    field values — two submissions of the same stream are distinct jobs.
+    """
+
+    job_id: str
+    session: str
+    spec: EngineSpec
+    #: The submitted stream; released (set to None) once the job is
+    #: terminal — segments are sliced from it only at dispatch time.
+    events: EventArray | None
+    plans: tuple[SegmentPlan, ...]
+    dropped_tail: int
+    voxel_size: float
+    min_observations: int
+    cache_key: str | None
+    state: JobState = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.perf_counter)
+    finished_at: float | None = None
+    cache_hit: bool = False
+    error: str | None = None
+    result: MappingResult | None = None
+    #: Index of the next segment to dispatch (cursor into ``plans``).
+    next_segment: int = 0
+    #: Segment indices lost to a pool break, to re-dispatch before the
+    #: cursor advances (already-completed segments are not recomputed).
+    requeued: list[int] = field(default_factory=list)
+    #: Completed segment outcomes, keyed by segment index.
+    outcomes: dict[int, SegmentOutcome] = field(default_factory=dict)
+    #: Job id of the in-flight leader this job coalesced onto, if any.
+    coalesced_with: str | None = None
+    #: Identical jobs admitted while this one was in flight; they settle
+    #: (result or error) when this job reaches a terminal state.
+    followers: list["Job"] = field(default_factory=list)
+
+    @property
+    def n_segments(self) -> int:
+        return len(self.plans)
+
+    @property
+    def segments_done(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def dispatch_exhausted(self) -> bool:
+        """All segments dispatched (not necessarily completed)."""
+        return not self.requeued and self.next_segment >= self.n_segments
+
+    @property
+    def complete(self) -> bool:
+        return self.segments_done >= self.n_segments
+
+    @property
+    def latency_seconds(self) -> float | None:
+        """Submit-to-terminal latency, or ``None`` while in flight."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def finish(self, state: JobState) -> None:
+        self.state = state
+        self.finished_at = time.perf_counter()
+        # The raw stream is only needed to slice segments at dispatch
+        # time; terminal jobs keep their (fused) result, not the input
+        # events — a long-lived service must not pin every stream it
+        # ever served.
+        self.events = None
+
+
+def new_job_id(session: str) -> str:
+    """Monotonic, human-greppable job identifiers (``job-<n>@<session>``)."""
+    return f"job-{next(_job_ids)}@{session}"
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """Immutable progress snapshot returned by ``ReconstructionService.poll``."""
+
+    job_id: str
+    session: str
+    state: JobState
+    segments_total: int
+    segments_done: int
+    cache_hit: bool
+    coalesced: bool
+    error: str | None
+    latency_seconds: float | None
+
+    @property
+    def done(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+class Session:
+    """One client's bounded job queue plus fairness accounting.
+
+    ``queue_limit`` bounds the number of *active* (queued or running)
+    jobs the session may hold; admission beyond it is the service's
+    overflow decision, not the session's.  Segment dispatch within a
+    session is strictly FIFO over its jobs — a session's second job never
+    overtakes its first — while fairness *across* sessions is the
+    scheduler's round-robin.
+    """
+
+    def __init__(self, name: str, queue_limit: int):
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.name = name
+        self.queue_limit = queue_limit
+        self.jobs: list[Job] = []
+        self.segments_dispatched = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active_jobs(self) -> list[Job]:
+        """Jobs admitted but not yet terminal, in submission order."""
+        return [job for job in self.jobs if job.state not in TERMINAL_STATES]
+
+    @property
+    def backlogged(self) -> bool:
+        """Whether the *compute* backlog reached the queue bound.
+
+        Coalesced followers ride on their leader's segments and consume
+        no pool slots, so they are excluded — the bound protects compute
+        capacity, and duplicates of admitted work must not crowd out
+        genuinely new jobs.
+        """
+        active_compute = sum(
+            1 for job in self.active_jobs if job.coalesced_with is None
+        )
+        return active_compute >= self.queue_limit
+
+    def oldest_queued(self) -> Job | None:
+        """The drop-oldest victim: first job with no segment dispatched yet.
+
+        Jobs that other submissions coalesced onto are never victims —
+        dropping them would fail every follower to admit one newcomer.
+        """
+        for job in self.jobs:
+            if (
+                job.state is JobState.QUEUED
+                and job.next_segment == 0
+                and not job.followers
+            ):
+                return job
+        return None
+
+    def add(self, job: Job) -> None:
+        self.jobs.append(job)
+
+    def next_dispatch(self) -> Job | None:
+        """The FIFO-first active job that still has segments to dispatch.
+
+        A fully-dispatched but still-running job is skipped rather than
+        waited on, so a session with spare queue depth keeps the pool
+        busy; outcome ordering is restored at fusion time per job.
+        """
+        for job in self.jobs:
+            if job.state not in TERMINAL_STATES and not job.dispatch_exhausted:
+                return job
+        return None
+
+    @property
+    def has_pending_dispatch(self) -> bool:
+        return self.next_dispatch() is not None

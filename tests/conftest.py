@@ -60,3 +60,52 @@ def seq_3planes_fast():
 @pytest.fixture(scope="session")
 def seq_slider_close_fast():
     return load_sequence("slider_close", quality="fast")
+
+
+# ----------------------------------------------------------------------
+# Shared workload builders (hoisted from per-module fixtures so the
+# engine, mapping, serving and fuzz suites slice the session-cached
+# sequences once instead of rebuilding their own copies).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def engine_config():
+    """Single-segment-friendly engine configuration (3planes slices)."""
+    from repro.core import EMVSConfig
+
+    return EMVSConfig(n_depth_planes=48, frame_size=1024, keyframe_distance=0.15)
+
+
+@pytest.fixture(scope="session")
+def engine_scene(seq_3planes_fast):
+    """``(sequence, events)``: a short, parallax-rich 3planes slice."""
+    return seq_3planes_fast, seq_3planes_fast.events.time_slice(0.8, 1.2)
+
+
+@pytest.fixture(scope="session")
+def mapping_workload(seq_3planes_fast):
+    """``(sequence, events, config)``: a 5-segment multi-keyframe slice.
+
+    The canonical parallel-mapping / serving workload: long enough to
+    shard into several key-frame segments, small enough for tier-1.
+    """
+    from repro.core import EMVSConfig
+
+    seq = seq_3planes_fast
+    events = seq.events.time_slice(0.4, 1.6)
+    config = EMVSConfig(n_depth_planes=48, frame_size=1024, keyframe_distance=0.06)
+    return seq, events, config
+
+
+@pytest.fixture
+def make_stream():
+    """Factory for synthetic constant-rate event streams at pixel (0, 0)."""
+
+    def build(n: int, rate: float = 1000.0, t0: float = 0.0) -> "EventArray":
+        from repro.events.containers import EventArray
+
+        t = t0 + np.arange(n) / rate
+        return EventArray.from_arrays(
+            t, np.zeros(n), np.zeros(n), np.ones(n, dtype=int)
+        )
+
+    return build

@@ -10,21 +10,13 @@ streaming engine run exactly.
 import numpy as np
 import pytest
 
-from repro.core import (
-    EMVSConfig,
-    MappingOrchestrator,
-    ReconstructionEngine,
-    plan_segments,
-)
+from repro.core import MappingOrchestrator, ReconstructionEngine, plan_segments
 
 
 @pytest.fixture(scope="module")
-def workload(seq_3planes_fast):
-    """A multi-segment slice of the 3planes replica (5 segments)."""
-    seq = seq_3planes_fast
-    events = seq.events.time_slice(0.4, 1.6)
-    config = EMVSConfig(n_depth_planes=48, frame_size=1024, keyframe_distance=0.06)
-    return seq, events, config
+def workload(mapping_workload):
+    """The shared multi-segment 3planes workload (tests/conftest.py)."""
+    return mapping_workload
 
 
 def run_mapping(seq, events, config, **kwargs):

@@ -80,6 +80,103 @@ class TestParser:
             main(["reconstruct", "-s", "slider_far", "--fuse-voxel", "0"])
 
 
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.job is None
+        assert args.workers is None
+        assert args.queue_limit == 8
+        assert args.cache_size == 32
+        assert args.overflow == "refuse"
+        assert args.backend == "numpy-batch"
+
+    def test_submit_requires_sequence(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit"])
+
+    def test_serve_jobs_accumulate(self):
+        args = build_parser().parse_args(
+            ["serve", "--job", "slider_long:alpha", "--job", "corridor_sweep"]
+        )
+        assert args.job == ["slider_long:alpha", "corridor_sweep"]
+
+    def test_serve_unknown_backend_rejected_with_registry_listing(self):
+        # Same live-registry error contract as `reconstruct`.
+        with pytest.raises(SystemExit, match="unknown backend 'tpu'") as exc:
+            main(["serve", "--backend", "tpu"])
+        assert "numpy-batch" in str(exc.value)
+
+    def test_serve_unknown_policy_rejected_with_registry_listing(self):
+        with pytest.raises(SystemExit, match="unknown policy 'magic'") as exc:
+            main(["serve", "--policy", "magic"])
+        assert "reformulated" in str(exc.value)
+
+    def test_serve_unknown_overflow_rejected_with_listing(self):
+        with pytest.raises(SystemExit, match="unknown overflow") as exc:
+            main(["serve", "--overflow", "shed"])
+        message = str(exc.value)
+        assert "refuse" in message
+        assert "drop-oldest" in message
+
+    def test_serve_bad_limits_rejected(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--workers", "0"])
+        with pytest.raises(SystemExit, match="--queue-limit"):
+            main(["serve", "--queue-limit", "0"])
+        with pytest.raises(SystemExit, match="--cache-size"):
+            main(["serve", "--cache-size", "-1"])
+        with pytest.raises(SystemExit, match="--repeat"):
+            main(["serve", "--repeat", "0"])
+
+    def test_submit_unknown_sequence_rejected_with_listing(self):
+        with pytest.raises(SystemExit, match="unknown sequence") as exc:
+            main(["submit", "-s", "slider_lnog"])
+        assert "slider_long" in str(exc.value)
+
+    def test_serve_unknown_job_sequence_rejected(self):
+        with pytest.raises(SystemExit, match="unknown sequence"):
+            main(["serve", "--job", "no_such_sequence"])
+
+
+class TestServeCommands:
+    SERVE_WINDOW = [
+        "--quality", "fast", "--planes", "48",
+        "--t-start", "0.4", "--t-end", "1.6",
+        "--keyframe-distance", "0.12",
+    ]
+
+    def test_serve_runs_demo_jobs(self, capsys):
+        code = main(
+            ["serve", "--job", "simulation_3planes:alpha",
+             "--job", "simulation_3planes:beta", "--workers", "1"]
+            + self.SERVE_WINDOW
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 2 job(s)" in out
+        assert "alpha" in out and "beta" in out
+        assert "segments dispatched per session" in out
+
+    def test_submit_repeats_hit_cache_or_coalesce(self, tmp_path, capsys):
+        ply = os.path.join(tmp_path, "served.ply")
+        code = main(
+            ["submit", "-s", "simulation_3planes", "--repeat", "3",
+             "--workers", "1", "-o", ply]
+            + self.SERVE_WINDOW
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        # Burst duplicates must not recompute: either served from the
+        # cache or coalesced onto the in-flight leader.
+        assert ("hit" in out) or ("coalesced" in out)
+        from repro.io.ply import load_ply
+
+        points, _ = load_ply(ply)
+        assert points.shape[0] > 100
+
+
 class TestCommands:
     def test_info_runs(self, capsys):
         assert main(["info"]) == 0

@@ -18,14 +18,17 @@ from repro.core.policy import resolve_policy
 from repro.events.containers import EventArray
 
 
+# `engine_config` / `engine_scene` are the session-scoped builders in
+# tests/conftest.py (shared with the mapping/serving/fuzz suites); the
+# short names keep this module's call sites readable.
 @pytest.fixture
-def config():
-    return EMVSConfig(n_depth_planes=48, frame_size=1024, keyframe_distance=0.15)
+def config(engine_config):
+    return engine_config
 
 
 @pytest.fixture
-def scene(seq_3planes_fast):
-    return seq_3planes_fast, seq_3planes_fast.events.time_slice(0.8, 1.2)
+def scene(engine_scene):
+    return engine_scene
 
 
 def make_engine(seq, config, **kwargs):

@@ -10,11 +10,6 @@ from repro.events.containers import EventArray
 from repro.events.packetizer import aggregate_frames
 
 
-def stream(n, rate=1000.0, t0=0.0):
-    t = t0 + np.arange(n) / rate
-    return EventArray.from_arrays(t, np.zeros(n), np.zeros(n), np.ones(n, dtype=int))
-
-
 class TestSegmentPlan:
     def test_event_ranges_follow_frames(self):
         plan = SegmentPlan(index=1, start_frame=3, end_frame=7, frame_size=100, t_ref=0.0)
@@ -23,8 +18,8 @@ class TestSegmentPlan:
         assert plan.end_event == 700
         assert plan.n_events == 400
 
-    def test_slice_is_frame_aligned(self):
-        events = stream(1000)
+    def test_slice_is_frame_aligned(self, make_stream):
+        events = make_stream(1000)
         plan = SegmentPlan(index=0, start_frame=2, end_frame=5, frame_size=100, t_ref=0.0)
         part = plan.slice(events)
         assert len(part) == 300
@@ -38,24 +33,24 @@ class TestPlanSegments:
         assert plans == []
         assert dropped == 0
 
-    def test_short_stream_all_dropped(self, simple_trajectory):
+    def test_short_stream_all_dropped(self, simple_trajectory, make_stream):
         config = EMVSConfig(frame_size=100, keyframe_distance=0.05)
-        plans, dropped = plan_segments(stream(60), simple_trajectory, config)
+        plans, dropped = plan_segments(make_stream(60), simple_trajectory, config)
         assert plans == []
         assert dropped == 60
 
-    def test_no_keyframing_single_segment(self, simple_trajectory):
+    def test_no_keyframing_single_segment(self, simple_trajectory, make_stream):
         config = EMVSConfig(frame_size=100, keyframe_distance=None)
-        plans, dropped = plan_segments(stream(430), simple_trajectory, config)
+        plans, dropped = plan_segments(make_stream(430), simple_trajectory, config)
         assert len(plans) == 1
         assert plans[0].start_frame == 0
         assert plans[0].end_frame == 4
         assert dropped == 30
 
-    def test_segments_partition_the_frames(self, simple_trajectory):
+    def test_segments_partition_the_frames(self, simple_trajectory, make_stream):
         # 2000 events over 2 s sweep 0.4 m; 0.05 m threshold -> many segments.
         config = EMVSConfig(frame_size=100, keyframe_distance=0.05)
-        events = stream(2000)
+        events = make_stream(2000)
         plans, _ = plan_segments(events, simple_trajectory, config)
         assert len(plans) > 3
         assert plans[0].start_frame == 0
@@ -64,10 +59,10 @@ class TestPlanSegments:
             assert a.end_frame == b.start_frame
             assert b.index == a.index + 1
 
-    def test_boundaries_match_selector_over_frames(self, simple_trajectory):
+    def test_boundaries_match_selector_over_frames(self, simple_trajectory, make_stream):
         """The plan reproduces KeyframeSelector decisions over frame poses."""
         config = EMVSConfig(frame_size=100, keyframe_distance=0.05)
-        events = stream(2000)
+        events = make_stream(2000)
         plans, _ = plan_segments(events, simple_trajectory, config)
         frames = aggregate_frames(events, simple_trajectory, frame_size=100)
         selector = KeyframeSelector(config.keyframe_distance)
@@ -193,7 +188,83 @@ class TestOrchestratorValidation:
             assert isinstance(pool, ProcessPoolExecutor)
 
     def test_default_voxel_tracks_depth_range(self, simple_trajectory, davis_camera):
+        from repro.core import default_voxel_size
+
         orch = MappingOrchestrator(
             davis_camera, simple_trajectory, depth_range=(1.0, 3.0)
         )
         assert orch.voxel_size == pytest.approx(0.02)
+        # The orchestrator and the serving layer share one definition.
+        assert orch.voxel_size == default_voxel_size((1.0, 3.0))
+
+    def test_constructor_views_delegate_to_spec(
+        self, simple_trajectory, davis_camera
+    ):
+        from repro.core import EngineSpec, REFORMULATED_POLICY
+
+        orch = MappingOrchestrator(
+            davis_camera, simple_trajectory, backend="numpy-fast"
+        )
+        assert isinstance(orch.spec, EngineSpec)
+        assert orch.camera is orch.spec.camera is davis_camera
+        assert orch.trajectory is orch.spec.trajectory
+        assert orch.config is orch.spec.config
+        assert orch.depth_range == orch.spec.depth_range
+        assert orch.policy is REFORMULATED_POLICY
+        assert orch.backend == "numpy-fast"
+
+
+class TestSegmentHelpers:
+    """The shared execution/fusion helpers the orchestrator and the
+    serving layer are both built on."""
+
+    def test_merge_outcomes_sorts_by_segment_index(self):
+        from repro.core import merge_outcomes
+        from repro.core.results import PipelineProfile
+
+        first = PipelineProfile(n_events=100, votes_cast=7)
+        second = PipelineProfile(n_events=50, votes_cast=3)
+        keyframes, profile = merge_outcomes(
+            [(1, ["kf-b"], second), (0, ["kf-a"], first)], dropped_events=9
+        )
+        assert keyframes == ["kf-a", "kf-b"]  # stream order restored
+        assert profile.n_events == 150
+        assert profile.votes_cast == 10
+        assert profile.dropped_events == 9
+
+    def test_merge_outcomes_empty(self):
+        from repro.core import merge_outcomes
+
+        keyframes, profile = merge_outcomes([], dropped_events=4)
+        assert keyframes == []
+        assert profile.counters()["dropped_events"] == 4
+
+    def test_segment_tasks_slice_the_plan(self, simple_trajectory, davis_camera, make_stream):
+        from repro.core import EngineSpec, segment_tasks
+
+        spec = EngineSpec(
+            davis_camera, simple_trajectory, EMVSConfig(frame_size=100)
+        )
+        events = make_stream(450)
+        plans = [
+            SegmentPlan(index=0, start_frame=0, end_frame=2, frame_size=100, t_ref=0.0),
+            SegmentPlan(index=1, start_frame=2, end_frame=4, frame_size=100, t_ref=0.2),
+        ]
+        tasks = segment_tasks(plans, events, spec)
+        assert [t.index for t in tasks] == [0, 1]
+        assert all(t.spec is spec for t in tasks)
+        assert [len(t.events) for t in tasks] == [200, 200]
+        np.testing.assert_array_equal(tasks[1].events.t, events.t[200:400])
+
+    def test_profile_merge_carries_service_counters(self):
+        from repro.core.results import PipelineProfile
+
+        a = PipelineProfile(jobs_refused=2, jobs_dropped=1)
+        b = PipelineProfile(jobs_refused=1)
+        a.merge(b)
+        assert a.jobs_refused == 3
+        assert a.jobs_dropped == 1
+        # Load-dependent admission counters stay out of the deterministic
+        # counter set the equivalence tests pin.
+        assert "jobs_refused" not in a.counters()
+        assert "jobs_dropped" not in a.counters()
