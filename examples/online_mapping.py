@@ -21,10 +21,19 @@ from repro.io.pgm import depth_to_image, save_pfm, save_pgm
 from repro.io.ply import save_ply
 
 
+#: Smoke-test knob (set by tests/integration/test_examples.py): streams
+#: half the recording so the example finishes in seconds.
+FAST = bool(os.environ.get("REPRO_EXAMPLES_FAST"))
+
+
 def main():
     out_dir = sys.argv[1] if len(sys.argv) > 1 else "."
     seq = load_sequence("slider_far", quality="fast")
-    print(f"slider_far: {len(seq.events)} events, streaming in 20 ms chunks")
+    events = seq.events
+    if FAST:
+        mid = 0.5 * (events.t_start + events.t_end)
+        events = events.time_slice(events.t_start, mid)
+    print(f"slider_far: {len(events)} events, streaming in 20 ms chunks")
 
     def on_keyframe(reconstruction):
         dm = reconstruction.depth_map
@@ -45,9 +54,9 @@ def main():
     )
 
     # Stream the recording in 20 ms slices (a realistic driver cadence).
-    edges = np.arange(seq.events.t_start, seq.events.t_end, 0.02)
+    edges = np.arange(events.t_start, events.t_end, 0.02)
     for t0, t1 in zip(edges[:-1], edges[1:]):
-        mapper.push(seq.events.time_slice(t0, t1))
+        mapper.push(events.time_slice(t0, t1))
 
     cloud = mapper.finish()
     print(f"final map: {len(cloud)} points from {len(mapper.keyframes)} key frames")

@@ -10,6 +10,7 @@ file for external viewers.
 Run:  python examples/reconstruct_3planes.py [output.xyz]
 """
 
+import os
 import sys
 
 import numpy as np
@@ -17,6 +18,11 @@ import numpy as np
 from repro.core import EMVSConfig, EMVSPipeline, ReformulatedPipeline
 from repro.eval.metrics import evaluate_reconstruction
 from repro.events.datasets import load_sequence
+
+
+#: Smoke-test knob (set by tests/integration/test_examples.py): shorter
+#: slice so the example finishes in seconds.
+FAST = bool(os.environ.get("REPRO_EXAMPLES_FAST"))
 
 
 def analyze_planes(cloud):
@@ -40,7 +46,7 @@ def analyze_planes(cloud):
 def main():
     out_path = sys.argv[1] if len(sys.argv) > 1 else "reconstruction_3planes.xyz"
     seq = load_sequence("simulation_3planes", quality="fast")
-    events = seq.events.time_slice(0.3, 1.7)
+    events = seq.events.time_slice(0.7, 1.3) if FAST else seq.events.time_slice(0.3, 1.7)
     print(f"simulation_3planes: {len(events)} events, "
           f"trajectory sweep {seq.trajectory.path_length():.2f} m")
 

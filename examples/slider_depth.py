@@ -10,12 +10,18 @@ lens-distorted variant of the sensor.
 Run:  python examples/slider_depth.py
 """
 
+import os
+
 import numpy as np
 
 from repro.core import EMVSConfig, ReformulatedPipeline
 from repro.eval.metrics import evaluate_reconstruction
 from repro.events.datasets import load_sequence
 from repro.geometry.camera import PinholeCamera
+
+#: Smoke-test knob (set by tests/integration/test_examples.py): narrower
+#: evaluation windows so the example finishes in seconds.
+FAST = bool(os.environ.get("REPRO_EXAMPLES_FAST"))
 
 
 def depth_histogram(depths, n_bins=12, width=44):
@@ -32,7 +38,8 @@ def depth_histogram(depths, n_bins=12, width=44):
 def run_sequence(name):
     seq = load_sequence(name, quality="fast")
     mid = 0.5 * (seq.trajectory.t_start + seq.trajectory.t_end)
-    events = seq.events.time_slice(mid - 0.25, mid + 0.25)
+    half = 0.12 if FAST else 0.25
+    events = seq.events.time_slice(mid - half, mid + half)
     config = EMVSConfig(n_depth_planes=100, frame_size=1024)
     pipeline = ReformulatedPipeline(seq.camera, config, depth_range=seq.depth_range)
     result = pipeline.run(events, seq.trajectory)

@@ -1,16 +1,22 @@
 """Command-line interface.
 
-Four subcommands cover the common workflows end to end::
+Seven subcommands cover the common workflows end to end::
 
-    python -m repro info                         # sequences & configuration
+    python -m repro info                         # registries & configuration
     python -m repro simulate -s slider_close -o out/   # write a dataset dir
     python -m repro reconstruct -s simulation_3planes -o cloud.ply
+    python -m repro serve --job slider_long --job corridor_sweep
+    python -m repro submit -s corridor_sweep --repeat 3
+    python -m repro stream -s corridor_sweep --chunk-ms 20
     python -m repro models                       # Tables 2/3 from the models
 
 ``reconstruct`` accepts either a built-in sequence replica (``-s``) or a
 directory in Event Camera Dataset layout (``-d``), runs the chosen
 pipeline, reports metrics (when ground truth exists) and writes the cloud
-and depth maps in standard formats.
+and depth maps in standard formats.  ``serve`` / ``submit`` drive the
+multi-session reconstruction service; ``stream`` feeds one sequence
+through an incremental streaming session, printing a line per finalized
+key frame as the map grows.
 """
 
 from __future__ import annotations
@@ -24,15 +30,17 @@ import numpy as np
 def _cmd_info(args) -> int:
     from repro.core import BACKENDS, POLICIES
     from repro.events.datasets import SCENARIO_NAMES, SEQUENCE_NAMES, SHORT_NAMES
+    from repro.serve import OVERFLOW_POLICIES
 
     print("Eventor reproduction — available sequence replicas:")
     for name in SEQUENCE_NAMES:
         print(f"  {name}  (short: {SHORT_NAMES[name]})")
-    print("extended multi-keyframe scenarios (parallel mapping workloads):")
+    print("scenario registry (extended multi-keyframe workloads):")
     for name in SCENARIO_NAMES:
         print(f"  {name}  (short: {SHORT_NAMES[name]})")
     print(f"\nregistered backends: {', '.join(sorted(BACKENDS))}")
     print(f"registered policies: {', '.join(sorted(POLICIES))}")
+    print(f"serve overflow policies: {', '.join(OVERFLOW_POLICIES)}")
     print("\nDefault configuration: 1024-event frames, Nz=100 planes,")
     print("nearest voting + Table 1 quantization (reformulated pipeline).")
     return 0
@@ -237,7 +245,7 @@ def _validate_serve_limits(args) -> None:
             f"unknown overflow policy {args.overflow!r}; "
             f"known policies: {', '.join(OVERFLOW_POLICIES)}"
         )
-    if args.repeat < 1:
+    if getattr(args, "repeat", 1) < 1:
         raise SystemExit("--repeat must be >= 1")
 
 
@@ -378,6 +386,75 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.serve import ReconstructionService, StreamBacklogFull
+
+    _resolve_backend(args.backend)
+    policy = _resolve_policy(args.policy)
+    _validate_serve_limits(args)
+    if args.chunk_ms <= 0:
+        raise SystemExit("--chunk-ms must be positive")
+    if args.max_pending_chunks < 1:
+        raise SystemExit("--max-pending-chunks must be >= 1")
+
+    _, events, spec = _sequence_job(args, args.sequence, policy)
+    chunk = args.chunk_ms * 1e-3
+    print(
+        f"input: {len(events)} events over {events.duration:.2f} s, "
+        f"streamed in {args.chunk_ms:.0f} ms chunks"
+    )
+    with ReconstructionService(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        cache_size=args.cache_size,
+        overflow=args.overflow,
+    ) as service:
+        with service.open_stream(
+            spec, session=args.session, max_pending_chunks=args.max_pending_chunks
+        ) as stream:
+            n_chunks = 0
+            # Adjacent chunks share the exact same float bound (and the
+            # last one runs to +inf), so the half-open time slices cover
+            # every event exactly once — the stream == batch identity
+            # depends on it.
+            edges = np.arange(events.t_start, events.t_end, chunk)
+            for t0, t1 in zip(edges, np.append(edges[1:], np.inf)):
+                try:
+                    stream.feed(events.time_slice(t0, t1))
+                except StreamBacklogFull as e:
+                    raise SystemExit(str(e)) from None
+                n_chunks += 1
+                for update in stream.poll_updates():
+                    _print_stream_update(update)
+        result = stream.result()
+        for update in stream.poll_updates():
+            _print_stream_update(update)
+        stats = service.stats()
+        print(
+            f"stream closed after {n_chunks} chunk(s): "
+            f"{len(result.keyframes)} key frame(s), {result.n_points} fused "
+            f"points on {service.workers} worker(s) [{service.executor}]"
+        )
+        print(
+            f"updates emitted: {stats.updates_emitted}; chunks refused "
+            f"{stats.chunks_refused}, dropped {stats.chunks_dropped}; "
+            f"dropped events {result.profile.dropped_events}"
+        )
+    if args.output:
+        _save_cloud(args.output, result.cloud)
+    return 0
+
+
+def _print_stream_update(update) -> None:
+    """One line per finalized key frame, as the stream emits it."""
+    dm = update.keyframe.depth_map
+    print(
+        f"  key frame #{update.keyframe_index} (segment {update.segment_index}): "
+        f"{dm.n_points} px -> map {len(update.cloud)} points "
+        f"({update.map_voxels} voxels) after {update.latency_seconds * 1e3:.0f} ms"
+    )
+
+
 def _cmd_models(args) -> int:
     from repro.eval.experiments import (
         efficiency_gain,
@@ -468,8 +545,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--depth-map", help="last key frame depth map (.pgm)")
     p_rec.set_defaults(func=_cmd_reconstruct)
 
-    def add_serve_options(p, *, default_backend="numpy-batch"):
-        """Engine + service knobs shared by `serve` and `submit`."""
+    def add_serve_options(p, *, default_backend="numpy-batch", repeat=True):
+        """Engine + service knobs shared by `serve`, `submit` and `stream`."""
         p.add_argument("--quality", choices=("full", "fast"), default="full")
         p.add_argument(
             "--policy", default="reformulated",
@@ -505,11 +582,12 @@ def build_parser() -> argparse.ArgumentParser:
             help="full-queue policy: refuse (reject the submission) or "
                  "drop-oldest (evict the session's oldest queued job)",
         )
-        p.add_argument(
-            "--repeat", type=int, default=1,
-            help="submit each job this many times (repeats hit the result "
-                 "cache)",
-        )
+        if repeat:
+            p.add_argument(
+                "--repeat", type=int, default=1,
+                help="submit each job this many times (repeats hit the result "
+                     "cache)",
+            )
 
     p_srv = sub.add_parser(
         "serve",
@@ -531,6 +609,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_sub2.add_argument("--output", "-o", help="fused cloud output (.ply or .xyz)")
     add_serve_options(p_sub2)
     p_sub2.set_defaults(func=_cmd_submit)
+
+    p_str = sub.add_parser(
+        "stream",
+        help="stream one sequence through an incremental serving session",
+    )
+    p_str.add_argument("--sequence", "-s", required=True)
+    p_str.add_argument("--session", default="stream")
+    p_str.add_argument(
+        "--chunk-ms", type=float, default=20.0,
+        help="chunk duration fed per step (simulated driver cadence)",
+    )
+    p_str.add_argument(
+        "--max-pending-chunks", type=int, default=64,
+        help="bounded in-flight chunk buffer; a full buffer applies the "
+             "--overflow policy at chunk granularity",
+    )
+    p_str.add_argument("--output", "-o", help="fused cloud output (.ply or .xyz)")
+    add_serve_options(p_str, repeat=False)
+    p_str.set_defaults(func=_cmd_stream)
 
     p_mod = sub.add_parser("models", help="print the hardware model tables")
     p_mod.add_argument("--pe", type=int, default=2, help="PE_Zi count")

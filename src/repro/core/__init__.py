@@ -39,6 +39,7 @@ from repro.core.engine import (
     ExecutionBackend,
     ReconstructionEngine,
     SegmentPlan,
+    StreamSegmentPlanner,
     plan_segments,
     register_backend,
 )
@@ -83,6 +84,7 @@ __all__ = [
     "ExecutionBackend",
     "ReconstructionEngine",
     "SegmentPlan",
+    "StreamSegmentPlanner",
     "plan_segments",
     "register_backend",
     "GlobalMap",

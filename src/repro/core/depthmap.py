@@ -32,10 +32,12 @@ class SemiDenseDepthMap:
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, int]:
+        """Image shape ``(H, W)`` of the depth map."""
         return self.depth.shape
 
     @property
     def n_points(self) -> int:
+        """Number of pixels with a depth estimate."""
         return int(self.mask.sum())
 
     @property
@@ -61,6 +63,7 @@ class SemiDenseDepthMap:
         return self.confidence[self.mask]
 
     def mean_depth(self) -> float:
+        """Mean depth over the estimated pixels (NaN when empty)."""
         if self.n_points == 0:
             raise ValueError("empty depth map has no mean depth")
         return float(np.mean(self.depths()))

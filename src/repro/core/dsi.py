@@ -86,20 +86,25 @@ class DSI:
     # ------------------------------------------------------------------
     @property
     def n_planes(self) -> int:
+        """Number of depth planes ``Nz``."""
         return self.scores.shape[0]
 
     @property
     def shape(self) -> tuple[int, int, int]:
+        """Score-volume shape ``(Nz, H, W)``."""
         return self.scores.shape
 
     @property
     def n_voxels(self) -> int:
+        """Total voxel count ``Nz * H * W``."""
         return int(np.prod(self.scores.shape))
 
     def memory_bytes(self) -> int:
+        """Score-volume storage footprint in bytes."""
         return self.scores.nbytes
 
     def total_votes(self) -> float:
+        """Sum of all scores accumulated in the volume."""
         return float(self.scores.sum())
 
     def reset(self, T_w_ref: SE3 | None = None) -> None:

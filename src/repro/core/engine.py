@@ -74,6 +74,7 @@ from repro.core.voting import (
 )
 from repro.events.containers import EventArray
 from repro.events.packetizer import (
+    ChunkBuffer,
     EventFrame,
     Packetizer,
     frame_midtimes,
@@ -152,6 +153,7 @@ def register_backend(name: str):
     """Decorator registering a backend factory under ``name``."""
 
     def decorator(factory):
+        """Register ``factory`` and return it unchanged."""
         BACKENDS[name] = factory
         return factory
 
@@ -188,6 +190,7 @@ class _NumpyBackendBase(ExecutionBackend):
         self._projector: BackProjector | None = None
 
     def start_reference(self, T_w_ref: SE3) -> None:
+        """Allocate a fresh DSI and projector at the new reference view."""
         e = self.engine
         self._dsi = DSI(
             e.camera,
@@ -215,6 +218,7 @@ class _NumpyBackendBase(ExecutionBackend):
         return params, uv0, valid
 
     def read_dsi(self) -> DSI:
+        """The segment's DSI (requires an open reference)."""
         if self._dsi is None:
             raise RuntimeError("no reference segment is open")
         return self._dsi
@@ -227,6 +231,7 @@ class NumpyReferenceBackend(_NumpyBackendBase):
     name = "numpy-reference"
 
     def process_frame(self, frame: EventFrame) -> tuple[int, int]:
+        """Back-project and scatter one frame, reference-style."""
         params, uv0, valid = self._canonical(frame)
         t0 = time.perf_counter()
         u, v = self._projector.proportional(params, uv0)
@@ -265,6 +270,7 @@ class NumpyFastBackend(_NumpyBackendBase):
     name = "numpy-fast"
 
     def start_reference(self, T_w_ref: SE3) -> None:
+        """Reset the segment count buffer alongside the base DSI state."""
         super().start_reference(T_w_ref)
         self._dirty = False
         if self.engine.policy.voting is VotingMethod.BILINEAR:
@@ -309,6 +315,7 @@ class NumpyFastBackend(_NumpyBackendBase):
         return int(valid.sum())
 
     def process_frame(self, frame: EventFrame) -> tuple[int, int]:
+        """Back-project one frame and vote through the fused kernels."""
         params, uv0, valid = self._canonical(frame)
         t0 = time.perf_counter()
         misses = int((~valid).sum())
@@ -325,6 +332,7 @@ class NumpyFastBackend(_NumpyBackendBase):
         return votes, misses
 
     def read_dsi(self) -> DSI:
+        """Materialize pending nearest-vote counts, then return the DSI."""
         if self._dirty:
             t0 = time.perf_counter()
             flat = super().read_dsi().flat_scores
@@ -367,6 +375,7 @@ class NumpyBatchBackend(_NumpyBackendBase):
     buffers_frames = True
 
     def start_reference(self, T_w_ref: SE3) -> None:
+        """Seat the DSI and build the segment-lifetime batch voter."""
         super().start_reference(T_w_ref)
         self._dirty = False
         if self.engine.policy.voting is VotingMethod.NEAREST:
@@ -376,9 +385,11 @@ class NumpyBatchBackend(_NumpyBackendBase):
             self._uv_scratch: tuple[np.ndarray, np.ndarray] | None = None
 
     def process_frame(self, frame: EventFrame) -> tuple[int, int]:
+        """Single-frame fallback: a batch of one."""
         return self.process_batch([frame])
 
     def process_batch(self, frames: list[EventFrame]) -> tuple[int, int]:
+        """Execute one buffered frame batch in fused whole-batch passes."""
         if self._projector is None:
             raise RuntimeError("start_reference() must be called before frames")
         sizes = {len(frame) for frame in frames}
@@ -433,6 +444,7 @@ class NumpyBatchBackend(_NumpyBackendBase):
         return votes, misses
 
     def read_dsi(self) -> DSI:
+        """Materialize the batch voter's counts, then return the DSI."""
         if self._dirty:
             t0 = time.perf_counter()
             self._voter.materialize_into(super().read_dsi().flat_scores)
@@ -497,6 +509,28 @@ class EngineSpec:
     ``policy`` may be given as a preset name; it is resolved at
     construction, so a spec always carries the concrete
     :class:`~repro.core.policy.DataflowPolicy`.
+
+    Examples
+    --------
+    One spec, three consumers — a local engine, a segment plan, and a
+    service job::
+
+        from repro.core import EMVSConfig, EngineSpec
+        from repro.events.datasets import load_sequence
+        from repro.serve import ReconstructionService
+
+        seq = load_sequence("slider_long", quality="fast")
+        spec = EngineSpec(
+            seq.camera, seq.trajectory,
+            EMVSConfig(n_depth_planes=48,
+                       keyframe_distance=seq.keyframe_distance),
+            depth_range=seq.depth_range, backend="numpy-batch",
+        )
+        result = spec.build().run(seq.events)      # direct engine run
+        plans, dropped = spec.plan(seq.events)     # pose-only segment plan
+        with ReconstructionService(workers=1) as svc:
+            served = svc.result(svc.submit(seq.events, spec))
+        assert served.profile.counters() == result.profile.counters()
     """
 
     camera: PinholeCamera
@@ -534,6 +568,15 @@ class EngineSpec:
         """Segment plan of ``events`` under this spec (pose-only pass)."""
         return plan_segments(events, self.trajectory, self.config)
 
+    def stream_planner(self) -> "StreamSegmentPlanner":
+        """A fresh incremental segment planner for this spec.
+
+        The streaming counterpart of :meth:`plan`: feed event chunks as
+        they arrive and harvest closed key-frame segments immediately
+        (see :class:`StreamSegmentPlanner`).
+        """
+        return StreamSegmentPlanner(self.trajectory, self.config)
+
 
 # ----------------------------------------------------------------------
 # Segment planning
@@ -555,18 +598,22 @@ class SegmentPlan:
 
     @property
     def n_frames(self) -> int:
+        """Frame count of the segment."""
         return self.end_frame - self.start_frame
 
     @property
     def start_event(self) -> int:
+        """First event index of the segment (frame-aligned)."""
         return self.start_frame * self.frame_size
 
     @property
     def end_event(self) -> int:
+        """One-past-last event index of the segment (frame-aligned)."""
         return self.end_frame * self.frame_size
 
     @property
     def n_events(self) -> int:
+        """Event count of the segment."""
         return self.end_event - self.start_event
 
     def slice(self, events: EventArray) -> EventArray:
@@ -621,6 +668,141 @@ def plan_segments(
     return plans, dropped
 
 
+class StreamSegmentPlanner:
+    """Incremental :func:`plan_segments`: feed chunks, harvest closed segments.
+
+    Segment planning is a pose-only pass — key-frame boundaries depend
+    only on frame mid-span timestamps and scalar ``trajectory.sample``
+    poses — so it needs no look-ahead beyond the frame that *crosses* a
+    boundary.  This class exploits that to plan a stream while it is
+    still flowing: :meth:`push` accepts event chunks of any size and
+    returns every key-frame segment whose end became known (the boundary
+    frame arrived), each paired with its frame-aligned event slice, and
+    :meth:`finish` closes the trailing segment and accounts the dropped
+    partial frame.
+
+    Equivalence contract: for any chunking of a stream, the concatenated
+    ``push``/``finish`` output equals ``plan_segments(whole_stream, ...)``
+    exactly — same :class:`SegmentPlan` values (frame indices are global,
+    relative to the whole planned stream), same event slices, same
+    dropped-tail count.  The same scalar mid-time arithmetic and the same
+    stateful :class:`~repro.core.keyframes.KeyframeSelector` decisions
+    guarantee it; ``tests/unit/test_engine.py`` pins it per chunk size.
+
+    One :class:`~repro.serve.StreamingSession` holds one planner; the
+    serve layer dispatches each closed segment onto the shared worker
+    pool the moment it is returned.
+
+    Examples
+    --------
+    >>> planner = spec.stream_planner()          # doctest: +SKIP
+    >>> for chunk in chunks:                     # doctest: +SKIP
+    ...     for plan, events in planner.push(chunk):
+    ...         pool.submit(SegmentTask(plan.index, events, spec))
+    >>> tail, n_dropped = planner.finish()       # doctest: +SKIP
+    """
+
+    def __init__(self, trajectory: Trajectory, config: EMVSConfig):
+        self._trajectory = trajectory
+        self._frame_size = config.frame_size
+        self._selector = KeyframeSelector(config.keyframe_distance)
+        self._buffer = ChunkBuffer()
+        #: Complete buffered frames whose boundary decision is done.
+        self._checked = 0
+        #: Global frames already cut into emitted segments.
+        self._frames_cut = 0
+        self._segments_emitted = 0
+        self._open_t_ref: float | None = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def next_index(self) -> int:
+        """Global index the next emitted segment will carry."""
+        return self._segments_emitted
+
+    @property
+    def frames_planned(self) -> int:
+        """Complete frames observed so far (cut or awaiting a boundary)."""
+        return self._frames_cut + self._checked
+
+    @property
+    def pending_events(self) -> int:
+        """Events buffered but not yet cut into an emitted segment."""
+        return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    def _frame_midtime(self, local_frame: int) -> float:
+        """Mid-span timestamp of a complete buffered frame.
+
+        Scalar evaluation of the exact :func:`frame_midtimes` arithmetic
+        (``0.5 * (t_first + t_last)`` in float64) over the buffer's
+        copy-free :meth:`~repro.events.packetizer.ChunkBuffer.timestamp`
+        probes — no merge per boundary check, so fine-grained chunking
+        cannot turn planning quadratic — and bit-identical to the
+        one-shot plan's decisions.
+        """
+        lo = local_frame * self._frame_size
+        t_first = self._buffer.timestamp(lo)
+        t_last = self._buffer.timestamp(lo + self._frame_size - 1)
+        return float(0.5 * (t_first + t_last))
+
+    def _cut(self, n_frames: int) -> tuple[SegmentPlan, EventArray]:
+        """Close the open segment at ``n_frames`` buffered frames."""
+        plan = SegmentPlan(
+            index=self._segments_emitted,
+            start_frame=self._frames_cut,
+            end_frame=self._frames_cut + n_frames,
+            frame_size=self._frame_size,
+            t_ref=self._open_t_ref,
+        )
+        events = self._buffer.split(n_frames * self._frame_size)
+        self._segments_emitted += 1
+        self._frames_cut += n_frames
+        self._checked -= n_frames
+        return plan, events
+
+    def push(self, events: EventArray) -> list[tuple[SegmentPlan, EventArray]]:
+        """Feed one chunk; returns every segment it closed (often none).
+
+        A segment closes when a later frame crosses the key-frame
+        distance threshold — the boundary frame itself opens the next
+        segment, exactly as in the streaming engine run the plan
+        predicts.
+        """
+        if self._finished:
+            raise RuntimeError("planner already finished; build a new one")
+        self._buffer.push(events)
+        closed: list[tuple[SegmentPlan, EventArray]] = []
+        while True:
+            n_full = len(self._buffer) // self._frame_size
+            if self._checked >= n_full:
+                break
+            t_mid = self._frame_midtime(self._checked)
+            if self._selector.is_new_keyframe(self._trajectory.sample(t_mid)):
+                if self._checked > 0:
+                    closed.append(self._cut(self._checked))
+                self._open_t_ref = t_mid
+            self._checked += 1
+        return closed
+
+    def finish(self) -> tuple[list[tuple[SegmentPlan, EventArray]], int]:
+        """Close the trailing segment; returns ``(segments, n_dropped)``.
+
+        ``segments`` holds the final open segment (at most one — empty
+        when the stream never completed a frame) and ``n_dropped`` the
+        trailing partial-frame events, mirroring the second return of
+        :func:`plan_segments`.
+        """
+        if self._finished:
+            raise RuntimeError("planner already finished; build a new one")
+        self._finished = True
+        closed: list[tuple[SegmentPlan, EventArray]] = []
+        if self._checked > 0:
+            closed.append(self._cut(self._checked))
+        return closed, self._buffer.clear()
+
+
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
@@ -647,6 +829,25 @@ class ReconstructionEngine:
         moment its reference segment closes.
 
     The engine is single-use: one stream in, one :class:`EMVSResult` out.
+
+    Examples
+    --------
+    Streaming push/finish (batch ``run`` is push-all + finish)::
+
+        from repro.core import EMVSConfig, ReconstructionEngine
+        from repro.events.datasets import load_sequence
+
+        seq = load_sequence("simulation_3planes", quality="fast")
+        engine = ReconstructionEngine(
+            seq.camera, seq.trajectory,
+            EMVSConfig(n_depth_planes=64),
+            depth_range=seq.depth_range,
+            policy="reformulated",           # or a DataflowPolicy instance
+            backend="numpy-batch",
+        )
+        engine.push(seq.events.time_slice(0.9, 1.0))   # chunk by chunk...
+        engine.push(seq.events.time_slice(1.0, 1.1))
+        result = engine.finish()                        # EMVSResult
     """
 
     def __init__(
@@ -694,10 +895,12 @@ class ReconstructionEngine:
 
     @property
     def keyframes(self) -> list[KeyframeReconstruction]:
+        """Finished key-frame reconstructions so far (copy)."""
         return list(self._keyframes)
 
     @property
     def events_pushed(self) -> int:
+        """Total events fed through :meth:`push` so far."""
         return self._events_pushed
 
     # ------------------------------------------------------------------

@@ -30,9 +30,11 @@ class KeyframeSelector:
 
     @property
     def reference(self) -> SE3 | None:
+        """Pose of the current key reference view (``None`` before the first)."""
         return self._reference
 
     def reset(self) -> None:
+        """Forget the reference; the next pose becomes a key frame."""
         self._reference = None
 
     def is_new_keyframe(self, T_wc: SE3) -> bool:

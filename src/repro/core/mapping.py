@@ -138,6 +138,7 @@ class GlobalMap:
 
     @property
     def n_voxels(self) -> int:
+        """Occupied voxel count of the fused map."""
         return len(self._fuse()[0])
 
     def fused_points(self) -> np.ndarray:
@@ -184,6 +185,7 @@ class MappingResult:
 
     @property
     def n_points(self) -> int:
+        """Point count of the fused cloud."""
         return len(self.cloud)
 
 
@@ -295,6 +297,26 @@ class MappingOrchestrator:
 
     The backend must be a registry *name* (workers construct their own
     instances; a bound backend instance cannot be shared across pools).
+
+    Examples
+    --------
+    Parallel multi-keyframe mapping with a fused global map::
+
+        from repro.core import EMVSConfig, MappingOrchestrator
+        from repro.events.datasets import load_sequence
+
+        seq = load_sequence("corridor_sweep", quality="fast")
+        orchestrator = MappingOrchestrator(
+            seq.camera, seq.trajectory,
+            EMVSConfig(n_depth_planes=48,
+                       keyframe_distance=seq.keyframe_distance),
+            depth_range=seq.depth_range,
+            backend="numpy-batch",
+            workers=4,                     # fused map identical for any width
+        )
+        result = orchestrator.run(seq.events)
+        result.cloud                       # fused global map (PointCloud)
+        result.global_map.fused_cloud(min_observations=2)
     """
 
     def __init__(
@@ -343,26 +365,32 @@ class MappingOrchestrator:
     # predates EngineSpec and stays stable).
     @property
     def camera(self) -> PinholeCamera:
+        """Sensor calibration (spec view)."""
         return self.spec.camera
 
     @property
     def trajectory(self) -> Trajectory:
+        """Pose source (spec view)."""
         return self.spec.trajectory
 
     @property
     def config(self) -> EMVSConfig:
+        """Shared EMVS parameters (spec view)."""
         return self.spec.config
 
     @property
     def depth_range(self) -> tuple[float, float]:
+        """DSI depth bounds (spec view)."""
         return self.spec.depth_range
 
     @property
     def policy(self) -> DataflowPolicy:
+        """Resolved dataflow policy (spec view)."""
         return self.spec.policy
 
     @property
     def backend(self) -> str:
+        """Execution-backend registry name (spec view)."""
         return self.spec.backend
 
     # ------------------------------------------------------------------

@@ -95,10 +95,12 @@ class OnlineEMVS:
 
     @property
     def keyframes(self) -> list[KeyframeReconstruction]:
+        """Finished key-frame reconstructions so far (copy)."""
         return self._engine.keyframes
 
     @property
     def events_pushed(self) -> int:
+        """Total events fed through :meth:`push` so far."""
         return self._engine.events_pushed
 
     @property

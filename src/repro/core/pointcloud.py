@@ -87,11 +87,13 @@ class PointCloud:
     # Analysis helpers (used by the Fig. 7b reconstruction bench)
     # ------------------------------------------------------------------
     def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned bounds ``(min_xyz, max_xyz)`` of the cloud."""
         if len(self) == 0:
             raise ValueError("empty cloud has no bounding box")
         return self.points.min(axis=0), self.points.max(axis=0)
 
     def centroid(self) -> np.ndarray:
+        """Mean point of the cloud."""
         if len(self) == 0:
             raise ValueError("empty cloud has no centroid")
         return self.points.mean(axis=0)

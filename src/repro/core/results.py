@@ -38,11 +38,13 @@ class PipelineProfile:
     ``jobs_refused`` / ``jobs_dropped`` record the serving layer's
     explicit backpressure outcomes (see :mod:`repro.serve`): jobs a full
     session queue refused at submission, and queued jobs evicted by the
-    ``drop-oldest`` overflow policy.  They live here so a service's
-    aggregate profile carries its admission story next to its work
-    counters, but they are *load-dependent* — two runs of the same
-    stream need not agree on them — so they are deliberately excluded
-    from :meth:`counters`.
+    ``drop-oldest`` overflow policy.  ``chunks_refused`` /
+    ``chunks_dropped`` are the same two outcomes at *chunk* granularity,
+    applied by streaming sessions whose bounded in-flight buffer filled
+    up.  These four live here so a service's aggregate profile carries
+    its admission story next to its work counters, but they are
+    *load-dependent* — two runs of the same stream need not agree on
+    them — so they are deliberately excluded from :meth:`counters`.
     """
 
     n_events: int = 0
@@ -52,12 +54,16 @@ class PipelineProfile:
     dropped_events: int = 0
     jobs_refused: int = 0
     jobs_dropped: int = 0
+    chunks_refused: int = 0
+    chunks_dropped: int = 0
     stage_seconds: dict = field(default_factory=dict)
 
     def add_time(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock seconds into one stage's bucket."""
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
     def total_seconds(self) -> float:
+        """Summed wall-clock time across all stages."""
         return sum(self.stage_seconds.values())
 
     def merge(self, other: "PipelineProfile") -> None:
@@ -74,6 +80,8 @@ class PipelineProfile:
         self.dropped_events += other.dropped_events
         self.jobs_refused += other.jobs_refused
         self.jobs_dropped += other.jobs_dropped
+        self.chunks_refused += other.chunks_refused
+        self.chunks_dropped += other.chunks_dropped
         for stage, seconds in other.stage_seconds.items():
             self.add_time(stage, seconds)
 
@@ -103,4 +111,5 @@ class EMVSResult:
 
     @property
     def n_points(self) -> int:
+        """Point count of the merged cloud."""
         return len(self.cloud)

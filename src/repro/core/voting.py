@@ -26,6 +26,7 @@ import numpy as np
 
 
 class VotingMethod(enum.Enum):
+    """The two DSI voting schemes of the paper's Fig. 3 comparison."""
     BILINEAR = "bilinear"
     NEAREST = "nearest"
 

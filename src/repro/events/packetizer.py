@@ -10,6 +10,7 @@ accelerator make.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from collections.abc import Generator
 
@@ -134,6 +135,93 @@ class Packetizer:
         )
         self._emitted += 1
         return frame
+
+
+class ChunkBuffer:
+    """Accumulate time-ordered event chunks; split frame-aligned prefixes.
+
+    The streaming counterpart of slicing one materialized stream: chunks
+    of any size are appended (:meth:`push`), merged lazily into a single
+    contiguous :class:`~repro.events.containers.EventArray`
+    (:meth:`merged`, cached between pushes), and consumed from the front
+    in event-aligned blocks (:meth:`split`).  Because
+    :meth:`EventArray.concatenate` preserves every ``(t, x, y, p)``
+    record bit-exactly, a prefix split off a chunk buffer equals the
+    same slice of the concatenated stream — the identity streaming
+    segment planning (:class:`repro.core.engine.StreamSegmentPlanner`)
+    rests on.
+    """
+
+    def __init__(self):
+        self._parts: list[EventArray] = []
+        #: Cumulative end index of each part (for :meth:`timestamp`).
+        self._offsets: list[int] = []
+        self._count = 0
+        self._merged: EventArray | None = None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, events: EventArray) -> None:
+        """Append one time-ordered chunk (empty chunks are no-ops)."""
+        if len(events) == 0:
+            return
+        self._parts.append(events)
+        self._count += len(events)
+        self._offsets.append(self._count)
+        self._merged = None
+
+    def timestamp(self, index: int) -> float:
+        """Timestamp of the ``index``-th buffered event, without merging.
+
+        A binary search over the parts' cumulative offsets — O(log P)
+        and copy-free, so per-frame probes (the streaming planner's
+        boundary checks) stay cheap however finely the stream was
+        chunked.  The value is the exact float64 the merged array would
+        hold at the same index.
+        """
+        if not 0 <= index < self._count:
+            raise IndexError(f"event {index} of a buffer of {self._count}")
+        part_index = bisect.bisect_right(self._offsets, index)
+        start = self._offsets[part_index - 1] if part_index else 0
+        return float(self._parts[part_index].t[index - start])
+
+    def merged(self) -> EventArray:
+        """Everything buffered, as one contiguous array (cached)."""
+        if self._merged is None:
+            if not self._parts:
+                self._merged = EventArray.empty()
+            elif len(self._parts) == 1:
+                self._merged = self._parts[0]
+            else:
+                self._merged = EventArray.concatenate(self._parts)
+                self._parts = [self._merged]
+                self._offsets = [self._count]
+        return self._merged
+
+    def split(self, n_events: int) -> EventArray:
+        """Remove and return the first ``n_events`` buffered events."""
+        if not 0 <= n_events <= self._count:
+            raise ValueError(
+                f"cannot split {n_events} events from a buffer of {self._count}"
+            )
+        merged = self.merged()
+        head = merged[:n_events]
+        tail = merged[n_events:]
+        self._parts = [tail] if len(tail) else []
+        self._count = len(tail)
+        self._offsets = [self._count] if len(tail) else []
+        self._merged = tail if len(tail) else None
+        return head
+
+    def clear(self) -> int:
+        """Discard the buffer; returns how many events were dropped."""
+        dropped = self._count
+        self._parts = []
+        self._offsets = []
+        self._count = 0
+        self._merged = None
+        return dropped
 
 
 def aggregate_frames(

@@ -3,9 +3,11 @@
 The scaling layer above :mod:`repro.core.mapping`: many independent
 event-stream jobs, one shared bounded worker pool, fair round-robin
 segment scheduling across sessions, explicit backpressure, and an LRU
-result cache.  See :class:`ReconstructionService` for the API
-(``submit`` / ``poll`` / ``result`` / ``drain``) and
-``repro serve`` / ``repro submit`` for the CLI drivers.
+result cache.  See :class:`ReconstructionService` for the batch API
+(``submit`` / ``poll`` / ``result`` / ``drain``),
+:class:`StreamingSession` for the incremental one (``open_stream`` /
+``feed`` / ``poll_updates`` / ``close``), and ``repro serve`` /
+``repro submit`` / ``repro stream`` for the CLI drivers.
 """
 
 from repro.serve.cache import CacheStats, ResultCache, job_key
@@ -17,8 +19,10 @@ from repro.serve.service import (
     ServeError,
     ServiceStats,
     SessionBacklogFull,
+    StreamBacklogFull,
 )
 from repro.serve.session import Job, JobState, JobStatus, Session
+from repro.serve.stream import StreamingSession, StreamUpdate
 
 __all__ = [
     "CacheStats",
@@ -32,8 +36,11 @@ __all__ = [
     "ServeError",
     "ServiceStats",
     "SessionBacklogFull",
+    "StreamBacklogFull",
     "Job",
     "JobState",
     "JobStatus",
     "Session",
+    "StreamingSession",
+    "StreamUpdate",
 ]

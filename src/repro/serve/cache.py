@@ -106,6 +106,7 @@ class CacheStats:
     capacity: int = 0
 
     def as_dict(self) -> dict:
+        """The counters as a plain dict (JSON-friendly)."""
         return dataclasses.asdict(self)
 
 
@@ -131,6 +132,7 @@ class ResultCache:
 
     @property
     def enabled(self) -> bool:
+        """Whether the cache stores anything (``capacity > 0``)."""
         return self.capacity > 0
 
     def get(self, key: str):
@@ -153,6 +155,7 @@ class ResultCache:
             self._evictions += 1
 
     def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss/eviction counters."""
         return CacheStats(
             hits=self._hits,
             misses=self._misses,

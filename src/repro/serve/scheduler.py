@@ -12,7 +12,9 @@ Fairness model (ESVO-style interleaving generalized to N streams):
 * **across sessions** — strict round robin at *segment* granularity.  A
   session that just dispatched goes to the back of the rotation, so one
   heavy job cannot starve other sessions; their segments interleave on
-  the shared pool.
+  the shared pool.  Streaming jobs take part exactly like batch jobs —
+  a live stream's freshly planned segments interleave with batch jobs'
+  pre-planned ones in the same dispatch log.
 * **within a session** — FIFO over jobs; a job's segments dispatch in
   stream order.
 
@@ -63,6 +65,7 @@ class RoundRobinScheduler:
 
     @property
     def sessions(self) -> dict[str, Session]:
+        """Registered sessions by name (copy)."""
         return dict(self._sessions)
 
     def admit(self, job: Job) -> None:
@@ -96,12 +99,20 @@ class RoundRobinScheduler:
             self._rotation.append(name)
             self.dispatch_log.append((name, job.job_id, index))
             plan = job.plans[index]
-            task = SegmentTask(plan.index, plan.slice(job.events), job.spec)
+            if job.stream is not None:
+                # Streaming jobs hold no whole-stream array; the planner
+                # already cut the segment's slice.  Kept (not popped)
+                # until the outcome lands so a pool break can requeue.
+                events = job.stream.segment_events[plan.index]
+            else:
+                events = plan.slice(job.events)
+            task = SegmentTask(plan.index, events, job.spec)
             return Dispatch(job=job, task=task)
         return None
 
     @property
     def has_pending_dispatch(self) -> bool:
+        """Whether any session still has a segment to dispatch."""
         return any(s.has_pending_dispatch for s in self._sessions.values())
 
     def cancel_job(self, job: Job) -> None:

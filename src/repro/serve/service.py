@@ -37,6 +37,14 @@ Semantics in one breath:
   identical job submitted while its twin is still *in flight* coalesces
   onto it (no duplicate compute, both requests settle when the leader
   finishes) — burst-duplicate traffic costs one reconstruction, not N.
+* **streaming** — ``open_stream`` admits a job whose events arrive in
+  chunks (:class:`~repro.serve.stream.StreamingSession`): an
+  incremental pose-only planner cuts key-frame segments as boundaries
+  are crossed, each dispatches onto the same pool (interleaving fairly
+  with batch jobs), and every finalized key frame emits a
+  :class:`~repro.serve.stream.StreamUpdate` with an incrementally
+  fused map snapshot.  The closed stream's final result is
+  bit-identical to a one-shot ``submit`` of the concatenated chunks.
 """
 
 from __future__ import annotations
@@ -71,8 +79,10 @@ from repro.serve.session import (
     Job,
     JobState,
     JobStatus,
+    Session,
     new_job_id,
 )
+from repro.serve.stream import StreamingSession, StreamState, StreamUpdate
 
 #: Supported overflow policies for a full session queue.
 OVERFLOW_POLICIES = ("refuse", "drop-oldest")
@@ -90,6 +100,10 @@ class SessionBacklogFull(ServeError):
     """A submission was refused: the session's bounded queue is full."""
 
 
+class StreamBacklogFull(SessionBacklogFull):
+    """A chunk was refused: the stream's bounded chunk buffer is full."""
+
+
 class JobFailed(ServeError):
     """``result`` was asked for a job that failed or was dropped."""
 
@@ -104,6 +118,7 @@ class _InlineExecutor(Executor):
     """
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
+        """Run the task now; return an already-settled future."""
         future: Future = Future()
         try:
             future.set_result(fn(*args, **kwargs))
@@ -114,12 +129,13 @@ class _InlineExecutor(Executor):
         return future
 
     def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        """Nothing to shut down: no threads, no processes."""
         pass
 
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Aggregate service counters (admission, outcomes, cache, fairness)."""
+    """Aggregate service counters (admission, outcomes, cache, streaming)."""
 
     jobs_submitted: int
     jobs_done: int
@@ -127,6 +143,10 @@ class ServiceStats:
     jobs_refused: int
     jobs_dropped: int
     jobs_coalesced: int
+    streams_opened: int
+    updates_emitted: int
+    chunks_refused: int
+    chunks_dropped: int
     cache: CacheStats
     segments_dispatched: dict[str, int]
     profile: PipelineProfile
@@ -158,6 +178,30 @@ class ReconstructionService:
         dropped to admit the new one; with nothing droppable the
         submission is refused).  Either way the outcome is recorded in
         the aggregate profile.
+
+    Examples
+    --------
+    Batch jobs (``submit``/``result``) and a streaming session
+    (``open_stream``) sharing one pool::
+
+        from repro.core import EMVSConfig, EngineSpec
+        from repro.events.datasets import load_sequence
+        from repro.serve import ReconstructionService
+
+        seq = load_sequence("slider_long", quality="fast")
+        spec = EngineSpec(
+            seq.camera, seq.trajectory,
+            EMVSConfig(n_depth_planes=48,
+                       keyframe_distance=seq.keyframe_distance),
+            depth_range=seq.depth_range, backend="numpy-batch",
+        )
+        with ReconstructionService(workers=2, executor="thread") as svc:
+            job = svc.submit(seq.events, spec, session="replay")
+            result = svc.result(job)          # fused MappingResult
+            stream = svc.open_stream(spec, session="live")
+            stream.feed(seq.events); stream.close()
+            assert (stream.result().profile.counters()
+                    == result.profile.counters())
     """
 
     def __init__(
@@ -195,10 +239,14 @@ class ReconstructionService:
         #: Remaining successful collections before parallel dispatch
         #: resumes after a pool break (0 = normal operation).
         self._probation = 0
+        #: Active streaming jobs, pumped by ``_absorb_streams``.
+        self._streams: list[Job] = []
         self._jobs_submitted = 0
         self._jobs_done = 0
         self._jobs_failed = 0
         self._jobs_coalesced = 0
+        self._streams_opened = 0
+        self._updates_emitted = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -225,6 +273,7 @@ class ReconstructionService:
 
     @property
     def pool(self) -> Executor:
+        """The lazily created executor (rebuilt after a pool break)."""
         if self._closed:
             raise ServeError("service is closed")
         if self._pool is None:
@@ -317,23 +366,7 @@ class ReconstructionService:
                 self._retire(job)
                 return job.job_id
 
-        target = self._scheduler.session(session)
-        if target.backlogged:
-            victim = (
-                target.oldest_queued() if self.overflow == "drop-oldest" else None
-            )
-            if victim is None:
-                self.profile.jobs_refused += 1
-                raise SessionBacklogFull(
-                    f"session {session!r} is at its queue limit "
-                    f"({target.queue_limit} active jobs); overflow policy "
-                    f"is {self.overflow!r}"
-                )
-            victim.error = "dropped by overflow policy 'drop-oldest'"
-            victim.finish(JobState.DROPPED)
-            self.profile.jobs_dropped += 1
-            self._settle_followers(victim)
-            self._retire(victim)
+        self._admit_session(session)
 
         plans, dropped = spec.plan(events)
         job = Job(
@@ -358,6 +391,33 @@ class ReconstructionService:
             self._finalize(job)
         return job.job_id
 
+    def _admit_session(self, session: str) -> Session:
+        """Enforce the per-session backpressure bound; return the session.
+
+        A backlogged session either refuses the newcomer
+        (:class:`SessionBacklogFull`) or drops its oldest still-queued
+        batch job, per the service's overflow policy — the shared
+        admission step of :meth:`submit` and :meth:`open_stream`.
+        """
+        target = self._scheduler.session(session)
+        if target.backlogged:
+            victim = (
+                target.oldest_queued() if self.overflow == "drop-oldest" else None
+            )
+            if victim is None:
+                self.profile.jobs_refused += 1
+                raise SessionBacklogFull(
+                    f"session {session!r} is at its queue limit "
+                    f"({target.queue_limit} active jobs); overflow policy "
+                    f"is {self.overflow!r}"
+                )
+            victim.error = "dropped by overflow policy 'drop-oldest'"
+            victim.finish(JobState.DROPPED)
+            self.profile.jobs_dropped += 1
+            self._settle_followers(victim)
+            self._retire(victim)
+        return target
+
     def _retire(self, job: Job) -> None:
         """Drop a terminal job from its session's scan list.
 
@@ -381,6 +441,214 @@ class ReconstructionService:
         ]
         for job in terminal[: max(0, len(terminal) - self.retain_jobs)]:
             del self._jobs[job.job_id]
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def open_stream(
+        self,
+        spec: EngineSpec,
+        *,
+        session: str = "default",
+        voxel_size: float | None = None,
+        min_observations: int = 1,
+        max_pending_chunks: int = 64,
+    ) -> StreamingSession:
+        """Admit a streaming job; returns its :class:`StreamingSession` handle.
+
+        The stream occupies one job slot in its session (the same
+        backpressure bound as :meth:`submit`), interleaves fairly with
+        batch jobs at segment granularity, and emits a
+        :class:`~repro.serve.stream.StreamUpdate` per finalized key
+        frame.  ``max_pending_chunks`` bounds the in-flight chunk
+        buffer; a full buffer applies the service's overflow policy at
+        chunk granularity.  Streams bypass the result cache — their
+        content is unknown until closed.
+        """
+        if self._closed:
+            raise ServeError("service is closed")
+        self._prune_terminal()
+        if not isinstance(spec, EngineSpec):
+            raise TypeError("open_stream() takes an EngineSpec (see EngineSpec.build)")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if voxel_size is None:
+            voxel_size = default_voxel_size(spec.depth_range)
+        if voxel_size <= 0:
+            raise ValueError("voxel_size must be positive")
+        if max_pending_chunks < 1:
+            raise ValueError("max_pending_chunks must be >= 1")
+        self._admit_session(session)
+        job = Job(
+            job_id=new_job_id(session),
+            session=session,
+            spec=spec,
+            events=None,
+            plans=(),
+            dropped_tail=0,
+            voxel_size=voxel_size,
+            min_observations=min_observations,
+            cache_key=None,
+            stream=StreamState(
+                spec.stream_planner(), voxel_size, max_pending_chunks
+            ),
+        )
+        self._scheduler.admit(job)
+        self._jobs[job.job_id] = job
+        self._streams.append(job)
+        self._jobs_submitted += 1
+        self._streams_opened += 1
+        return StreamingSession(self, job)
+
+    def _feed_stream(self, job: Job, events: EventArray) -> None:
+        """Buffer one chunk of a stream and pump (see StreamingSession.feed)."""
+        if self._closed:
+            raise ServeError("service is closed")
+        stream = job.stream
+        if job.state in (JobState.FAILED, JobState.DROPPED):
+            raise JobFailed(
+                f"stream {job.job_id!r} {job.state.value}: "
+                f"{job.error or 'no error recorded'}"
+            )
+        if not stream.open or job.state in TERMINAL_STATES:
+            raise ServeError(f"stream {job.job_id!r} is closed")
+        if len(events) == 0:
+            self._pump()
+            return
+        if len(stream.pending_chunks) >= stream.max_pending_chunks:
+            if self.overflow == "drop-oldest":
+                stream.pending_chunks.popleft()
+                stream.chunks_dropped += 1
+                self.profile.chunks_dropped += 1
+            else:
+                self.profile.chunks_refused += 1
+                raise StreamBacklogFull(
+                    f"stream {job.job_id!r} has {len(stream.pending_chunks)} "
+                    f"pending chunks (bound {stream.max_pending_chunks}); "
+                    f"overflow policy is {self.overflow!r}"
+                )
+        stream.pending_chunks.append((events, time.perf_counter()))
+        stream.chunks_fed += 1
+        stream.events_fed += len(events)
+        self._pump()
+
+    def _close_stream(self, job: Job) -> None:
+        """End a stream's input (idempotent); remaining chunks still run."""
+        stream = job.stream
+        if job.state in TERMINAL_STATES or not stream.open:
+            return
+        stream.open = False
+        stream.closed_at = time.perf_counter()
+        if not self._closed:
+            self._pump()
+
+    def _poll_stream(self, job: Job) -> list[StreamUpdate]:
+        """Drain the stream's un-polled updates (pumps the service first)."""
+        if not self._closed:
+            self._pump()
+        updates = job.stream.updates
+        job.stream.updates = []
+        return updates
+
+    def _stream_result(self, job: Job, timeout: float | None) -> MappingResult:
+        """Block for a closed stream's final fused result."""
+        if job.stream.open and job.state not in TERMINAL_STATES:
+            raise ServeError(
+                f"stream {job.job_id!r} is still open; close() it before "
+                "asking for the final result"
+            )
+        return self._result_job(job, timeout)
+
+    def _stream_backlog(self, job: Job) -> int:
+        """Planned-but-undispatched segments of a streaming job."""
+        return job.n_segments - job.next_segment + len(job.requeued)
+
+    def _absorb_streams(self) -> bool:
+        """Move buffered chunks through the planners; cut ready segments.
+
+        Absorption is paced by the dispatch backlog: a stream stops
+        planning ahead once it holds ``queue_limit`` undispatched
+        segments, so a fast producer cannot turn the bounded chunk
+        buffer into an unbounded segment queue — chunks wait (and
+        eventually overflow) at the feed side instead.  A closing
+        stream flushes its trailing segment once its buffer drains.
+        """
+        progressed = False
+        retired = False
+        for job in self._streams:
+            stream = job.stream
+            if job.state in TERMINAL_STATES:
+                retired = True
+                continue
+            while (
+                stream.pending_chunks
+                and self._stream_backlog(job) < self._scheduler.queue_limit
+            ):
+                chunk, fed_at = stream.pending_chunks.popleft()
+                for plan, segment_events in stream.planner.push(chunk):
+                    self._add_stream_segment(job, plan, segment_events, fed_at)
+                progressed = True
+            if not stream.open and not stream.flushed and not stream.pending_chunks:
+                tail, dropped = stream.planner.finish()
+                for plan, segment_events in tail:
+                    self._add_stream_segment(
+                        job, plan, segment_events, stream.closed_at
+                    )
+                job.dropped_tail = dropped
+                stream.flushed = True
+                progressed = True
+                if job.complete:
+                    # A stream can settle with nothing in flight (all
+                    # outcomes already in, or no complete frame at all).
+                    self._finalize(job)
+                    retired = True
+        if retired:
+            self._streams = [
+                job for job in self._streams if job.state not in TERMINAL_STATES
+            ]
+        return progressed
+
+    def _add_stream_segment(
+        self, job: Job, plan, segment_events: EventArray, fed_at: float
+    ) -> None:
+        """Append one freshly cut segment to a streaming job's plan."""
+        job.plans = job.plans + (plan,)
+        job.stream.segment_events[plan.index] = segment_events
+        job.stream.feed_times[plan.index] = fed_at
+
+    def _emit_stream_updates(self, job: Job) -> None:
+        """Fold landed outcomes into the fused map, in segment order.
+
+        Outcomes may land in any pool order; the emit cursor holds
+        updates back until every earlier segment has been folded, so
+        key frames enter the :class:`~repro.core.mapping.GlobalMap` in
+        stream order — the insertion order
+        :func:`~repro.core.mapping.fuse_keyframes` uses, which is what
+        keeps the incremental map bit-identical to a batch fusion.
+        """
+        stream = job.stream
+        now = time.perf_counter()
+        while stream.emit_cursor in job.outcomes:
+            index = stream.emit_cursor
+            _, keyframes, _ = job.outcomes[index]
+            for keyframe in keyframes:
+                stream.global_map.insert_keyframe(keyframe, job.spec.camera)
+                stream.updates.append(
+                    StreamUpdate(
+                        job_id=job.job_id,
+                        session=job.session,
+                        segment_index=index,
+                        keyframe_index=stream.keyframes_emitted,
+                        keyframe=keyframe,
+                        cloud=stream.global_map.fused_cloud(job.min_observations),
+                        map_voxels=stream.global_map.n_voxels,
+                        latency_seconds=now - stream.feed_times[index],
+                    )
+                )
+                stream.keyframes_emitted += 1
+                self._updates_emitted += 1
+            stream.feed_times.pop(index, None)
+            stream.emit_cursor += 1
 
     # ------------------------------------------------------------------
     # Progress
@@ -448,16 +716,32 @@ class ReconstructionService:
                 self._probation -= 1
             index, keyframes, profile = future.result()
             job.outcomes[index] = (index, keyframes, profile)
+            if job.stream is not None:
+                # The segment's slice is no longer needed for dispatch
+                # (or pool-break requeue); release it and emit every
+                # update this outcome unblocked.
+                job.stream.segment_events.pop(index, None)
+                self._emit_stream_updates(job)
             if job.complete:
                 self._finalize(job)
         return collected
 
     def _finalize(self, job: Job) -> None:
-        """Fuse a job's segment outcomes — the orchestrator-identical tail."""
+        """Fuse a job's segment outcomes — the orchestrator-identical tail.
+
+        Streaming jobs reuse their incrementally fused map instead of
+        re-fusing from scratch: the emit cursor inserted every key frame
+        in segment order, which is exactly the insertion order
+        :func:`~repro.core.mapping.fuse_keyframes` would use, so the two
+        maps are bit-identical (the stream ≡ batch tests pin this).
+        """
         keyframes, profile = merge_outcomes(
             list(job.outcomes.values()), job.dropped_tail
         )
-        global_map = fuse_keyframes(keyframes, job.spec.camera, job.voxel_size)
+        if job.stream is not None:
+            global_map = job.stream.global_map
+        else:
+            global_map = fuse_keyframes(keyframes, job.spec.camera, job.voxel_size)
         job.result = MappingResult(
             keyframes=keyframes,
             global_map=global_map,
@@ -509,6 +793,7 @@ class ReconstructionService:
         progressed = True
         while progressed:
             progressed = self._collect_done()
+            progressed = self._absorb_streams() or progressed
             progressed = self._dispatch_ready() or progressed
 
     def _job(self, job_id: str) -> Job:
@@ -519,8 +804,12 @@ class ReconstructionService:
 
     def poll(self, job_id: str) -> JobStatus:
         """Non-blocking progress snapshot (pumps the scheduler first)."""
-        job = self._job(job_id)
-        self._pump()
+        return self._status(self._job(job_id), pump=True)
+
+    def _status(self, job: Job, pump: bool = False) -> JobStatus:
+        """Build a :class:`JobStatus` snapshot, optionally pumping first."""
+        if pump:
+            self._pump()
         return JobStatus(
             job_id=job.job_id,
             session=job.session,
@@ -540,13 +829,27 @@ class ReconstructionService:
         the worker's error), ``TimeoutError`` past ``timeout`` seconds,
         and ``KeyError`` for unknown ids.
         """
-        job = self._job(job_id)
+        return self._result_job(self._job(job_id), timeout)
+
+    def _result_job(self, job: Job, timeout: float | None) -> MappingResult:
+        """The blocking wait behind :meth:`result` (job-object addressed).
+
+        Streaming handles call this directly so their jobs stay
+        reachable even after ``retain_jobs`` pruning evicts the id from
+        the registry.
+        """
+        job_id = job.job_id
         deadline = None if timeout is None else time.perf_counter() + timeout
         self._pump()
         while job.state not in TERMINAL_STATES:
             if self._closed:
                 raise ServeError(
                     f"service is closed; job {job_id!r} will not complete"
+                )
+            if job.stream is not None and job.stream.open:
+                raise ServeError(
+                    f"stream {job_id!r} is still open; close() it before "
+                    "waiting for its result"
                 )
             if not self._inflight:
                 raise ServeError(
@@ -567,7 +870,13 @@ class ReconstructionService:
         )
 
     def drain(self, timeout: float | None = None) -> int:
-        """Run every admitted job to a terminal state; returns #completed."""
+        """Run every admitted job to a terminal state; returns #completed.
+
+        Streams that are still *open* are drained of their currently
+        planned work but stay non-terminal — an open stream can always
+        grow, so ``drain`` completes what exists and returns rather than
+        waiting for a ``close()`` that may never come.
+        """
         deadline = None if timeout is None else time.perf_counter() + timeout
         self._pump()
         while self._inflight or self._scheduler.has_pending_dispatch:
@@ -592,6 +901,7 @@ class ReconstructionService:
     # ------------------------------------------------------------------
     @property
     def jobs(self) -> dict[str, Job]:
+        """All retained job records by id (copy)."""
         return dict(self._jobs)
 
     @property
@@ -600,6 +910,7 @@ class ReconstructionService:
         return list(self._scheduler.dispatch_log)
 
     def stats(self) -> ServiceStats:
+        """Aggregate counters: admission, outcomes, cache, streaming."""
         return ServiceStats(
             jobs_submitted=self._jobs_submitted,
             jobs_done=self._jobs_done,
@@ -607,6 +918,10 @@ class ReconstructionService:
             jobs_refused=self.profile.jobs_refused,
             jobs_dropped=self.profile.jobs_dropped,
             jobs_coalesced=self._jobs_coalesced,
+            streams_opened=self._streams_opened,
+            updates_emitted=self._updates_emitted,
+            chunks_refused=self.profile.chunks_refused,
+            chunks_dropped=self.profile.chunks_dropped,
             cache=self.cache.stats(),
             segments_dispatched={
                 name: session.segments_dispatched

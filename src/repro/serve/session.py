@@ -7,11 +7,13 @@ backpressure: each session holds a bounded queue of admitted jobs, and
 submissions beyond the bound are refused or displace the oldest queued
 job, per the service's overflow policy.
 
-A *job* is one independent event-stream reconstruction request.  At
-admission it is pre-planned into key-frame segments
-(:func:`repro.core.engine.plan_segments`); the scheduler then shards
-those segments onto the shared worker pool, and the service fuses the
-outcomes in segment order once the last one lands.
+A *job* is one independent event-stream reconstruction request.  A
+*batch* job is pre-planned into key-frame segments at admission
+(:func:`repro.core.engine.plan_segments`); a *streaming* job (opened via
+``open_stream``) grows its plan incrementally as chunks arrive, carrying
+its live state in a :class:`~repro.serve.stream.StreamState`.  Either
+way the scheduler shards the planned segments onto the shared worker
+pool, and the service fuses the outcomes in segment order.
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.core.engine import EngineSpec, SegmentPlan
 from repro.core.mapping import MappingResult, SegmentOutcome
 from repro.events.containers import EventArray
+from repro.serve.stream import StreamState
 
 
 class JobState(enum.Enum):
@@ -85,22 +88,35 @@ class Job:
     #: Identical jobs admitted while this one was in flight; they settle
     #: (result or error) when this job reaches a terminal state.
     followers: list["Job"] = field(default_factory=list)
+    #: Live state of a streaming job (``None`` for batch jobs): the
+    #: incremental planner, the bounded chunk buffer, per-segment event
+    #: slices and the incrementally fused map.
+    stream: StreamState | None = None
 
     @property
     def n_segments(self) -> int:
+        """Segments planned so far (grows while a stream is open)."""
         return len(self.plans)
 
     @property
     def segments_done(self) -> int:
+        """Segments whose outcome has landed."""
         return len(self.outcomes)
 
     @property
     def dispatch_exhausted(self) -> bool:
-        """All segments dispatched (not necessarily completed)."""
+        """All *currently planned* segments dispatched (not completed).
+
+        A streaming job whose planned segments are all on the pool is
+        exhausted *for now*; absorbing more chunks re-arms it.
+        """
         return not self.requeued and self.next_segment >= self.n_segments
 
     @property
     def complete(self) -> bool:
+        """Every segment's outcome landed (and, for streams, no more can come)."""
+        if self.stream is not None and not self.stream.flushed:
+            return False
         return self.segments_done >= self.n_segments
 
     @property
@@ -111,13 +127,22 @@ class Job:
         return self.finished_at - self.submitted_at
 
     def finish(self, state: JobState) -> None:
+        """Move to a terminal state and release the input event buffers.
+
+        The raw stream is only needed to slice segments at dispatch
+        time; terminal jobs keep their (fused) result, not the input
+        events — a long-lived service must not pin every stream it
+        ever served.  Streaming jobs likewise drop their buffered
+        chunks and undispatched segment slices (un-polled updates and
+        the fused map survive for the client).
+        """
         self.state = state
         self.finished_at = time.perf_counter()
-        # The raw stream is only needed to slice segments at dispatch
-        # time; terminal jobs keep their (fused) result, not the input
-        # events — a long-lived service must not pin every stream it
-        # ever served.
         self.events = None
+        if self.stream is not None:
+            self.stream.pending_chunks.clear()
+            self.stream.segment_events.clear()
+            self.stream.feed_times.clear()
 
 
 def new_job_id(session: str) -> str:
@@ -141,6 +166,7 @@ class JobStatus:
 
     @property
     def done(self) -> bool:
+        """Whether the job reached a terminal state."""
         return self.state in TERMINAL_STATES
 
 
@@ -188,17 +214,22 @@ class Session:
 
         Jobs that other submissions coalesced onto are never victims —
         dropping them would fail every follower to admit one newcomer.
+        Streaming jobs are never victims either: a live stream handle
+        must not be killed to admit a batch job (streams shed load at
+        chunk granularity instead, via their bounded chunk buffer).
         """
         for job in self.jobs:
             if (
                 job.state is JobState.QUEUED
                 and job.next_segment == 0
                 and not job.followers
+                and job.stream is None
             ):
                 return job
         return None
 
     def add(self, job: Job) -> None:
+        """Append an admitted job to the session's FIFO."""
         self.jobs.append(job)
 
     def next_dispatch(self) -> Job | None:
@@ -215,4 +246,5 @@ class Session:
 
     @property
     def has_pending_dispatch(self) -> bool:
+        """Whether any job still has a segment to dispatch."""
         return self.next_dispatch() is not None

@@ -10,6 +10,7 @@ chain bit-exactly on every one:
       ≡ numpy-batch engine                      (fused whole-batch passes)
       ≡ parallel-mapped fused maps              (any worker count)
       ≡ ReconstructionService results           (any pool, cache on/off)
+      ≡ StreamingSession results                (seeded random chunk sizes)
 
 Everything is deterministic per seed (the simulator, the scene texture
 and the configuration draws all derive from the seed), so a failure
@@ -167,3 +168,24 @@ def test_differential_equivalence(seed):
             status = service.poll(repeat)
             assert status.cache_hit and status.state is JobState.DONE
             assert_fused_bit_equal(service.result(repeat), mapped_batch)
+
+    # --- streaming level: chunked ingestion ≡ one-shot submission ------
+    chunk_rng = np.random.default_rng(7000 + seed)
+    with ReconstructionService(
+        workers=case.workers, executor=executor, cache_size=0
+    ) as service:
+        with service.open_stream(spec) as stream:
+            updates = []
+            cursor = 0
+            while cursor < len(case.events):
+                step = int(chunk_rng.integers(200, 20_000))
+                stream.feed(case.events[cursor : cursor + step])
+                updates.extend(stream.poll_updates())
+                cursor += step
+        streamed = stream.result(timeout=300.0)
+        updates.extend(stream.poll_updates())
+        assert service.stats().chunks_dropped == 0
+    assert_fused_bit_equal(streamed, mapped_batch)
+    assert_keyframes_bit_equal(streamed.keyframes, mapped_batch.keyframes)
+    assert len(updates) == len(streamed.keyframes)
+    np.testing.assert_array_equal(updates[-1].cloud.points, streamed.cloud.points)

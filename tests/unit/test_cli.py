@@ -139,6 +139,40 @@ class TestServeParser:
             main(["serve", "--job", "no_such_sequence"])
 
 
+class TestStreamParser:
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream", "-s", "corridor_sweep"])
+        assert args.command == "stream"
+        assert args.session == "stream"
+        assert args.chunk_ms == 20.0
+        assert args.max_pending_chunks == 64
+        assert args.overflow == "refuse"
+        assert args.backend == "numpy-batch"
+
+    def test_stream_requires_sequence(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream"])
+
+    def test_stream_bad_limits_rejected(self):
+        with pytest.raises(SystemExit, match="--chunk-ms"):
+            main(["stream", "-s", "corridor_sweep", "--chunk-ms", "0"])
+        with pytest.raises(SystemExit, match="--max-pending-chunks"):
+            main(["stream", "-s", "corridor_sweep", "--max-pending-chunks", "0"])
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["stream", "-s", "corridor_sweep", "--workers", "0"])
+
+    def test_stream_unknown_names_rejected_with_listing(self):
+        with pytest.raises(SystemExit, match="unknown backend 'tpu'") as exc:
+            main(["stream", "-s", "corridor_sweep", "--backend", "tpu"])
+        assert "numpy-batch" in str(exc.value)
+        with pytest.raises(SystemExit, match="unknown sequence") as exc:
+            main(["stream", "-s", "corridor_swep"])
+        assert "corridor_sweep" in str(exc.value)
+        with pytest.raises(SystemExit, match="unknown overflow") as exc:
+            main(["stream", "-s", "corridor_sweep", "--overflow", "shed"])
+        assert "drop-oldest" in str(exc.value)
+
+
 class TestServeCommands:
     SERVE_WINDOW = [
         "--quality", "fast", "--planes", "48",
@@ -175,6 +209,28 @@ class TestServeCommands:
 
         points, _ = load_ply(ply)
         assert points.shape[0] > 100
+
+    def test_stream_prints_per_keyframe_updates(self, tmp_path, capsys):
+        xyz = os.path.join(tmp_path, "streamed.xyz")
+        code = main(
+            ["stream", "-s", "simulation_3planes", "--chunk-ms", "100",
+             "--workers", "1", "-o", xyz]
+            + self.SERVE_WINDOW
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streamed in 100 ms chunks" in out
+        assert "key frame #0" in out
+        assert "stream closed after" in out
+        assert "updates emitted:" in out
+        assert os.path.exists(xyz)
+
+    def test_info_lists_serve_overflow_policies(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "serve overflow policies" in out
+        assert "refuse" in out and "drop-oldest" in out
+        assert "scenario registry" in out
 
 
 class TestCommands:

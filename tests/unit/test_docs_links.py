@@ -1,0 +1,69 @@
+"""Markdown link check: README / docs / CHANGES must not point at ghosts.
+
+The CI docs job runs this as its link gate.  Every *relative* link in
+the repo's markdown surface must resolve to an existing file (and, for
+``#fragment`` links, to a real heading); external ``http(s)`` links are
+out of scope — no network in tier-1.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: The documentation surface under link check.
+DOCUMENTS = ["README.md", "CHANGES.md", "ROADMAP.md"] + sorted(
+    str(p.relative_to(REPO_ROOT)) for p in (REPO_ROOT / "docs").glob("*.md")
+)
+
+#: ``[text](target)`` — good enough for this repo's plain markdown.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def heading_anchors(text: str) -> set:
+    """GitHub-style anchors of every markdown heading in ``text``."""
+    anchors = set()
+    for line in text.splitlines():
+        match = re.match(r"#{1,6}\s+(.*)", line)
+        if match:
+            title = re.sub(r"[`*_]", "", match.group(1)).strip().lower()
+            anchors.add(re.sub(r"[^a-z0-9 -]", "", title).replace(" ", "-"))
+    return anchors
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def test_relative_links_resolve(document):
+    path = REPO_ROOT / document
+    text = path.read_text()
+    broken = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        if not base:  # same-document fragment
+            if fragment and fragment not in heading_anchors(text):
+                broken.append(f"#{fragment} (no such heading)")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.is_relative_to(REPO_ROOT):
+            # GitHub-web relative URLs (e.g. the ../../actions CI badge)
+            # point outside the checkout; they are not file links.
+            continue
+        if not resolved.exists():
+            broken.append(target)
+        elif fragment and resolved.suffix == ".md":
+            if fragment not in heading_anchors(resolved.read_text()):
+                broken.append(f"{target} (no such heading)")
+    assert not broken, f"{document} has broken links:\n  " + "\n  ".join(broken)
+
+
+def test_docs_exist_and_are_linked_from_readme():
+    """The docs satellites: both guides exist and the README indexes them."""
+    for name in ("ARCHITECTURE.md", "BENCHMARKS.md"):
+        assert (REPO_ROOT / "docs" / name).is_file()
+    readme = (REPO_ROOT / "README.md").read_text()
+    assert "docs/ARCHITECTURE.md" in readme
+    assert "docs/BENCHMARKS.md" in readme
+    assert "## Streaming" in readme

@@ -5,6 +5,7 @@ import pytest
 
 from repro.events.containers import EventArray
 from repro.events.packetizer import (
+    ChunkBuffer,
     Packetizer,
     aggregate_frames,
     frame_midtimes,
@@ -212,3 +213,76 @@ class TestSegmentHelpers:
         with pytest.raises(ValueError, match="stream has 500"):
             segment_slice(stream(500), 3, 8, 100)
         assert len(segment_slice(stream(500), 3, 5, 100)) == 200
+
+
+class TestChunkBuffer:
+    def test_split_prefix_equals_stream_slice(self):
+        """Chunked pushes split bit-identically to slicing one stream."""
+        events = stream(500)
+        buffer = ChunkBuffer()
+        for lo in range(0, 500, 130):
+            buffer.push(events[lo : lo + 130])
+        assert len(buffer) == 500
+        head = buffer.split(220)
+        np.testing.assert_array_equal(head.data, events[:220].data)
+        np.testing.assert_array_equal(buffer.merged().data, events[220:].data)
+        assert len(buffer) == 280
+
+    def test_empty_pushes_are_noops(self):
+        buffer = ChunkBuffer()
+        buffer.push(EventArray.empty())
+        assert len(buffer) == 0
+        assert len(buffer.merged()) == 0
+        assert len(buffer.split(0)) == 0
+
+    def test_split_validates_bounds(self):
+        buffer = ChunkBuffer()
+        buffer.push(stream(10))
+        with pytest.raises(ValueError, match="cannot split"):
+            buffer.split(11)
+        with pytest.raises(ValueError, match="cannot split"):
+            buffer.split(-1)
+
+    def test_split_everything_empties_the_buffer(self):
+        buffer = ChunkBuffer()
+        buffer.push(stream(50))
+        assert len(buffer.split(50)) == 50
+        assert len(buffer) == 0
+        buffer.push(stream(20, t0=1.0))  # reusable after a full split
+        assert len(buffer) == 20
+
+    def test_clear_reports_dropped_count(self):
+        buffer = ChunkBuffer()
+        buffer.push(stream(30))
+        assert buffer.clear() == 30
+        assert len(buffer) == 0
+        assert buffer.clear() == 0
+
+    def test_merged_is_cached_between_pushes(self):
+        buffer = ChunkBuffer()
+        buffer.push(stream(100))
+        buffer.push(stream(100, t0=1.0))
+        assert buffer.merged() is buffer.merged()
+
+    def test_timestamp_probes_without_merging(self):
+        """timestamp(i) equals the merged array's value, across parts."""
+        buffer = ChunkBuffer()
+        events = stream(500)
+        for lo in range(0, 500, 7):  # many tiny parts
+            buffer.push(events[lo : lo + 7])
+        for i in (0, 6, 7, 249, 499):
+            assert buffer.timestamp(i) == float(events.t[i])
+        assert buffer._merged is None  # probes did not force a merge
+        with pytest.raises(IndexError):
+            buffer.timestamp(500)
+        with pytest.raises(IndexError):
+            buffer.timestamp(-1)
+
+    def test_timestamp_consistent_after_split(self):
+        buffer = ChunkBuffer()
+        events = stream(300)
+        buffer.push(events[:200])
+        buffer.push(events[200:])
+        buffer.split(120)
+        assert buffer.timestamp(0) == float(events.t[120])
+        assert buffer.timestamp(179) == float(events.t[299])

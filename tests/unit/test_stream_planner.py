@@ -1,0 +1,114 @@
+"""StreamSegmentPlanner ≡ plan_segments, for any chunking of the stream.
+
+The streaming serve layer rests on one invariant: cutting key-frame
+segments *incrementally* (chunk by chunk, no look-ahead) produces
+exactly the plan a one-shot pose-only pass over the concatenated stream
+would — same :class:`~repro.core.engine.SegmentPlan` values, same
+frame-aligned event slices, same dropped-tail count.  These tests pin it
+across chunk sizes, including sub-frame chunks and single-event feeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EMVSConfig, EngineSpec, plan_segments
+from repro.core.engine import StreamSegmentPlanner
+
+
+@pytest.fixture(scope="module")
+def workload(seq_3planes_fast):
+    """``(events, trajectory, config)`` cutting into several segments."""
+    seq = seq_3planes_fast
+    events = seq.events.time_slice(0.4, 1.6)
+    config = EMVSConfig(n_depth_planes=48, frame_size=1024, keyframe_distance=0.06)
+    return events, seq.trajectory, config
+
+
+def drive(events, trajectory, config, chunk_size):
+    """Feed ``events`` in fixed-size chunks; return (pairs, dropped)."""
+    planner = StreamSegmentPlanner(trajectory, config)
+    pairs = []
+    for lo in range(0, len(events), chunk_size):
+        pairs.extend(planner.push(events[lo : lo + chunk_size]))
+    tail, dropped = planner.finish()
+    pairs.extend(tail)
+    return pairs, dropped
+
+
+class TestPlanEquivalence:
+    @pytest.mark.parametrize("chunk_size", [257, 1024, 5000, 10**9])
+    def test_matches_one_shot_plan(self, workload, chunk_size):
+        events, trajectory, config = workload
+        plans, dropped = plan_segments(events, trajectory, config)
+        assert len(plans) >= 3  # the workload is genuinely multi-segment
+        pairs, got_dropped = drive(events, trajectory, config, chunk_size)
+        # SegmentPlan is a frozen dataclass: == pins every field (global
+        # frame indices, t_ref) bit-exactly.
+        assert [plan for plan, _ in pairs] == plans
+        assert got_dropped == dropped
+        for plan, segment_events in pairs:
+            np.testing.assert_array_equal(
+                segment_events.data, plan.slice(events).data
+            )
+
+    def test_single_event_chunks_on_synthetic_stream(self, make_stream):
+        """The degenerate chunking (1 event per feed) still plans exactly."""
+        from repro.geometry.trajectory import linear_trajectory
+
+        trajectory = linear_trajectory(
+            start=[-0.3, 0.0, 0.0], end=[0.3, 0.0, 0.0], duration=1.0, n_poses=21
+        )
+        events = make_stream(950, rate=1000.0)
+        config = EMVSConfig(frame_size=100, keyframe_distance=0.1)
+        plans, dropped = plan_segments(events, trajectory, config)
+        assert len(plans) >= 2
+        pairs, got_dropped = drive(events, trajectory, config, 1)
+        assert [plan for plan, _ in pairs] == plans
+        assert got_dropped == dropped
+
+
+class TestPlannerLifecycle:
+    def test_empty_stream_plans_nothing(self, workload):
+        _, trajectory, config = workload
+        planner = StreamSegmentPlanner(trajectory, config)
+        tail, dropped = planner.finish()
+        assert tail == []
+        assert dropped == 0
+
+    def test_subframe_stream_is_all_dropped_tail(self, workload, make_stream):
+        _, trajectory, config = workload
+        planner = StreamSegmentPlanner(trajectory, config)
+        assert planner.push(make_stream(config.frame_size - 1)) == []
+        tail, dropped = planner.finish()
+        assert tail == []
+        assert dropped == config.frame_size - 1
+
+    def test_finished_planner_rejects_further_use(self, workload, make_stream):
+        _, trajectory, config = workload
+        planner = StreamSegmentPlanner(trajectory, config)
+        planner.finish()
+        with pytest.raises(RuntimeError, match="finished"):
+            planner.push(make_stream(10))
+        with pytest.raises(RuntimeError, match="finished"):
+            planner.finish()
+
+    def test_progress_properties(self, workload):
+        events, trajectory, config = workload
+        planner = StreamSegmentPlanner(trajectory, config)
+        assert planner.next_index == 0
+        assert planner.frames_planned == 0
+        planner.push(events)
+        assert planner.frames_planned == len(events) // config.frame_size
+        assert planner.pending_events < len(events)
+        assert planner.next_index >= 3
+
+    def test_spec_stream_planner_factory(self, workload, seq_3planes_fast):
+        events, trajectory, config = workload
+        seq = seq_3planes_fast
+        spec = EngineSpec(seq.camera, trajectory, config)
+        planner = spec.stream_planner()
+        assert isinstance(planner, StreamSegmentPlanner)
+        plans, _ = spec.plan(events)
+        pairs = planner.push(events)
+        tail, _ = planner.finish()
+        assert [plan for plan, _ in pairs + tail] == plans
