@@ -20,15 +20,19 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import update_bench_json, write_result
 from repro.core.voting import (
     BatchedNearestVoter,
     vote_bilinear_into,
     vote_nearest_into,
 )
 from repro.eval.reporting import Table
-from repro.geometry.homography import apply_proportional
+from repro.geometry.homography import (
+    apply_proportional,
+    proportional_coefficients_batch,
+)
 from repro.geometry.se3 import SE3, Quaternion, stack_poses
+from repro.native import get_kernels
 
 #: Workload shape: one 1024-event frame against a paper-sized DSI.
 N_EVENTS = 1024
@@ -136,6 +140,122 @@ def test_hotpath_kernel_baselines(benchmark, workload):
     # the fused kernel beats proportional + nearest voting run separately.
     assert t_out < t_alloc
     assert t_batch < t_alloc + t_nearest
+
+
+@pytest.mark.benchmark(group="hotpath")
+@pytest.mark.skipif(
+    get_kernels() is None, reason="no native kernel provider on this host"
+)
+def test_native_kernel_baselines(benchmark, workload):
+    """Native kernels vs their numpy counterparts, kernel by kernel.
+
+    Each native kernel is timed against the numpy implementation it
+    replaces on the same workload the numpy baselines above use, so the
+    per-kernel speedups are directly comparable across hosts.  The
+    measured ratios land in the ``kernels`` section of
+    ``benchmarks/results/BENCH_backends.json`` next to the end-to-end
+    backend numbers.
+    """
+    from repro.geometry.camera import PinholeCamera
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    kernels = get_kernels()
+    phi, uv0, valid = workload
+    nz, h, w = SHAPE
+    rng = np.random.default_rng(7)
+    camera = PinholeCamera.davis240c()
+    depths = np.linspace(0.5, 5.0, nz)
+    centers = rng.uniform(-0.05, 0.05, (N_FRAMES, 3))
+    z0 = 0.5
+
+    table = Table(
+        "Native kernels vs numpy counterparts (per frame)",
+        ["kernel", "numpy ms", "native ms", "speedup"],
+    )
+    report = {}
+
+    def record(name, t_numpy, t_native):
+        table.add_row(
+            name, f"{t_numpy:.3f}", f"{t_native:.3f}", f"{t_numpy / t_native:.2f}x"
+        )
+        report[name] = {
+            "numpy_ms_per_frame": t_numpy,
+            "native_ms_per_frame": t_native,
+            "speedup": t_numpy / t_native,
+        }
+
+    # --- φ coefficient tables -----------------------------------------
+    def phi_native():
+        return kernels.phi_batch(
+            centers, z0, depths, camera.fx, camera.fy, camera.cx, camera.cy
+        )
+
+    t_phi_np = best_of(
+        lambda: proportional_coefficients_batch(centers, z0, depths, camera)
+    ) * 1e3 / N_FRAMES
+    t_phi_nat = best_of(phi_native) * 1e3 / N_FRAMES
+    record("phi_batch", t_phi_np, t_phi_nat)
+    np.testing.assert_array_equal(
+        phi_native(), proportional_coefficients_batch(centers, z0, depths, camera)
+    )
+
+    # --- fused proportional + nearest voting --------------------------
+    counts = np.zeros(nz * h * w, dtype=np.int32)
+
+    def nearest_native():
+        counts[...] = 0
+        return kernels.vote_nearest_batch(phi, uv0, valid, counts, SHAPE)
+
+    t_near_np = best_of(
+        lambda: BatchedNearestVoter(SHAPE).vote_batch(phi, uv0, valid), repeats=3
+    ) * 1e3 / N_FRAMES
+    t_near_nat = best_of(nearest_native, repeats=3) * 1e3 / N_FRAMES
+    record("vote_nearest_batch", t_near_np, t_near_nat)
+    nearest_native()
+    voter = BatchedNearestVoter(SHAPE)
+    voter.vote_batch(phi, uv0, valid)
+    fused = np.zeros(nz * h * w, dtype=np.int64)
+    voter.materialize_into(fused)
+    np.testing.assert_array_equal(counts.astype(np.int64), fused)
+
+    # --- fused proportional + bilinear voting -------------------------
+    from repro.native.cext import BilinearScratch
+
+    flat = np.zeros(nz * h * w)
+    scratch = BilinearScratch(N_EVENTS, nz)
+
+    def bilinear_native():
+        flat[...] = 0.0
+        return kernels.vote_bilinear_batch(phi, uv0, valid, flat, SHAPE, scratch)
+
+    ref_flat = np.zeros(nz * h * w)
+
+    def bilinear_numpy():
+        ref_flat[...] = 0.0
+        for b in range(N_FRAMES):
+            ub, vb = apply_proportional(phi[b], uv0[b])
+            ub[~valid[b]] = np.nan
+            vb[~valid[b]] = np.nan
+            vote_bilinear_into(ref_flat, ub, vb, SHAPE)
+
+    t_bil_np = best_of(bilinear_numpy, repeats=3) * 1e3 / N_FRAMES
+    t_bil_nat = best_of(bilinear_native, repeats=3) * 1e3 / N_FRAMES
+    record("vote_bilinear_batch", t_bil_np, t_bil_nat)
+    bilinear_native()
+    bilinear_numpy()
+    np.testing.assert_array_equal(flat, ref_flat)
+
+    table.add_note(f"provider: {kernels.name} ({kernels.origin})")
+    write_result("hotpath_native_kernels", table.render())
+    update_bench_json(
+        "BENCH_backends.json", {"kernels": {"provider": kernels.name, **report}}
+    )
+
+    # The voting kernels carry the hot stage; both must beat their numpy
+    # counterparts outright (φ is microseconds per frame — recorded, but
+    # too close to the timer floor to gate on).
+    assert t_near_nat < t_near_np
+    assert t_bil_nat < t_bil_np
 
 
 @pytest.mark.benchmark(group="hotpath")

@@ -15,13 +15,12 @@ The measured scaling curve lands in ``benchmarks/results/BENCH_parallel.json``
 so CI can track the parallel-path perf trajectory machine-readably.
 """
 
-import json
 import os
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_QUALITY, RESULTS_DIR, write_result
+from benchmarks.conftest import BENCH_QUALITY, update_bench_json, write_result
 from repro.core import EMVSConfig, MappingOrchestrator
 from repro.eval.reporting import Table
 from repro.events.datasets import load_sequence
@@ -107,23 +106,21 @@ def test_parallel_mapping_scaling(benchmark):
         "fused maps and profile counters bit-identical across all widths"
     )
     write_result("parallel_mapping_scaling", table.render())
-    with open(os.path.join(RESULTS_DIR, "BENCH_parallel.json"), "w") as f:
-        json.dump(
-            {
-                "workload": "corridor_sweep",
-                "quality": BENCH_QUALITY,
-                "n_events": serial.profile.n_events,
-                "n_segments": len(serial.segments),
-                "fused_points": serial.n_points,
-                "cpu_count": cores,
-                "deterministic_across_workers": True,
-                "speedup_bar_2w": SPEEDUP_BAR_2W,
-                "speedup_gate_enforced": gated,
-                "scaling": report,
-            },
-            f,
-            indent=2,
-        )
+    update_bench_json(
+        "BENCH_parallel.json",
+        {
+            "workload": "corridor_sweep",
+            "quality": BENCH_QUALITY,
+            "n_events": serial.profile.n_events,
+            "n_segments": len(serial.segments),
+            "fused_points": serial.n_points,
+            "cpu_count": cores,
+            "deterministic_across_workers": True,
+            "speedup_bar_2w": SPEEDUP_BAR_2W,
+            "speedup_gate_enforced": gated,
+            "scaling": report,
+        },
+    )
 
     if not gated:
         pytest.skip(

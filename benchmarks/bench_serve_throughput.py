@@ -20,13 +20,12 @@ Measured numbers land in ``benchmarks/results/BENCH_serve.json`` so CI
 tracks the serving-path trajectory machine-readably.
 """
 
-import json
 import os
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_QUALITY, RESULTS_DIR, write_result
+from benchmarks.conftest import BENCH_QUALITY, update_bench_json, write_result
 from repro.core import EMVSConfig, EngineSpec, MappingOrchestrator
 from repro.eval.reporting import Table
 from repro.events.datasets import load_sequence
@@ -142,22 +141,20 @@ def test_serve_throughput(benchmark):
     )
     table.add_note("served results bit-identical to a direct orchestrator run")
     write_result("serve_throughput", table.render())
-    with open(os.path.join(RESULTS_DIR, "BENCH_serve.json"), "w") as f:
-        json.dump(
-            {
-                "workload": "simulation_3planes sliding windows",
-                "quality": BENCH_QUALITY,
-                "n_jobs": N_JOBS,
-                "workers": workers,
-                "cpu_count": os.cpu_count(),
-                "deterministic_vs_orchestrator": True,
-                "levels": {str(level["sessions"]): level for level in levels},
-                "cache": {
-                    "miss_ms": miss_ms,
-                    "hit_ms": hit_ms,
-                    "hit_is_bit_identical": True,
-                },
+    update_bench_json(
+        "BENCH_serve.json",
+        {
+            "workload": "simulation_3planes sliding windows",
+            "quality": BENCH_QUALITY,
+            "n_jobs": N_JOBS,
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "deterministic_vs_orchestrator": True,
+            "levels": {str(level["sessions"]): level for level in levels},
+            "cache": {
+                "miss_ms": miss_ms,
+                "hit_ms": hit_ms,
+                "hit_is_bit_identical": True,
             },
-            f,
-            indent=2,
-        )
+        },
+    )

@@ -19,14 +19,13 @@ gated — absolute times are host-dependent):
   measured as ``first_update_fraction`` of the total stream wall time.
 """
 
-import json
 import os
 import time
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import BENCH_QUALITY, RESULTS_DIR, write_result
+from benchmarks.conftest import BENCH_QUALITY, update_bench_json, write_result
 from repro.core import EMVSConfig, EngineSpec
 from repro.eval.reporting import Table
 from repro.events.datasets import load_sequence
@@ -127,16 +126,14 @@ def test_stream_latency(benchmark):
     )
     table.add_note("streamed fused map bit-identical to a one-shot submit")
     write_result("stream_latency", table.render())
-    with open(os.path.join(RESULTS_DIR, "BENCH_stream.json"), "w") as f:
-        json.dump(
-            {
-                "workload": "simulation_3planes [0.4, 1.6) s",
-                "quality": BENCH_QUALITY,
-                "workers": workers,
-                "cpu_count": os.cpu_count(),
-                "stream_equals_batch": True,
-                "levels": {f"{level['chunk_ms']:.0f}ms": level for level in levels},
-            },
-            f,
-            indent=2,
-        )
+    update_bench_json(
+        "BENCH_stream.json",
+        {
+            "workload": "simulation_3planes [0.4, 1.6) s",
+            "quality": BENCH_QUALITY,
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "stream_equals_batch": True,
+            "levels": {f"{level['chunk_ms']:.0f}ms": level for level in levels},
+        },
+    )

@@ -12,6 +12,7 @@ a full bench session within minutes.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -54,6 +55,39 @@ def write_result(name: str, text: str) -> None:
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
         f.write(text + "\n")
     print("\n" + text)
+
+
+def results_path(name: str) -> str:
+    """Absolute path of a results artifact, with the directory guaranteed.
+
+    Every bench that writes a ``BENCH_*.json`` directly goes through this
+    (or :func:`update_bench_json`) so no writer depends on import-order
+    side effects for the directory to exist.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return os.path.join(RESULTS_DIR, name)
+
+
+def update_bench_json(name: str, payload: dict) -> None:
+    """Merge ``payload`` into ``benchmarks/results/<name>`` (top-level keys).
+
+    Merging (rather than overwriting) lets independent benches contribute
+    sections to one artifact — e.g. the backend comparison writes the
+    ``backends`` section of ``BENCH_backends.json`` and the hot-path
+    micro-benches add a ``kernels`` section — in either execution order.
+    """
+    path = results_path(name)
+    data: dict = {}
+    if os.path.exists(path):
+        with open(path) as f:
+            try:
+                data = json.load(f)
+            except ValueError:
+                data = {}
+    data.update(payload)
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
 
 
 @pytest.fixture(scope="session")

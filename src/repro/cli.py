@@ -38,7 +38,10 @@ def _cmd_info(args) -> int:
     print("scenario registry (extended multi-keyframe workloads):")
     for name in SCENARIO_NAMES:
         print(f"  {name}  (short: {SHORT_NAMES[name]})")
+    from repro.native import provider_status
+
     print(f"\nregistered backends: {', '.join(sorted(BACKENDS))}")
+    print(f"native kernel provider: {provider_status()}")
     print(f"registered policies: {', '.join(sorted(POLICIES))}")
     print(f"serve overflow policies: {', '.join(OVERFLOW_POLICIES)}")
     print("\nDefault configuration: 1024-event frames, Nz=100 planes,")

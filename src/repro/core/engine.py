@@ -31,6 +31,11 @@ Backends are selected by name from the :data:`BACKENDS` registry:
     parameter computation, one batched canonical projection, and a fused
     proportional+vote kernel scattering the whole batch through a single
     pass (:class:`~repro.core.voting.BatchedNearestVoter`).
+``native-batch``
+    The ``numpy-batch`` dataflow with the hot stage (φ parameter stack
+    and the fused proportional+vote scatter) executed in compiled code
+    (:mod:`repro.native`).  Registered only when a kernel provider (C
+    extension or numba JIT) loads on this host; see ``repro info``.
 ``hardware-model``
     Wraps :class:`repro.hardware.EventorSystem`'s PL datapath so
     cycle-accurate runs share this exact front-end — bit-exactness between
@@ -1072,3 +1077,14 @@ class ReconstructionEngine:
         self._frames_in_ref = 0
         if self.on_keyframe is not None:
             self.on_keyframe(reconstruction)
+
+
+# Conditional backends live in their own packages and self-register on
+# import; a plain import is cycle-safe in both import directions (the
+# partially-initialized module object binds fine).  ImportError — e.g. a
+# stripped install without the native package — leaves the registry with
+# the always-available backends only.
+try:
+    import repro.native.backend  # noqa: E402,F401
+except ImportError:  # pragma: no cover - only on stripped installs
+    pass

@@ -1,0 +1,230 @@
+"""The ``numba`` kernel provider: JIT mirrors of the C hot-stage kernels.
+
+A no-toolchain alternative for hosts without a C compiler: the loops
+below transcribe ``_kernels.c`` statement for statement (same elementwise
+operation order, double-comparison bounds guards before any integer
+cast, per-addition truncation into integer DSIs), so the bit-exactness
+contract of docs/NATIVE.md holds for either provider.  numba is never a
+hard dependency — :func:`load_numba_kernels` raises ``ImportError`` when
+it is absent and the provider-selection layer records the provider as
+unavailable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.native.cext import BilinearScratch
+
+
+def _phi_batch_loop(centers, depths, z0, fx, fy, cx, cy, phi):
+    b_total, nz = centers.shape[0], depths.shape[0]
+    degenerate = False
+    for b in range(b_total):
+        c0, c1, c2 = centers[b, 0], centers[b, 1], centers[b, 2]
+        for z in range(nz):
+            d = depths[z]
+            denom = d * (z0 - c2)
+            if abs(denom) < 1e-12:
+                degenerate = True
+            alpha = z0 * (d - c2) / denom
+            beta_n = c0 * (z0 - d) / denom
+            gamma_n = c1 * (z0 - d) / denom
+            phi[b, z, 0] = alpha
+            phi[b, z, 1] = fx * beta_n + cx * (1.0 - alpha)
+            phi[b, z, 2] = fy * gamma_n + cy * (1.0 - alpha)
+    return degenerate
+
+
+def _canonical_batch_loop(H, xy, uv, w):
+    b_total, n = xy.shape[0], xy.shape[1]
+    for b in range(b_total):
+        for i in range(n):
+            x, y = xy[b, i, 0], xy[b, i, 1]
+            h0 = x * H[b, 0, 0] + y * H[b, 0, 1] + H[b, 0, 2]
+            h1 = x * H[b, 1, 0] + y * H[b, 1, 1] + H[b, 1, 2]
+            h2 = x * H[b, 2, 0] + y * H[b, 2, 1] + H[b, 2, 2]
+            uv[b, i, 0] = h0 / h2
+            uv[b, i, 1] = h1 / h2
+            w[b, i] = h2
+    return 0
+
+
+def _vote_nearest_loop(phi, uv0, valid, counts, nz, h, w):
+    b_total, n = uv0.shape[0], uv0.shape[1]
+    votes = 0
+    w_f, h_f = float(w), float(h)
+    for z in range(nz):
+        base = z * h * w
+        for b in range(b_total):
+            a = phi[b, z, 0]
+            beta = phi[b, z, 1]
+            gamma = phi[b, z, 2]
+            for i in range(n):
+                if valid[b, i] == 0:
+                    continue
+                u = uv0[b, i, 0] * a + beta
+                v = uv0[b, i, 1] * a + gamma
+                tu = u + 0.5
+                tv = v + 0.5
+                if not (tu >= 0.0 and tu < w_f and tv >= 0.0 and tv < h_f):
+                    continue
+                counts[base + np.int64(tv) * w + np.int64(tu)] += 1
+                votes += 1
+    return votes
+
+
+def _make_bilinear_loop(integer_scores: bool):
+    """Build the f64/i64 bilinear loop body (numba specializes per dtype)."""
+
+    def loop(phi, uv0, valid, flat, nz, h, w, su, sv, sfu, sfv, voted):
+        b_total, n = uv0.shape[0], uv0.shape[1]
+        w_f, h_f = float(w), float(h)
+        n_points = 0
+        for b in range(b_total):
+            for i in range(n):
+                x0, y0 = uv0[b, i, 0], uv0[b, i, 1]
+                ok = valid[b, i] != 0
+                for z in range(nz):
+                    voted[i, z] = 0
+                    if not ok:
+                        su[i, z] = np.nan
+                        sv[i, z] = np.nan
+                        sfu[i, z] = np.nan
+                        sfv[i, z] = np.nan
+                        continue
+                    u = x0 * phi[b, z, 0] + phi[b, z, 1]
+                    v = y0 * phi[b, z, 0] + phi[b, z, 2]
+                    u0f = np.floor(u)
+                    v0f = np.floor(v)
+                    su[i, z] = u0f
+                    sv[i, z] = v0f
+                    sfu[i, z] = u - u0f
+                    sfv[i, z] = v - v0f
+            for c in range(4):
+                du = 1.0 if c == 1 or c == 3 else 0.0
+                dv = 1.0 if c == 2 or c == 3 else 0.0
+                for i in range(n):
+                    for z in range(nz):
+                        cu = su[i, z] + du
+                        cv = sv[i, z] + dv
+                        if not (cu >= 0.0 and cu < w_f and cv >= 0.0 and cv < h_f):
+                            continue
+                        fu = sfu[i, z]
+                        fv = sfv[i, z]
+                        if c == 0:
+                            weight = (1.0 - fu) * (1.0 - fv)
+                        elif c == 1:
+                            weight = fu * (1.0 - fv)
+                        elif c == 2:
+                            weight = (1.0 - fu) * fv
+                        else:
+                            weight = fu * fv
+                        if not (weight > 0.0):
+                            continue
+                        idx = (z * h + np.int64(cv)) * w + np.int64(cu)
+                        if integer_scores:
+                            flat[idx] += np.int64(weight)
+                        else:
+                            flat[idx] += weight
+                        voted[i, z] = 1
+            for i in range(n):
+                for z in range(nz):
+                    n_points += voted[i, z]
+        return n_points
+
+    return loop
+
+
+def load_numba_kernels() -> "NumbaKernels":
+    """Build the JIT provider; raises ``ImportError`` when numba is absent."""
+    import numba
+
+    return NumbaKernels(numba)
+
+
+class NumbaKernels:
+    """JIT provider exposing the docs/NATIVE.md kernel interface.
+
+    Compilation is lazy (first call per signature); ``fastmath`` stays
+    off so the generated code keeps IEEE semantics and operation order,
+    and ``nogil`` lets thread pools overlap kernel execution like the
+    ctypes provider does.
+    """
+
+    #: Provider registry name.
+    name = "numba"
+
+    def __init__(self, numba):
+        self.origin = f"numba {numba.__version__}"
+        jit = numba.njit(cache=False, fastmath=False, nogil=True)
+        self._phi = jit(_phi_batch_loop)
+        self._canonical = jit(_canonical_batch_loop)
+        self._nearest = jit(_vote_nearest_loop)
+        self._bilinear_f64 = jit(_make_bilinear_loop(False))
+        self._bilinear_i64 = jit(_make_bilinear_loop(True))
+
+    # ------------------------------------------------------------------
+    def phi_batch(self, centers, z0, depths, fx, fy, cx, cy) -> np.ndarray:
+        """``(B, Nz, 3)`` φ tables; bit-exact with the numpy reference."""
+        centers = np.ascontiguousarray(centers, dtype=np.float64).reshape(-1, 3)
+        depths = np.ascontiguousarray(depths, dtype=np.float64)
+        phi = np.empty((centers.shape[0], depths.shape[0], 3))
+        if self._phi(
+            centers, depths, float(z0), float(fx), float(fy), float(cx), float(cy), phi
+        ):
+            raise ValueError(
+                "degenerate geometry: camera centre lies on the canonical plane"
+            )
+        return phi
+
+    def canonical_batch(self, H, xy):
+        """``(uv, w)`` canonical projection (epsilon-bounded, see cext)."""
+        H = np.ascontiguousarray(H, dtype=np.float64)
+        xy = np.ascontiguousarray(xy, dtype=np.float64)
+        uv = np.empty(xy.shape[:2] + (2,))
+        w = np.empty(xy.shape[:2])
+        self._canonical(H, xy, uv, w)
+        return uv, w
+
+    def vote_nearest_batch(self, phi, uv0, valid, counts, shape) -> int:
+        """Fused proportional + nearest voting into ``counts`` (int32)."""
+        nz, h, w = shape
+        if counts.dtype != np.int32 or not counts.flags.c_contiguous:
+            raise ValueError("counts must be a C-contiguous int32 buffer")
+        phi = np.ascontiguousarray(phi, dtype=np.float64)
+        uv0 = np.ascontiguousarray(uv0, dtype=np.float64)
+        valid8 = np.ascontiguousarray(valid, dtype=np.uint8)
+        return int(self._nearest(phi, uv0, valid8, counts, nz, h, w))
+
+    def vote_bilinear_batch(
+        self, phi, uv0, valid, flat, shape, scratch: BilinearScratch
+    ) -> int:
+        """Fused proportional + bilinear voting into ``flat``."""
+        nz, h, w = shape
+        if flat.dtype == np.float64:
+            fn = self._bilinear_f64
+        elif flat.dtype == np.int64:
+            fn = self._bilinear_i64
+        else:
+            raise ValueError(f"unsupported DSI dtype {flat.dtype}")
+        phi = np.ascontiguousarray(phi, dtype=np.float64)
+        uv0 = np.ascontiguousarray(uv0, dtype=np.float64)
+        valid8 = np.ascontiguousarray(valid, dtype=np.uint8)
+        scratch.check(uv0.shape[1], nz)
+        return int(
+            fn(
+                phi,
+                uv0,
+                valid8,
+                flat,
+                nz,
+                h,
+                w,
+                scratch.u0,
+                scratch.v0,
+                scratch.fu,
+                scratch.fv,
+                scratch.voted,
+            )
+        )

@@ -8,6 +8,7 @@ chain bit-exactly on every one:
 
     numpy-reference engine
       ≡ numpy-batch engine                      (fused whole-batch passes)
+      ≡ native-batch engine                     (compiled kernels, if available)
       ≡ parallel-mapped fused maps              (any worker count)
       ≡ ReconstructionService results           (any pool, cache on/off)
       ≡ StreamingSession results                (seeded random chunk sizes)
@@ -29,6 +30,7 @@ from repro.core import (
     ORIGINAL_POLICY,
     REFORMULATED_POLICY,
 )
+from repro.core.engine import BACKENDS
 from repro.events.scenes import slider_scene
 from repro.events.simulator import EventCameraSimulator, SimulatorConfig
 from repro.geometry.camera import PinholeCamera
@@ -139,6 +141,13 @@ def test_differential_equivalence(seed):
     assert_keyframes_bit_equal(reference.keyframes, batched.keyframes)
     np.testing.assert_array_equal(reference.cloud.points, batched.cloud.points)
     assert reference.profile.n_keyframes >= 2  # multi-segment by construction
+
+    # --- engine level: compiled native-batch backend, when available ---
+    if "native-batch" in BACKENDS:
+        native = case.spec("native-batch").build().run(case.events)
+        assert native.profile.counters() == reference.profile.counters()
+        assert_keyframes_bit_equal(reference.keyframes, native.keyframes)
+        np.testing.assert_array_equal(reference.cloud.points, native.cloud.points)
 
     # --- mapping level: parallel sharding across backends -------------
     mapped_ref = MappingOrchestrator(
