@@ -3,8 +3,9 @@
 A load generator drives :class:`repro.serve.ReconstructionService` with a
 fixed set of reconstruction jobs (distinct time slices of one replica, so
 the result cache cannot collapse them) spread across 1, 4 and 16
-concurrent sessions, and measures sustained jobs/sec plus p50/p95
-submit-to-done latency at each level.  A separate cached pass measures
+concurrent sessions, and measures sustained jobs/sec plus p50/p95/p99
+submit-to-done latency at each level (p99 tracks the tail the
+reliability layer's deadlines are sized against).  A separate cached pass measures
 the LRU hit path.
 
 Two claims are checked:
@@ -78,6 +79,7 @@ def _run_level(jobs, spec, sessions, workers):
             "wall_seconds": wall,
             "p50_ms": float(np.percentile(latencies, 50) * 1e3),
             "p95_ms": float(np.percentile(latencies, 95) * 1e3),
+            "p99_ms": float(np.percentile(latencies, 99) * 1e3),
         }
 
 
@@ -121,7 +123,7 @@ def test_serve_throughput(benchmark):
 
     table = Table(
         "Serving throughput (simulation_3planes slices, numpy-batch)",
-        ["sessions", "jobs/s", "p50 ms", "p95 ms", "wall s"],
+        ["sessions", "jobs/s", "p50 ms", "p95 ms", "p99 ms", "wall s"],
     )
     for level in levels:
         table.add_row(
@@ -129,6 +131,7 @@ def test_serve_throughput(benchmark):
             f"{level['jobs_per_sec']:.2f}",
             f"{level['p50_ms']:.0f}",
             f"{level['p95_ms']:.0f}",
+            f"{level['p99_ms']:.0f}",
             f"{level['wall_seconds']:.2f}",
         )
     table.add_note(

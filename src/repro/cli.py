@@ -30,7 +30,7 @@ import numpy as np
 def _cmd_info(args) -> int:
     from repro.core import BACKENDS, POLICIES
     from repro.events.datasets import SCENARIO_NAMES, SEQUENCE_NAMES, SHORT_NAMES
-    from repro.serve import OVERFLOW_POLICIES
+    from repro.serve import OVERFLOW_POLICIES, FaultKind
 
     print("Eventor reproduction — available sequence replicas:")
     for name in SEQUENCE_NAMES:
@@ -44,6 +44,10 @@ def _cmd_info(args) -> int:
     print(f"native kernel provider: {provider_status()}")
     print(f"registered policies: {', '.join(sorted(POLICIES))}")
     print(f"serve overflow policies: {', '.join(OVERFLOW_POLICIES)}")
+    print(
+        "serve fault taxonomy (chaos testing): "
+        + ", ".join(kind.value for kind in FaultKind)
+    )
     print("\nDefault configuration: 1024-event frames, Nz=100 planes,")
     print("nearest voting + Table 1 quantization (reformulated pipeline).")
     return 0
@@ -250,6 +254,36 @@ def _validate_serve_limits(args) -> None:
         )
     if getattr(args, "repeat", 1) < 1:
         raise SystemExit("--repeat must be >= 1")
+    if args.deadline_ms is not None and args.deadline_ms <= 0:
+        raise SystemExit("--deadline-ms must be positive")
+    if args.segment_deadline_ms is not None and args.segment_deadline_ms <= 0:
+        raise SystemExit("--segment-deadline-ms must be positive")
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
+    if args.retry_backoff_ms < 0:
+        raise SystemExit("--retry-backoff-ms must be >= 0")
+
+
+def _service_reliability(args) -> dict:
+    """Build the ReconstructionService reliability kwargs from CLI flags."""
+    from repro.serve import RetryPolicy
+
+    retry = None
+    if args.retries > 0:
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1,
+            backoff_s=args.retry_backoff_ms * 1e-3,
+        )
+    return dict(
+        retry=retry,
+        deadline_s=None if args.deadline_ms is None else args.deadline_ms * 1e-3,
+        segment_deadline_s=(
+            None
+            if args.segment_deadline_ms is None
+            else args.segment_deadline_ms * 1e-3
+        ),
+        allow_partial=args.allow_partial,
+    )
 
 
 def _sequence_job(args, name: str, policy):
@@ -305,6 +339,11 @@ def _print_service_report(service, job_ids) -> None:
         )
         if status.state is JobState.FAILED:
             print(f"  error: {status.error}")
+        if status.missing_segments:
+            print(
+                f"  missing segments: "
+                f"{', '.join(str(i) for i in status.missing_segments)}"
+            )
     stats = service.stats()
     print(
         f"cache: {stats.cache.hits} hit(s) / {stats.cache.misses} miss(es), "
@@ -312,6 +351,18 @@ def _print_service_report(service, job_ids) -> None:
         f"{stats.jobs_coalesced} coalesced; "
         f"refused {stats.jobs_refused}, dropped {stats.jobs_dropped}"
     )
+    if (
+        stats.jobs_partial
+        or stats.segments_retried
+        or stats.segments_timed_out
+        or stats.results_corrupted
+    ):
+        print(
+            f"reliability: {stats.segments_retried} segment(s) retried, "
+            f"{stats.segments_timed_out} timed out, "
+            f"{stats.jobs_partial} partial job(s), "
+            f"{stats.results_corrupted} corrupted payload(s) rejected"
+        )
     if stats.segments_dispatched:
         shares = ", ".join(
             f"{name}={count}" for name, count in stats.segments_dispatched.items()
@@ -332,6 +383,7 @@ def _cmd_serve(args) -> int:
         queue_limit=args.queue_limit,
         cache_size=args.cache_size,
         overflow=args.overflow,
+        **_service_reliability(args),
     ) as service:
         submitted = []
         for token in job_tokens:
@@ -367,6 +419,7 @@ def _cmd_submit(args) -> int:
         queue_limit=args.queue_limit,
         cache_size=args.cache_size,
         overflow=args.overflow,
+        **_service_reliability(args),
     ) as service:
         from repro.serve import JobFailed, SessionBacklogFull
 
@@ -411,6 +464,7 @@ def _cmd_stream(args) -> int:
         queue_limit=args.queue_limit,
         cache_size=args.cache_size,
         overflow=args.overflow,
+        **_service_reliability(args),
     ) as service:
         with service.open_stream(
             spec, session=args.session, max_pending_chunks=args.max_pending_chunks
@@ -584,6 +638,31 @@ def build_parser() -> argparse.ArgumentParser:
             "--overflow", default="refuse",
             help="full-queue policy: refuse (reject the submission) or "
                  "drop-oldest (evict the session's oldest queued job)",
+        )
+        p.add_argument(
+            "--deadline-ms", type=float, default=None,
+            help="whole-job wall-clock budget; an expired job fails (or "
+                 "degrades to a partial result with --allow-partial)",
+        )
+        p.add_argument(
+            "--segment-deadline-ms", type=float, default=None,
+            help="per-attempt budget of one segment on the pool; expired "
+                 "attempts are abandoned by the watchdog and count as "
+                 "failures toward the retry budget",
+        )
+        p.add_argument(
+            "--retries", type=int, default=0,
+            help="extra attempts per failed segment (0 = fail fast)",
+        )
+        p.add_argument(
+            "--retry-backoff-ms", type=float, default=0.0,
+            help="delay before the first retry, doubled per failure",
+        )
+        p.add_argument(
+            "--allow-partial", action="store_true",
+            help="degrade out-of-budget jobs to a PARTIAL result (fused "
+                 "map of completed key frames + missing-segment manifest) "
+                 "instead of failing them",
         )
         if repeat:
             p.add_argument(

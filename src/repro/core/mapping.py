@@ -173,6 +173,12 @@ class MappingResult:
     Duck-compatible with :class:`~repro.core.results.EMVSResult` where it
     matters (``keyframes``, ``cloud``, ``profile``, ``n_points``), with
     ``cloud`` holding the *fused* global map.
+
+    ``missing_segments`` is the degradation manifest of the serve
+    layer's ``allow_partial`` option: segment indices whose outcomes
+    never landed (deadline, exhausted retries).  Empty — a complete
+    result — everywhere outside a ``PARTIAL`` serve job; the fused map
+    of a partial result covers exactly the completed key frames.
     """
 
     keyframes: list[KeyframeReconstruction]
@@ -182,11 +188,17 @@ class MappingResult:
     segments: tuple[SegmentPlan, ...]
     workers: int
     wall_seconds: float
+    missing_segments: tuple[int, ...] = ()
 
     @property
     def n_points(self) -> int:
         """Point count of the fused cloud."""
         return len(self.cloud)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every planned segment's outcome is in the result."""
+        return not self.missing_segments
 
 
 # ----------------------------------------------------------------------

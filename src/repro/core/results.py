@@ -41,10 +41,16 @@ class PipelineProfile:
     ``drop-oldest`` overflow policy.  ``chunks_refused`` /
     ``chunks_dropped`` are the same two outcomes at *chunk* granularity,
     applied by streaming sessions whose bounded in-flight buffer filled
-    up.  These four live here so a service's aggregate profile carries
-    its admission story next to its work counters, but they are
-    *load-dependent* — two runs of the same stream need not agree on
-    them — so they are deliberately excluded from :meth:`counters`.
+    up.  ``segments_retried`` / ``segments_timed_out`` /
+    ``jobs_partial`` / ``results_corrupted`` record the reliability
+    layer's recovery story: segment attempts re-dispatched by a
+    :class:`~repro.serve.retry.RetryPolicy`, attempts abandoned by a
+    deadline watchdog, jobs degraded to a ``PARTIAL`` result, and
+    payloads the merge-time integrity digest rejected.  These live here
+    so a service's aggregate profile carries its admission and recovery
+    story next to its work counters, but they are *load-dependent* —
+    two runs of the same stream need not agree on them — so they are
+    deliberately excluded from :meth:`counters`.
     """
 
     n_events: int = 0
@@ -56,6 +62,10 @@ class PipelineProfile:
     jobs_dropped: int = 0
     chunks_refused: int = 0
     chunks_dropped: int = 0
+    segments_retried: int = 0
+    segments_timed_out: int = 0
+    jobs_partial: int = 0
+    results_corrupted: int = 0
     stage_seconds: dict = field(default_factory=dict)
 
     def add_time(self, stage: str, seconds: float) -> None:
@@ -82,6 +92,10 @@ class PipelineProfile:
         self.jobs_dropped += other.jobs_dropped
         self.chunks_refused += other.chunks_refused
         self.chunks_dropped += other.chunks_dropped
+        self.segments_retried += other.segments_retried
+        self.segments_timed_out += other.segments_timed_out
+        self.jobs_partial += other.jobs_partial
+        self.results_corrupted += other.results_corrupted
         for stage, seconds in other.stage_seconds.items():
             self.add_time(stage, seconds)
 

@@ -8,9 +8,21 @@ result cache.  See :class:`ReconstructionService` for the batch API
 :class:`StreamingSession` for the incremental one (``open_stream`` /
 ``feed`` / ``poll_updates`` / ``close``), and ``repro serve`` /
 ``repro submit`` / ``repro stream`` for the CLI drivers.
+
+Reliability lives in :mod:`repro.serve.retry` (deterministic retry
+budgets), :mod:`repro.serve.faults` (seeded fault injection for chaos
+testing), and the service's deadline/watchdog/``allow_partial`` knobs;
+``docs/RELIABILITY.md`` documents the full contract.
 """
 
-from repro.serve.cache import CacheStats, ResultCache, job_key
+from repro.serve.cache import CacheStats, ResultCache, job_key, outcome_digest
+from repro.serve.faults import (
+    FaultDirective,
+    FaultInjected,
+    FaultKind,
+    FaultPlan,
+)
+from repro.serve.retry import RetryPolicy
 from repro.serve.scheduler import Dispatch, RoundRobinScheduler
 from repro.serve.service import (
     OVERFLOW_POLICIES,
@@ -28,6 +40,12 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "job_key",
+    "outcome_digest",
+    "FaultDirective",
+    "FaultInjected",
+    "FaultKind",
+    "FaultPlan",
+    "RetryPolicy",
     "Dispatch",
     "RoundRobinScheduler",
     "OVERFLOW_POLICIES",

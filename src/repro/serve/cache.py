@@ -95,6 +95,24 @@ def job_key(
     return hashlib.sha256(pickle.dumps(token, protocol=5)).hexdigest()
 
 
+def outcome_digest(outcome) -> str:
+    """Content hash of one segment outcome (hex digest).
+
+    The integrity check of the reliability layer: the worker digests the
+    outcome it is about to return, and the service re-digests what it
+    received at merge time — any corruption in between (serialization
+    damage, transport bit rot, an injected CORRUPT fault) mismatches.
+    The hash covers the *deterministic* payload — segment index, key
+    frames, and the profile's deterministic counters — because the
+    profile's ``stage_seconds`` are wall-clock measurements that
+    legitimately differ between the worker's digest and a verification
+    re-run; only data that flows into the fused result is protected.
+    """
+    index, keyframes, profile = outcome
+    token = _token((index, tuple(keyframes), profile.counters()))
+    return hashlib.sha256(pickle.dumps(token, protocol=5)).hexdigest()
+
+
 @dataclass
 class CacheStats:
     """Hit/miss/eviction counters of one :class:`ResultCache`."""

@@ -1,0 +1,265 @@
+"""Deterministic fault injection at the ``run_segment_task`` seam.
+
+A production serve stack earns its robustness claims only if every
+failure mode can be *reproduced on demand*: a transient worker
+exception, a worker that fails the same segment forever, a hung worker,
+a slow segment that trips a deadline, a hard process crash, a corrupted
+result payload.  This module provides exactly that — a seedable
+:class:`FaultPlan` whose :meth:`~FaultPlan.directive` is a pure function
+of ``(plan, segment index, attempt number)``, so a chaos test or bench
+replays the identical fault schedule on every run.
+
+Injection happens in :func:`run_guarded_segment`, the thin wrapper the
+:class:`~repro.serve.service.ReconstructionService` dispatches instead
+of a bare :func:`~repro.core.mapping.run_segment_task`.  The wrapper is
+module-level and every directive is a frozen dataclass, so process pools
+pickle the whole unit; the service computes directives host-side, which
+keeps workers free of fault-plan logic.
+
+Fault taxonomy (:class:`FaultKind`):
+
+========== =============================================================
+kind       worker behaviour on a faulted attempt
+========== =============================================================
+TRANSIENT  raise :class:`FaultInjected`; later attempts succeed
+PERSISTENT raise :class:`FaultInjected` on *every* attempt
+HANG       block on a host-released gate (process workers fall back to a
+           bounded ``delay_s`` sleep), then run normally — deadlines and
+           the watchdog are what turn a hang into an outcome
+SLOW       sleep ``delay_s`` first, then run normally (trips per-segment
+           deadlines without failing)
+CRASH      kill the worker process (``os._exit``) — only when the
+           directive is *hard* (process pools); otherwise downgraded to
+           a raised :class:`FaultInjected`
+CORRUPT    run normally, then tamper the returned payload *after* the
+           integrity digest was computed — detectable at merge time
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mapping import SegmentOutcome, SegmentTask, run_segment_task
+from repro.serve.cache import outcome_digest
+
+
+class FaultKind(enum.Enum):
+    """The injectable failure modes (see the module docs for semantics)."""
+
+    TRANSIENT = "transient"
+    PERSISTENT = "persistent"
+    HANG = "hang"
+    SLOW = "slow"
+    CRASH = "crash"
+    CORRUPT = "corrupt"
+
+
+class FaultInjected(RuntimeError):
+    """The exception a faulted segment attempt raises."""
+
+
+@dataclass(frozen=True)
+class FaultDirective:
+    """One resolved injection decision for one segment attempt.
+
+    Computed host-side by :meth:`FaultPlan.directive` and shipped to the
+    worker inside the :func:`run_guarded_segment` call; picklable.
+    """
+
+    #: The failure mode to inject.
+    kind: FaultKind
+    #: Segment the directive targets (attribution in error messages).
+    index: int
+    #: Zero-based attempt number the directive was computed for.
+    attempt: int
+    #: Sleep bound: SLOW's delay, and HANG's fallback when the gate is
+    #: not visible (process workers).
+    delay_s: float = 0.0
+    #: Whether a CRASH may actually kill the worker process.  The
+    #: service sets this only for process pools; on threads or inline a
+    #: hard exit would kill the host, so the crash degrades to a raise.
+    hard: bool = False
+    #: Host-released hang gate id (thread pools), ``None`` otherwise.
+    gate_id: str | None = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seedable schedule of segment faults.
+
+    ``directive(index, attempt)`` is a pure function: a fresh
+    ``numpy`` generator is seeded from ``(seed, index)`` on every call,
+    so the schedule depends only on the plan's fields — never on call
+    order, worker count or wall clock.  Two runs with the same plan see
+    the same faults on the same segments.
+
+    Parameters
+    ----------
+    kind:
+        The failure mode every faulted attempt injects.
+    seed:
+        Root of the per-segment eligibility draw.
+    rate:
+        Probability (per segment) that the segment is faulted at all.
+        ``1.0`` faults every eligible segment.
+    targets:
+        Explicit segment indices to fault; empty means "all segments
+        are eligible" (subject to ``rate``).
+    max_failures:
+        Faulted attempts per targeted segment before it runs clean —
+        the transient-vs-persistent dial (PERSISTENT ignores it).
+    delay_s:
+        SLOW's sleep, and HANG's bounded fallback sleep on process
+        workers (where the host's gate object is not visible).
+    """
+
+    kind: FaultKind
+    seed: int = 0
+    rate: float = 1.0
+    targets: tuple[int, ...] = ()
+    max_failures: int = 1
+    delay_s: float = 0.05
+
+    def __post_init__(self):
+        """Validate the schedule parameters."""
+        if not isinstance(self.kind, FaultKind):
+            raise TypeError("kind must be a FaultKind")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+
+    def targeted(self, index: int) -> bool:
+        """Whether segment ``index`` is faulted at all under this plan."""
+        if self.targets and index not in self.targets:
+            return False
+        if self.rate >= 1.0:
+            return True
+        rng = np.random.default_rng([self.seed, index])
+        return bool(rng.random() < self.rate)
+
+    def directive(self, index: int, attempt: int) -> FaultDirective | None:
+        """The injection decision for ``(segment, attempt)``, or ``None``.
+
+        ``attempt`` is zero-based (first try = 0).  Non-PERSISTENT kinds
+        stop faulting once ``attempt >= max_failures``, which is what
+        lets a retry heal the segment.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        if not self.targeted(index):
+            return None
+        if self.kind is not FaultKind.PERSISTENT and attempt >= self.max_failures:
+            return None
+        return FaultDirective(
+            kind=self.kind, index=index, attempt=attempt, delay_s=self.delay_s
+        )
+
+
+# ----------------------------------------------------------------------
+# Hang gates — host-released events the HANG fault blocks on
+# ----------------------------------------------------------------------
+#: Registry of live hang gates.  Thread workers share the host's memory
+#: and block on the Event; process workers never see it and fall back to
+#: the directive's bounded ``delay_s`` sleep.
+_HANG_GATES: dict[str, threading.Event] = {}
+_gate_ids = itertools.count(1)
+
+
+def new_hang_gate() -> str:
+    """Register a fresh hang gate; returns its id."""
+    gate_id = f"gate-{next(_gate_ids)}"
+    _HANG_GATES[gate_id] = threading.Event()
+    return gate_id
+
+
+def release_hang_gate(gate_id: str) -> None:
+    """Unblock (and forget) one hang gate; unknown ids are a no-op."""
+    gate = _HANG_GATES.pop(gate_id, None)
+    if gate is not None:
+        gate.set()
+
+
+def release_all_hang_gates() -> None:
+    """Unblock every registered gate (service shutdown / test teardown)."""
+    for gate_id in list(_HANG_GATES):
+        release_hang_gate(gate_id)
+
+
+# ----------------------------------------------------------------------
+# The guarded worker entry point
+# ----------------------------------------------------------------------
+def _tamper(outcome: SegmentOutcome) -> SegmentOutcome:
+    """Deterministically corrupt a (deep-copied) segment outcome."""
+    index, keyframes, profile = copy.deepcopy(outcome)
+    if keyframes:
+        depth = keyframes[0].depth_map.depth
+        # Flip the payload without touching NaN structure: a real bit
+        # rot would not be so polite, but the digest must catch either.
+        depth[np.isfinite(depth)] += 1.0
+    profile.votes_cast += 1
+    return index, keyframes, profile
+
+
+def _apply_prework(directive: FaultDirective) -> None:
+    """Execute a directive's pre-compute behaviour (raise/sleep/block/exit)."""
+    kind = directive.kind
+    if kind in (FaultKind.TRANSIENT, FaultKind.PERSISTENT):
+        raise FaultInjected(
+            f"injected {kind.value} fault on segment {directive.index} "
+            f"(attempt {directive.attempt})"
+        )
+    if kind is FaultKind.CRASH:
+        if directive.hard:
+            os._exit(3)
+        raise FaultInjected(
+            f"injected crash fault on segment {directive.index} "
+            f"(attempt {directive.attempt}; soft — non-process executor)"
+        )
+    if kind is FaultKind.SLOW:
+        time.sleep(directive.delay_s)
+        return
+    if kind is FaultKind.HANG:
+        gate = _HANG_GATES.get(directive.gate_id) if directive.gate_id else None
+        if gate is not None:
+            gate.wait()
+        else:
+            # Process worker: the host's gate is invisible, a bounded
+            # sleep stands in for the hang (the watchdog kills the pool
+            # long before this elapses in deadline scenarios).
+            time.sleep(directive.delay_s)
+
+
+def run_guarded_segment(
+    task: SegmentTask,
+    directive: FaultDirective | None = None,
+    with_digest: bool = False,
+) -> tuple[SegmentOutcome, str | None]:
+    """Run one segment with optional fault injection and integrity digest.
+
+    The worker entry point the service dispatches: identical to
+    :func:`~repro.core.mapping.run_segment_task` when ``directive`` is
+    ``None``, so the fault-free path stays bit-for-bit the orchestrator
+    path.  With ``with_digest`` the outcome's content digest is computed
+    *before* any CORRUPT tampering — exactly the window a real
+    serialization or transport corruption occupies — so the service's
+    merge-time verification can detect and attribute the damage.
+    """
+    if directive is not None:
+        _apply_prework(directive)
+    outcome = run_segment_task(task)
+    digest = outcome_digest(outcome) if with_digest else None
+    if directive is not None and directive.kind is FaultKind.CORRUPT:
+        outcome = _tamper(outcome)
+    return outcome, digest

@@ -1,0 +1,79 @@
+"""Retry budgets with deterministic exponential backoff.
+
+A :class:`RetryPolicy` is the serve layer's answer to *transient*
+segment failures: a failed attempt re-dispatches (up to
+``max_attempts``) after an exponentially growing delay, with seeded
+jitter so re-dispatch times are deterministic per ``(segment,
+failure)`` — chaos tests replay the exact schedule — while still
+de-synchronizing herds the way production jitter does.
+
+Persistent failures are not healed by retrying, only bounded by it:
+they burn the budget and surface (``FAILED``, or ``PARTIAL`` under
+``allow_partial``).  The policy itself is mechanism, not diagnosis — it
+never inspects the exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times a segment may run, and how long to wait between runs.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts allowed per segment (first try included).  ``1``
+        disables retrying — the service's default, preserving the PR 4
+        fail-fast semantics.
+    backoff_s:
+        Delay before the first retry; ``0`` re-dispatches immediately.
+    backoff_factor:
+        Multiplier applied per additional failure (exponential backoff).
+    jitter:
+        Fraction of the delay added as seeded pseudo-random jitter
+        (``0.2`` means up to +20 %).  Deterministic per ``(seed,
+        segment, failure count)``.
+    seed:
+        Root of the jitter draw.
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        """Validate the retry knobs."""
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def retryable(self, failures: int) -> bool:
+        """Whether a segment with ``failures`` failed attempts may run again."""
+        return failures < self.max_attempts
+
+    def delay(self, index: int, failures: int) -> float:
+        """Seconds to wait before re-dispatching after failure #``failures``.
+
+        Pure in ``(policy, index, failures)``: the jitter generator is
+        re-seeded per call, so a replayed failure schedule produces the
+        identical backoff schedule.
+        """
+        if failures < 1:
+            raise ValueError("delay() is asked after at least one failure")
+        base = self.backoff_s * self.backoff_factor ** (failures - 1)
+        if base <= 0 or self.jitter <= 0:
+            return base
+        rng = np.random.default_rng([self.seed, index, failures])
+        return base * (1.0 + self.jitter * float(rng.random()))

@@ -35,10 +35,17 @@ from repro.serve.session import Job, JobState, Session
 
 @dataclass(frozen=True)
 class Dispatch:
-    """One scheduling decision: a segment task and the job it belongs to."""
+    """One scheduling decision: a segment task and the job it belongs to.
+
+    ``attempt`` is the segment's dispatch epoch (1 on the first try,
+    bumped per re-dispatch) — the service stamps it on the in-flight
+    record so a superseded attempt's late result is discarded instead
+    of fused twice.
+    """
 
     job: Job
     task: SegmentTask
+    attempt: int = 1
 
 
 class RoundRobinScheduler:
@@ -87,7 +94,7 @@ class RoundRobinScheduler:
             job = session.next_dispatch()
             if job is None:
                 continue  # idle sessions keep their rotation position
-            if job.requeued:  # pool-break recovery dispatches first
+            if job.requeued:  # recovery/retry re-dispatches come first
                 index = job.requeued.pop(0)
             else:
                 index = job.next_segment
@@ -95,6 +102,10 @@ class RoundRobinScheduler:
             if job.state is JobState.QUEUED:
                 job.state = JobState.RUNNING
             session.segments_dispatched += 1
+            # Bump the segment's dispatch epoch: outcomes are only
+            # accepted from the newest attempt (see _collect_done).
+            attempt = job.attempts.get(index, 0) + 1
+            job.attempts[index] = attempt
             del self._rotation[position]
             self._rotation.append(name)
             self.dispatch_log.append((name, job.job_id, index))
@@ -107,7 +118,7 @@ class RoundRobinScheduler:
             else:
                 events = plan.slice(job.events)
             task = SegmentTask(plan.index, events, job.spec)
-            return Dispatch(job=job, task=task)
+            return Dispatch(job=job, task=task, attempt=attempt)
         return None
 
     @property
@@ -119,3 +130,4 @@ class RoundRobinScheduler:
         """Stop dispatching a job's remaining segments (failure path)."""
         job.next_segment = job.n_segments
         job.requeued.clear()
+        job.retry_backlog.clear()

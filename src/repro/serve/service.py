@@ -45,12 +45,26 @@ Semantics in one breath:
   :class:`~repro.serve.stream.StreamUpdate` with an incrementally
   fused map snapshot.  The closed stream's final result is
   bit-identical to a one-shot ``submit`` of the concatenated chunks.
+* **reliability** — a :class:`~repro.serve.retry.RetryPolicy`
+  re-dispatches failed segment attempts with deterministic exponential
+  backoff; per-segment and per-job **deadlines** bound how long an
+  attempt (or a whole job) may take, with a watchdog that abandons hung
+  attempts and kills-and-rebuilds a stuck process pool; ``allow_partial``
+  degrades an out-of-budget job to a ``PARTIAL`` result (the fused map
+  of the completed key frames plus a missing-segment manifest) instead
+  of failing it; and an optional merge-time **integrity check** verifies
+  each outcome's content digest so a corrupted payload is detected,
+  attributed and retried rather than silently fused.  Failure modes are
+  reproducible on demand via seeded
+  :class:`~repro.serve.faults.FaultPlan` schedules.  See
+  ``docs/RELIABILITY.md`` for the full contract.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import traceback as traceback_module
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -60,7 +74,8 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
 
 from repro.core.engine import EngineSpec
 from repro.core.mapping import (
@@ -68,11 +83,18 @@ from repro.core.mapping import (
     default_voxel_size,
     fuse_keyframes,
     merge_outcomes,
-    run_segment_task,
 )
 from repro.core.results import PipelineProfile
 from repro.events.containers import EventArray
-from repro.serve.cache import CacheStats, ResultCache, job_key
+from repro.serve.cache import CacheStats, ResultCache, job_key, outcome_digest
+from repro.serve.faults import (
+    FaultKind,
+    FaultPlan,
+    new_hang_gate,
+    release_hang_gate,
+    run_guarded_segment,
+)
+from repro.serve.retry import RetryPolicy
 from repro.serve.scheduler import RoundRobinScheduler
 from repro.serve.session import (
     TERMINAL_STATES,
@@ -135,7 +157,7 @@ class _InlineExecutor(Executor):
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Aggregate service counters (admission, outcomes, cache, streaming)."""
+    """Aggregate service counters (admission, outcomes, cache, reliability)."""
 
     jobs_submitted: int
     jobs_done: int
@@ -143,13 +165,35 @@ class ServiceStats:
     jobs_refused: int
     jobs_dropped: int
     jobs_coalesced: int
+    jobs_partial: int
     streams_opened: int
     updates_emitted: int
     chunks_refused: int
     chunks_dropped: int
+    segments_retried: int
+    segments_timed_out: int
+    results_corrupted: int
     cache: CacheStats
     segments_dispatched: dict[str, int]
     profile: PipelineProfile
+
+
+@dataclass
+class _Flight:
+    """One in-flight segment attempt (the value side of ``_inflight``).
+
+    ``attempt`` is the dispatch epoch the attempt was launched under;
+    an outcome is only accepted while ``job.attempts[index]`` still
+    equals it — abandoning an attempt (deadline watchdog) or
+    re-dispatching the segment bumps the epoch, so a late or duplicate
+    landing is discarded instead of fused twice.
+    """
+
+    job: Job
+    index: int
+    attempt: int
+    started_at: float
+    gate_id: str | None = None
 
 
 class ReconstructionService:
@@ -178,6 +222,36 @@ class ReconstructionService:
         dropped to admit the new one; with nothing droppable the
         submission is refused).  Either way the outcome is recorded in
         the aggregate profile.
+    retry:
+        Default :class:`~repro.serve.retry.RetryPolicy` for admitted
+        jobs; ``None`` (the default) fails a job on its first segment
+        failure, exactly the pre-reliability semantics.
+    deadline_s:
+        Default whole-job wall-clock budget; a job past it is expired
+        by the watchdog (``FAILED``, or ``PARTIAL`` under
+        ``allow_partial``).  For streams the clock starts at ``close()``.
+    segment_deadline_s:
+        Default per-attempt budget of one segment on the pool; an
+        expired attempt is abandoned (hung process workers are killed
+        with the pool, which is then rebuilt) and counts as a failure
+        toward the retry budget.
+    allow_partial:
+        Default graceful-degradation switch: jobs that run out of
+        deadline or retries terminate ``PARTIAL`` — carrying the fused
+        map of their completed key frames plus a missing-segment
+        manifest — instead of ``FAILED``.
+    fault_plan:
+        Default deterministic :class:`~repro.serve.faults.FaultPlan`
+        injected into every job's segments (chaos testing); ``None``
+        injects nothing.
+    integrity:
+        Whether workers digest their outcomes so the service can verify
+        payload integrity at merge time (a mismatch counts as a segment
+        failure and is retried under the retry policy).
+    clock:
+        Monotonic time source for deadlines and backoff scheduling
+        (default ``time.perf_counter``); injectable so deadline tests
+        run on a fake clock instead of sleeps.
 
     Examples
     --------
@@ -212,6 +286,13 @@ class ReconstructionService:
         cache_size: int = 32,
         overflow: str = "refuse",
         retain_jobs: int = 256,
+        retry: RetryPolicy | None = None,
+        deadline_s: float | None = None,
+        segment_deadline_s: float | None = None,
+        allow_partial: bool = False,
+        fault_plan: FaultPlan | None = None,
+        integrity: bool = False,
+        clock: Callable[[], float] | None = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 (or None for auto)")
@@ -227,11 +308,19 @@ class ReconstructionService:
         self.executor = executor or ("inline" if self.workers == 1 else "process")
         self.overflow = overflow
         self.retain_jobs = retain_jobs
+        self.retry = retry
+        self.deadline_s = deadline_s
+        self.segment_deadline_s = segment_deadline_s
+        self.allow_partial = allow_partial
+        self.fault_plan = fault_plan
+        self.integrity = integrity
+        self._clock = clock or time.perf_counter
+        self._check_reliability(retry, deadline_s, segment_deadline_s, fault_plan)
         self.cache = ResultCache(cache_size)
         self.profile = PipelineProfile()
         self._scheduler = RoundRobinScheduler(queue_limit)
         self._jobs: dict[str, Job] = {}
-        self._inflight: dict[Future, Job] = {}
+        self._inflight: dict[Future, _Flight] = {}
         #: cache key -> in-flight job computing it (coalescing target).
         self._leaders: dict[str, Job] = {}
         self._pool: Executor | None = None
@@ -244,9 +333,12 @@ class ReconstructionService:
         self._jobs_submitted = 0
         self._jobs_done = 0
         self._jobs_failed = 0
+        self._jobs_partial = 0
         self._jobs_coalesced = 0
         self._streams_opened = 0
         self._updates_emitted = 0
+        #: Hang-gate ids this service registered (released on close).
+        self._gates: list[str] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -257,9 +349,41 @@ class ReconstructionService:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _check_reliability(
+        self,
+        retry: RetryPolicy | None,
+        deadline_s: float | None,
+        segment_deadline_s: float | None,
+        fault_plan: FaultPlan | None,
+    ) -> None:
+        """Validate one set of reliability knobs (constructor or per-job)."""
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise TypeError("retry must be a RetryPolicy (or None)")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if segment_deadline_s is not None and segment_deadline_s <= 0:
+            raise ValueError("segment_deadline_s must be positive (or None)")
+        if fault_plan is not None:
+            if not isinstance(fault_plan, FaultPlan):
+                raise TypeError("fault_plan must be a FaultPlan (or None)")
+            if fault_plan.kind is FaultKind.HANG and self.executor == "inline":
+                raise ValueError(
+                    "hang faults cannot run on the inline executor (the "
+                    "dispatching thread would block itself); use threads "
+                    "or processes"
+                )
+
     def close(self) -> None:
-        """Shut the pool down; queued work is abandoned."""
+        """Shut the pool down; queued work is abandoned.
+
+        Any hang gates this service registered are released first, so
+        worker threads blocked on an injected hang unblock and the pool
+        shutdown can join them.
+        """
         self._closed = True
+        for gate_id in self._gates:
+            release_hang_gate(gate_id)
+        self._gates.clear()
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
@@ -283,6 +407,42 @@ class ReconstructionService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
+    def _job_reliability(
+        self,
+        retry: RetryPolicy | None,
+        deadline_s: float | None,
+        segment_deadline_s: float | None,
+        allow_partial: bool | None,
+        faults: FaultPlan | None,
+        integrity: bool | None,
+    ) -> dict:
+        """Merge per-job reliability overrides with the service defaults.
+
+        ``None`` means "use the service default"; the merged set is
+        validated and returned as :class:`Job` constructor kwargs.
+        """
+        merged = dict(
+            retry=retry if retry is not None else self.retry,
+            deadline_s=deadline_s if deadline_s is not None else self.deadline_s,
+            segment_deadline_s=(
+                segment_deadline_s
+                if segment_deadline_s is not None
+                else self.segment_deadline_s
+            ),
+            allow_partial=(
+                self.allow_partial if allow_partial is None else bool(allow_partial)
+            ),
+            fault_plan=faults if faults is not None else self.fault_plan,
+            integrity=self.integrity if integrity is None else bool(integrity),
+        )
+        self._check_reliability(
+            merged["retry"],
+            merged["deadline_s"],
+            merged["segment_deadline_s"],
+            merged["fault_plan"],
+        )
+        return merged
+
     def submit(
         self,
         events: EventArray,
@@ -291,6 +451,12 @@ class ReconstructionService:
         session: str = "default",
         voxel_size: float | None = None,
         min_observations: int = 1,
+        retry: RetryPolicy | None = None,
+        deadline_s: float | None = None,
+        segment_deadline_s: float | None = None,
+        allow_partial: bool | None = None,
+        faults: FaultPlan | None = None,
+        integrity: bool | None = None,
     ) -> str:
         """Admit one reconstruction job; returns its job id.
 
@@ -298,6 +464,12 @@ class ReconstructionService:
         never executes the hot path; call :meth:`poll` / :meth:`result` /
         :meth:`drain` to make progress.  Raises
         :class:`SessionBacklogFull` when backpressure refuses the job.
+
+        The reliability knobs (``retry``, ``deadline_s``,
+        ``segment_deadline_s``, ``allow_partial``, ``faults``,
+        ``integrity``) override the service-wide defaults for this job;
+        ``None`` inherits the default.  The job's deadline clock starts
+        now (at admission).
         """
         if self._closed:
             raise ServeError("service is closed")
@@ -310,6 +482,9 @@ class ReconstructionService:
             voxel_size = default_voxel_size(spec.depth_range)
         if voxel_size <= 0:
             raise ValueError("voxel_size must be positive")
+        reliability = self._job_reliability(
+            retry, deadline_s, segment_deadline_s, allow_partial, faults, integrity
+        )
 
         key = None
         if self.cache.enabled:
@@ -379,7 +554,10 @@ class ReconstructionService:
             voxel_size=voxel_size,
             min_observations=min_observations,
             cache_key=key,
+            **reliability,
         )
+        if job.deadline_s is not None:
+            job.deadline_at = self._clock() + job.deadline_s
         self._scheduler.admit(job)
         self._jobs[job.job_id] = job
         self._jobs_submitted += 1
@@ -453,6 +631,12 @@ class ReconstructionService:
         voxel_size: float | None = None,
         min_observations: int = 1,
         max_pending_chunks: int = 64,
+        retry: RetryPolicy | None = None,
+        deadline_s: float | None = None,
+        segment_deadline_s: float | None = None,
+        allow_partial: bool | None = None,
+        faults: FaultPlan | None = None,
+        integrity: bool | None = None,
     ) -> StreamingSession:
         """Admit a streaming job; returns its :class:`StreamingSession` handle.
 
@@ -464,6 +648,11 @@ class ReconstructionService:
         buffer; a full buffer applies the service's overflow policy at
         chunk granularity.  Streams bypass the result cache — their
         content is unknown until closed.
+
+        The reliability knobs override the service defaults exactly as
+        in :meth:`submit`, with one difference: a stream's ``deadline_s``
+        arms at ``close()`` — an open stream can always grow, so there
+        is no meaningful total budget until the input ends.
         """
         if self._closed:
             raise ServeError("service is closed")
@@ -478,6 +667,9 @@ class ReconstructionService:
             raise ValueError("voxel_size must be positive")
         if max_pending_chunks < 1:
             raise ValueError("max_pending_chunks must be >= 1")
+        reliability = self._job_reliability(
+            retry, deadline_s, segment_deadline_s, allow_partial, faults, integrity
+        )
         self._admit_session(session)
         job = Job(
             job_id=new_job_id(session),
@@ -492,6 +684,7 @@ class ReconstructionService:
             stream=StreamState(
                 spec.stream_planner(), voxel_size, max_pending_chunks
             ),
+            **reliability,
         )
         self._scheduler.admit(job)
         self._jobs[job.job_id] = job
@@ -533,12 +726,19 @@ class ReconstructionService:
         self._pump()
 
     def _close_stream(self, job: Job) -> None:
-        """End a stream's input (idempotent); remaining chunks still run."""
+        """End a stream's input (idempotent); remaining chunks still run.
+
+        Closing also arms the job deadline, when one was configured: an
+        open stream can always grow, so its total budget only makes
+        sense once the input has ended.
+        """
         stream = job.stream
         if job.state in TERMINAL_STATES or not stream.open:
             return
         stream.open = False
         stream.closed_at = time.perf_counter()
+        if job.deadline_s is not None and job.deadline_at is None:
+            job.deadline_at = self._clock() + job.deadline_s
         if not self._closed:
             self._pump()
 
@@ -625,11 +825,19 @@ class ReconstructionService:
         stream order — the insertion order
         :func:`~repro.core.mapping.fuse_keyframes` uses, which is what
         keeps the incremental map bit-identical to a batch fusion.
+        Segments abandoned into the ``missing`` manifest emit nothing;
+        the cursor steps over them so later outcomes still flow.
         """
         stream = job.stream
         now = time.perf_counter()
-        while stream.emit_cursor in job.outcomes:
+        while True:
             index = stream.emit_cursor
+            if index in job.missing:
+                stream.feed_times.pop(index, None)
+                stream.emit_cursor += 1
+                continue
+            if index not in job.outcomes:
+                break
             _, keyframes, _ = job.outcomes[index]
             for keyframe in keyframes:
                 stream.global_map.insert_keyframe(keyframe, job.spec.camera)
@@ -662,8 +870,34 @@ class ReconstructionService:
             decision = self._scheduler.next_dispatch()
             if decision is None:
                 break
-            future = self.pool.submit(run_segment_task, decision.task)
-            self._inflight[future] = decision.job
+            job = decision.job
+            index = decision.task.index
+            directive = None
+            if job.fault_plan is not None:
+                directive = job.fault_plan.directive(index, decision.attempt - 1)
+            if directive is not None:
+                if directive.kind is FaultKind.CRASH and self.executor == "process":
+                    # Hard crashes are only survivable (and meaningful)
+                    # on a process pool; elsewhere the fault degrades to
+                    # an ordinary raised exception.
+                    directive = replace(directive, hard=True)
+                if directive.kind is FaultKind.HANG and self.executor == "thread":
+                    # Thread workers hang on a releasable gate so close()
+                    # can always join the pool; process workers fall
+                    # back to a bounded sleep inside the fault itself.
+                    gate_id = new_hang_gate()
+                    self._gates.append(gate_id)
+                    directive = replace(directive, gate_id=gate_id)
+            future = self.pool.submit(
+                run_guarded_segment, decision.task, directive, job.integrity
+            )
+            self._inflight[future] = _Flight(
+                job=job,
+                index=index,
+                attempt=decision.attempt,
+                started_at=self._clock(),
+                gate_id=directive.gate_id if directive is not None else None,
+            )
             dispatched = True
         return dispatched
 
@@ -675,47 +909,75 @@ class ReconstructionService:
         # in flight when it happened.
         sole_flight = len(self._inflight) == 1
         for future in [f for f in self._inflight if f.done()]:
-            job = self._inflight.pop(future)
+            flight = self._inflight.pop(future)
+            job, index = flight.job, flight.index
             collected = True
+            if flight.gate_id is not None:
+                release_hang_gate(flight.gate_id)
             if future.cancelled():  # close() cancelled queued work
                 continue
+            # Epoch staleness: only the newest dispatch of a segment may
+            # land — an abandoned (deadline watchdog) or re-dispatched
+            # attempt's late result is discarded here.
+            current = job.attempts.get(index) == flight.attempt
             exc = future.exception()
             if exc is not None:
                 if isinstance(exc, BrokenExecutor):
                     # The pool itself died, which breaks *every*
                     # in-flight future, not just the culprit's.  If this
                     # job was flying alone the crash is attributable and
-                    # it fails; otherwise its lost segments requeue and
-                    # the service probes serially until the pool proves
-                    # healthy again (the culprit, once flying alone,
-                    # breaks the pool attributably and is removed).
+                    # counts as a segment failure (fatal unless a retry
+                    # budget heals it); otherwise its lost segments
+                    # requeue and the service probes serially until the
+                    # pool proves healthy again (the culprit, once
+                    # flying alone, breaks the pool attributably).
                     if self._pool is not None:
                         self._pool.shutdown(wait=False, cancel_futures=True)
                         self._pool = None
                     self._probation = PROBATION_SUCCESSES
-                    if job.state in TERMINAL_STATES:
+                    if job.state in TERMINAL_STATES or not current:
                         continue
                     if not sole_flight:
                         job.requeued.extend(
                             i
                             for i in range(job.next_segment)
-                            if i not in job.outcomes and i not in job.requeued
+                            if i not in job.outcomes
+                            and i not in job.requeued
+                            and i not in job.missing
                         )
                         continue
-                if job.state not in TERMINAL_STATES:
-                    job.error = f"{type(exc).__name__}: {exc}"
-                    job.finish(JobState.FAILED)
-                    self._jobs_failed += 1
-                    self._scheduler.cancel_job(job)
-                    self._settle_followers(job)
-                    self._retire(job)
+                if job.state in TERMINAL_STATES or not current:
+                    continue
+                error = f"{type(exc).__name__}: {exc}"
+                tb = "".join(
+                    traceback_module.format_exception(
+                        type(exc), exc, exc.__traceback__
+                    )
+                )
+                self._segment_failed(job, index, error, tb)
                 continue
-            if job.state in TERMINAL_STATES:
-                continue  # job already failed on a sibling segment
+            if job.state in TERMINAL_STATES or not current:
+                continue  # job already terminal / attempt superseded
             if self._probation > 0:
                 self._probation -= 1
-            index, keyframes, profile = future.result()
-            job.outcomes[index] = (index, keyframes, profile)
+            outcome, digest = future.result()
+            if (
+                job.integrity
+                and digest is not None
+                and outcome_digest(outcome) != digest
+            ):
+                # The payload the worker digested is not the payload
+                # that arrived: treat the attempt as failed (retryable)
+                # rather than fusing a corrupted outcome.
+                self.profile.results_corrupted += 1
+                self._segment_failed(
+                    job,
+                    index,
+                    f"segment {index} failed its result-integrity check "
+                    "(payload digest mismatch)",
+                )
+                continue
+            job.outcomes[outcome[0]] = outcome
             if job.stream is not None:
                 # The segment's slice is no longer needed for dispatch
                 # (or pool-break requeue); release it and emit every
@@ -726,6 +988,218 @@ class ReconstructionService:
                 self._finalize(job)
         return collected
 
+    def _segment_failed(
+        self, job: Job, index: int, error: str, tb: str | None = None
+    ) -> None:
+        """Route one failed segment attempt: retry, degrade, or fail.
+
+        The attempt first charges the segment's failure meter; a
+        :class:`~repro.serve.retry.RetryPolicy` with remaining budget
+        re-dispatches the segment (after its deterministic backoff), an
+        ``allow_partial`` job abandons it into the missing manifest, and
+        otherwise the whole job fails — carrying the culprit's error
+        string and full traceback.
+        """
+        job.failures[index] = job.failures.get(index, 0) + 1
+        if job.state in TERMINAL_STATES:
+            return
+        failures = job.failures[index]
+        if job.retry is not None and job.retry.retryable(failures):
+            job.retries += 1
+            self.profile.segments_retried += 1
+            delay = job.retry.delay(index, failures)
+            if delay > 0:
+                job.retry_backlog.append((self._clock() + delay, index))
+            else:
+                job.requeued.append(index)
+            return
+        if job.allow_partial:
+            job.missing.add(index)
+            if job.stream is not None:
+                job.stream.segment_events.pop(index, None)
+                self._emit_stream_updates(job)
+            if job.complete:
+                self._finalize(job)
+            return
+        job.error = (
+            error
+            if failures <= 1
+            else f"{error} (segment {index} failed {failures} attempts)"
+        )
+        job.traceback = tb
+        job.finish(JobState.FAILED)
+        self._jobs_failed += 1
+        self._scheduler.cancel_job(job)
+        self._settle_followers(job)
+        self._retire(job)
+
+    # ------------------------------------------------------------------
+    # Reliability: deadlines, retries, watchdog
+    # ------------------------------------------------------------------
+    def _active_jobs(self) -> Iterator[Job]:
+        """Every admitted, non-terminal job across all sessions."""
+        for session in self._scheduler.sessions.values():
+            for job in list(session.jobs):
+                if job.state not in TERMINAL_STATES:
+                    yield job
+
+    def _release_ripe_retries(self) -> bool:
+        """Move backed-off retries whose delay elapsed into the requeue."""
+        progressed = False
+        now = self._clock()
+        for job in self._active_jobs():
+            if not job.retry_backlog:
+                continue
+            ripe = [entry for entry in job.retry_backlog if entry[0] <= now]
+            if not ripe:
+                continue
+            job.retry_backlog = [e for e in job.retry_backlog if e[0] > now]
+            job.requeued.extend(index for _, index in ripe)
+            progressed = True
+        return progressed
+
+    def _check_deadlines(self) -> bool:
+        """The watchdog: expire over-budget jobs, abandon hung attempts.
+
+        Job deadlines are judged first (an expired job abandons all its
+        flights at once); then each in-flight attempt is judged against
+        its job's per-segment budget.  Abandonment bumps the segment's
+        dispatch epoch so a late landing is discarded, and a hung
+        *process* worker — which cannot be cancelled — forces a pool
+        kill-and-rebuild (:meth:`_kill_pool`).
+        """
+        progressed = False
+        now = self._clock()
+        for job in list(self._active_jobs()):
+            if job.deadline_at is not None and now >= job.deadline_at:
+                self._expire_job(job)
+                progressed = True
+        needs_kill = False
+        for future, flight in list(self._inflight.items()):
+            job, index = flight.job, flight.index
+            if job.state in TERMINAL_STATES:
+                continue  # lands (and is discarded) in _collect_done
+            if (
+                job.segment_deadline_s is None
+                or now - flight.started_at < job.segment_deadline_s
+            ):
+                continue
+            del self._inflight[future]
+            self.profile.segments_timed_out += 1
+            if self._abandon_attempt(future, flight):
+                needs_kill = True
+            self._segment_failed(
+                job,
+                index,
+                f"segment {index} exceeded its deadline "
+                f"({job.segment_deadline_s} s per attempt)",
+            )
+            progressed = True
+        if needs_kill:
+            self._kill_pool()
+        return progressed
+
+    def _abandon_attempt(self, future: Future, flight: _Flight) -> bool:
+        """Abandon one in-flight attempt; returns whether a pool kill is due.
+
+        A still-queued future simply cancels.  A *running* one cannot
+        be: its dispatch epoch is bumped so its late result is
+        discarded, its hang gate (if any) is released so a blocked
+        thread worker unwinds, and on a process pool the caller must
+        kill-and-rebuild — a hung process worker honours no signal the
+        executor API offers.
+        """
+        job, index = flight.job, flight.index
+        if flight.gate_id is not None:
+            release_hang_gate(flight.gate_id)
+        if future.cancel():
+            return False
+        job.attempts[index] = job.attempts.get(index, 0) + 1
+        return self.executor == "process" and not future.done()
+
+    def _expire_job(self, job: Job) -> None:
+        """Terminate a job whose whole-job deadline passed.
+
+        In-flight attempts are abandoned (hung process workers force a
+        pool kill), undispatched work is cancelled, and the job ends
+        ``PARTIAL`` — with everything unlanded in the missing manifest —
+        when it allows partial results, ``FAILED`` otherwise.
+        """
+        needs_kill = False
+        for future, flight in list(self._inflight.items()):
+            if flight.job is not job:
+                continue
+            del self._inflight[future]
+            self.profile.segments_timed_out += 1
+            if self._abandon_attempt(future, flight):
+                needs_kill = True
+        if needs_kill:
+            self._kill_pool()
+        unlanded = [
+            i
+            for i in range(job.n_segments)
+            if i not in job.outcomes and i not in job.missing
+        ]
+        self._scheduler.cancel_job(job)
+        stream = job.stream
+        if stream is not None and not stream.flushed:
+            # The deadline outran chunks still buffered: they are
+            # abandoned wholesale, and the stream is marked flushed so
+            # the job can reach a terminal state.
+            stream.pending_chunks.clear()
+            stream.flushed = True
+        if job.allow_partial:
+            job.missing.update(unlanded)
+            if stream is not None:
+                for index in unlanded:
+                    stream.segment_events.pop(index, None)
+                self._emit_stream_updates(job)
+            self._finalize(job)
+            return
+        job.error = (
+            f"job deadline exceeded ({job.deadline_s} s); "
+            f"{len(unlanded)} of {job.n_segments} segments unfinished"
+        )
+        job.finish(JobState.FAILED)
+        self._jobs_failed += 1
+        self._settle_followers(job)
+        self._retire(job)
+
+    def _kill_pool(self) -> None:
+        """Kill a pool wedged by a hung worker and requeue the innocents.
+
+        ``shutdown`` would join the hung worker forever, so a process
+        pool's workers are terminated directly.  Every remaining
+        in-flight attempt dies with the pool through no fault of its
+        own — their segments are requeued proactively (rather than
+        letting the post-kill ``BrokenExecutor`` harvest mis-attribute
+        a sole survivor as a culprit), and dispatch turns serial until
+        the rebuilt pool proves healthy, exactly the pool-break
+        probation of :meth:`_collect_done`.
+        """
+        pool, self._pool = self._pool, None
+        for future, flight in list(self._inflight.items()):
+            del self._inflight[future]
+            job, index = flight.job, flight.index
+            if flight.gate_id is not None:
+                release_hang_gate(flight.gate_id)
+            if not future.cancel():
+                job.attempts[index] = job.attempts.get(index, 0) + 1
+            if job.state in TERMINAL_STATES:
+                continue
+            if (
+                index not in job.outcomes
+                and index not in job.requeued
+                and index not in job.missing
+            ):
+                job.requeued.append(index)
+        self._probation = PROBATION_SUCCESSES
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
     def _finalize(self, job: Job) -> None:
         """Fuse a job's segment outcomes — the orchestrator-identical tail.
 
@@ -734,6 +1208,14 @@ class ReconstructionService:
         in segment order, which is exactly the insertion order
         :func:`~repro.core.mapping.fuse_keyframes` would use, so the two
         maps are bit-identical (the stream ≡ batch tests pin this).
+
+        A job with abandoned segments finalizes ``PARTIAL``: the same
+        fusion restricted to the landed outcomes (which
+        :func:`~repro.core.mapping.merge_outcomes` sorts into segment
+        order, so the map equals a fault-free fusion of the completed
+        key frames), plus the missing-segment manifest.  Partial
+        results are never cached — a later identical submission must
+        get the chance to compute the full map.
         """
         keyframes, profile = merge_outcomes(
             list(job.outcomes.values()), job.dropped_tail
@@ -742,6 +1224,7 @@ class ReconstructionService:
             global_map = job.stream.global_map
         else:
             global_map = fuse_keyframes(keyframes, job.spec.camera, job.voxel_size)
+        missing = tuple(sorted(job.missing))
         job.result = MappingResult(
             keyframes=keyframes,
             global_map=global_map,
@@ -750,11 +1233,17 @@ class ReconstructionService:
             segments=job.plans,
             workers=self.workers,
             wall_seconds=time.perf_counter() - job.submitted_at,
+            missing_segments=missing,
         )
-        job.finish(JobState.DONE)
-        self._jobs_done += 1
+        if missing:
+            job.finish(JobState.PARTIAL)
+            self._jobs_partial += 1
+            self.profile.jobs_partial += 1
+        else:
+            job.finish(JobState.DONE)
+            self._jobs_done += 1
         self.profile.merge(profile)
-        if job.cache_key is not None:
+        if job.cache_key is not None and not missing:
             self.cache.put(job.cache_key, job.result)
         self._settle_followers(job)
         self._retire(job)
@@ -766,10 +1255,13 @@ class ReconstructionService:
         for follower in leader.followers:
             if follower.state in TERMINAL_STATES:
                 continue
-            if leader.state is JobState.DONE:
+            if leader.state in (JobState.DONE, JobState.PARTIAL):
                 follower.result = leader.result
-                follower.finish(JobState.DONE)
-                self._jobs_done += 1
+                follower.finish(leader.state)
+                if leader.state is JobState.DONE:
+                    self._jobs_done += 1
+                else:
+                    self._jobs_partial += 1
             else:
                 follower.error = (
                     f"coalesced leader {leader.job_id} "
@@ -793,6 +1285,8 @@ class ReconstructionService:
         progressed = True
         while progressed:
             progressed = self._collect_done()
+            progressed = self._check_deadlines() or progressed
+            progressed = self._release_ripe_retries() or progressed
             progressed = self._absorb_streams() or progressed
             progressed = self._dispatch_ready() or progressed
 
@@ -820,6 +1314,9 @@ class ReconstructionService:
             coalesced=job.coalesced_with is not None,
             error=job.error,
             latency_seconds=job.latency_seconds,
+            missing_segments=tuple(sorted(job.missing)),
+            segments_retried=job.retries,
+            traceback=job.traceback,
         )
 
     def result(self, job_id: str, timeout: float | None = None) -> MappingResult:
@@ -830,6 +1327,38 @@ class ReconstructionService:
         and ``KeyError`` for unknown ids.
         """
         return self._result_job(self._job(job_id), timeout)
+
+    def _next_event_time(self) -> float | None:
+        """Earliest future instant a deadline or backoff release can fire.
+
+        Bounds the blocking waits of :meth:`result` and :meth:`drain`:
+        a hung worker never completes its future, so waiting on futures
+        alone would outwait the very watchdog meant to catch it.
+        """
+        times = []
+        for flight in self._inflight.values():
+            budget = flight.job.segment_deadline_s
+            if budget is not None and flight.job.state not in TERMINAL_STATES:
+                times.append(flight.started_at + budget)
+        for job in self._active_jobs():
+            if job.deadline_at is not None:
+                times.append(job.deadline_at)
+            times.extend(at for at, _ in job.retry_backlog)
+        return min(times, default=None)
+
+    def _wait_for_progress(self, remaining: float | None) -> None:
+        """Block until a future settles, a timed event ripens, or timeout."""
+        wake = self._next_event_time()
+        wait_t = remaining
+        if wake is not None:
+            until_wake = max(wake - self._clock(), 0.0) + 1e-4
+            wait_t = until_wake if wait_t is None else min(wait_t, until_wake)
+        if self._inflight:
+            wait(set(self._inflight), timeout=wait_t, return_when=FIRST_COMPLETED)
+        else:
+            # Nothing on the pool: the next progress is a timed event
+            # (backoff release or deadline expiry), so nap toward it.
+            time.sleep(min(wait_t, 0.05) if wait_t is not None else 0.001)
 
     def _result_job(self, job: Job, timeout: float | None) -> MappingResult:
         """The blocking wait behind :meth:`result` (job-object addressed).
@@ -851,7 +1380,7 @@ class ReconstructionService:
                     f"stream {job_id!r} is still open; close() it before "
                     "waiting for its result"
                 )
-            if not self._inflight:
+            if not self._inflight and self._next_event_time() is None:
                 raise ServeError(
                     f"job {job_id!r} cannot progress: nothing in flight "
                     "(pool lost its work?)"
@@ -861,9 +1390,9 @@ class ReconstructionService:
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
                     raise TimeoutError(f"job {job_id!r} not done within {timeout} s")
-            wait(set(self._inflight), timeout=remaining, return_when=FIRST_COMPLETED)
+            self._wait_for_progress(remaining)
             self._pump()
-        if job.state is JobState.DONE:
+        if job.state in (JobState.DONE, JobState.PARTIAL):
             return job.result
         raise JobFailed(
             f"job {job_id!r} {job.state.value}: {job.error or 'no error recorded'}"
@@ -875,11 +1404,17 @@ class ReconstructionService:
         Streams that are still *open* are drained of their currently
         planned work but stay non-terminal — an open stream can always
         grow, so ``drain`` completes what exists and returns rather than
-        waiting for a ``close()`` that may never come.
+        waiting for a ``close()`` that may never come.  Backed-off
+        retries count as pending work: ``drain`` waits out their delay
+        and runs the re-dispatch.
         """
         deadline = None if timeout is None else time.perf_counter() + timeout
         self._pump()
-        while self._inflight or self._scheduler.has_pending_dispatch:
+        while (
+            self._inflight
+            or self._scheduler.has_pending_dispatch
+            or self._has_deferred_work()
+        ):
             if self._closed:
                 raise ServeError("service is closed; queued work was abandoned")
             remaining = None
@@ -887,14 +1422,13 @@ class ReconstructionService:
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
                     raise TimeoutError(f"drain() incomplete after {timeout} s")
-            if self._inflight:
-                wait(
-                    set(self._inflight),
-                    timeout=remaining,
-                    return_when=FIRST_COMPLETED,
-                )
+            self._wait_for_progress(remaining)
             self._pump()
-        return self._jobs_done + self._jobs_failed
+        return self._jobs_done + self._jobs_failed + self._jobs_partial
+
+    def _has_deferred_work(self) -> bool:
+        """Whether any active job holds backed-off retries awaiting release."""
+        return any(job.retry_backlog for job in self._active_jobs())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -918,10 +1452,14 @@ class ReconstructionService:
             jobs_refused=self.profile.jobs_refused,
             jobs_dropped=self.profile.jobs_dropped,
             jobs_coalesced=self._jobs_coalesced,
+            jobs_partial=self._jobs_partial,
             streams_opened=self._streams_opened,
             updates_emitted=self._updates_emitted,
             chunks_refused=self.profile.chunks_refused,
             chunks_dropped=self.profile.chunks_dropped,
+            segments_retried=self.profile.segments_retried,
+            segments_timed_out=self.profile.segments_timed_out,
+            results_corrupted=self.profile.results_corrupted,
             cache=self.cache.stats(),
             segments_dispatched={
                 name: session.segments_dispatched

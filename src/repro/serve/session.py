@@ -23,10 +23,16 @@ import itertools
 import time
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.core.engine import EngineSpec, SegmentPlan
 from repro.core.mapping import MappingResult, SegmentOutcome
 from repro.events.containers import EventArray
 from repro.serve.stream import StreamState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.faults import FaultPlan
+    from repro.serve.retry import RetryPolicy
 
 
 class JobState(enum.Enum):
@@ -36,17 +42,24 @@ class JobState(enum.Enum):
     is reached directly on a cache hit.  ``DROPPED`` marks queued jobs
     displaced by the ``drop-oldest`` overflow policy (refused jobs are
     never admitted, so they have no job record — the submission raises).
+    ``PARTIAL`` is graceful degradation: an ``allow_partial`` job whose
+    deadline expired or whose retries exhausted still terminates with a
+    usable result — the fused map of its completed key frames plus a
+    missing-segment manifest — instead of failing outright.
     """
 
     QUEUED = "queued"
     RUNNING = "running"
     DONE = "done"
+    PARTIAL = "partial"
     FAILED = "failed"
     DROPPED = "dropped"
 
 
 #: States a job can never leave.
-TERMINAL_STATES = frozenset({JobState.DONE, JobState.FAILED, JobState.DROPPED})
+TERMINAL_STATES = frozenset(
+    {JobState.DONE, JobState.PARTIAL, JobState.FAILED, JobState.DROPPED}
+)
 
 _job_ids = itertools.count(1)
 
@@ -92,6 +105,37 @@ class Job:
     #: incremental planner, the bounded chunk buffer, per-segment event
     #: slices and the incrementally fused map.
     stream: StreamState | None = None
+    #: Retry budget for failed segment attempts (``None`` = fail fast).
+    retry: "RetryPolicy | None" = None
+    #: Whether exhausted retries / deadlines degrade the job to a
+    #: ``PARTIAL`` result instead of failing it.
+    allow_partial: bool = False
+    #: Wall-clock budget of the whole job; for streams the clock starts
+    #: at ``close()`` (an open stream can always grow).
+    deadline_s: float | None = None
+    #: Absolute (service-clock) expiry instant, once armed.
+    deadline_at: float | None = None
+    #: Per-attempt budget of a single segment on the pool.
+    segment_deadline_s: float | None = None
+    #: Deterministic fault schedule injected into this job's segments.
+    fault_plan: "FaultPlan | None" = None
+    #: Whether workers digest their outcomes for merge-time verification.
+    integrity: bool = False
+    #: Dispatch epoch per segment index — bumped on every dispatch (and
+    #: on abandonment), so a stale attempt's late result is discarded.
+    attempts: dict[int, int] = field(default_factory=dict)
+    #: Failed attempts per segment index (the retry budget's meter).
+    failures: dict[int, int] = field(default_factory=dict)
+    #: Segment attempts this job re-dispatched (retries granted).
+    retries: int = 0
+    #: Backoff queue: ``(eligible_at, segment_index)`` pairs released
+    #: into ``requeued`` once the service clock passes ``eligible_at``.
+    retry_backlog: list[tuple[float, int]] = field(default_factory=list)
+    #: Segments abandoned under ``allow_partial`` (the missing-segment
+    #: manifest of a ``PARTIAL`` result).
+    missing: set[int] = field(default_factory=set)
+    #: Full traceback of the failure that terminated the job, if any.
+    traceback: str | None = None
 
     @property
     def n_segments(self) -> int:
@@ -114,10 +158,16 @@ class Job:
 
     @property
     def complete(self) -> bool:
-        """Every segment's outcome landed (and, for streams, no more can come)."""
+        """Every segment accounted for (and, for streams, no more can come).
+
+        "Accounted for" means the outcome landed *or* the segment was
+        abandoned into the ``missing`` manifest — an ``allow_partial``
+        job is complete (and finalizes ``PARTIAL``) once nothing else
+        can arrive.
+        """
         if self.stream is not None and not self.stream.flushed:
             return False
-        return self.segments_done >= self.n_segments
+        return self.segments_done + len(self.missing) >= self.n_segments
 
     @property
     def latency_seconds(self) -> float | None:
@@ -134,12 +184,18 @@ class Job:
         events — a long-lived service must not pin every stream it
         ever served.  Streaming jobs likewise drop their buffered
         chunks and undispatched segment slices (un-polled updates and
-        the fused map survive for the client).
+        the fused map survive for the client), and their ``open`` flag
+        flips off — a terminal stream accepts no more feeds, and its
+        result must be claimable without a prior explicit ``close()``
+        (a stream whose segments all failed would otherwise wait on
+        updates that can never arrive).
         """
         self.state = state
         self.finished_at = time.perf_counter()
         self.events = None
+        self.retry_backlog.clear()
         if self.stream is not None:
+            self.stream.open = False
             self.stream.pending_chunks.clear()
             self.stream.segment_events.clear()
             self.stream.feed_times.clear()
@@ -163,6 +219,12 @@ class JobStatus:
     coalesced: bool
     error: str | None
     latency_seconds: float | None
+    #: Abandoned segment indices of a ``PARTIAL`` (or degrading) job.
+    missing_segments: tuple[int, ...] = ()
+    #: Segment attempts re-dispatched by the job's retry policy so far.
+    segments_retried: int = 0
+    #: Full culprit traceback of a failed job, when one was captured.
+    traceback: str | None = None
 
     @property
     def done(self) -> bool:

@@ -228,17 +228,26 @@ class StreamingSession:
         executed — ``close`` marks end-of-stream, it does not discard
         work.  The trailing partial frame (fewer than ``frame_size``
         events) is dropped and accounted in ``profile.dropped_events``,
-        exactly as a one-shot run would.
+        exactly as a one-shot run would.  If the stream carries a
+        ``deadline_s``, the deadline clock arms here — an open stream
+        can always grow, so the budget only starts once input ends.
         """
         self._service._close_stream(self._job)
 
     def result(self, timeout: float | None = None) -> "MappingResult":
         """Block until the stream's last segment lands; return the result.
 
-        Requires :meth:`close` first (an open stream could always grow).
-        The returned :class:`~repro.core.mapping.MappingResult` is
-        bit-identical to ``service.submit`` of the concatenated chunks:
-        same fused map, same keyframes, same profile counters.
+        Requires :meth:`close` first (an open stream could always grow),
+        *unless* the job already reached a terminal state — a stream
+        whose segments all failed surfaces its error here promptly
+        (:class:`~repro.serve.service.JobFailed`) instead of waiting on
+        updates that can never arrive.  The returned
+        :class:`~repro.core.mapping.MappingResult` is bit-identical to
+        ``service.submit`` of the concatenated chunks: same fused map,
+        same keyframes, same profile counters.  A degraded stream
+        (``allow_partial``) returns its ``PARTIAL`` result — the fused
+        map of the completed key frames with ``missing_segments``
+        listing the abandoned ones.
         """
         return self._service._stream_result(self._job, timeout)
 

@@ -16,9 +16,20 @@ chain bit-exactly on every one:
 Everything is deterministic per seed (the simulator, the scene texture
 and the configuration draws all derive from the seed), so a failure
 reproduces by running its seed alone.
+The chaos leg (``test_chaos_transient_faults_are_invisible``) extends
+the chain one level further: a seeded transient
+:class:`~repro.serve.FaultPlan` that fails *every* segment once must be
+fully absorbed by the retry budget —
+
+    ReconstructionService under injected faults + retries
+      ≡ fault-free ReconstructionService              (bit-exactly)
+
+across the inline, thread and process executors.  ``REPRO_FAULT_SEED``
+selects the fault-plan seed (CI sweeps a small matrix).
 """
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
@@ -35,7 +46,13 @@ from repro.events.scenes import slider_scene
 from repro.events.simulator import EventCameraSimulator, SimulatorConfig
 from repro.geometry.camera import PinholeCamera
 from repro.geometry.trajectory import linear_trajectory
-from repro.serve import JobState, ReconstructionService
+from repro.serve import (
+    FaultKind,
+    FaultPlan,
+    JobState,
+    ReconstructionService,
+    RetryPolicy,
+)
 
 #: Seeds of the fuzzed configurations.  Deliberately a plain list: adding
 #: a seed adds coverage, removing one reproduces a failure in isolation.
@@ -198,3 +215,55 @@ def test_differential_equivalence(seed):
     assert_keyframes_bit_equal(streamed.keyframes, mapped_batch.keyframes)
     assert len(updates) == len(streamed.keyframes)
     np.testing.assert_array_equal(updates[-1].cloud.points, streamed.cloud.points)
+
+
+#: Fault-plan seed of the chaos leg; CI sweeps this as a matrix.
+CHAOS_FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+#: Fuzz-case seeds the chaos leg replays (a subset of FUZZ_SEEDS — the
+#: chaos leg runs every case three times, once per executor).
+CHAOS_CASE_SEEDS = [1, 4]
+
+
+@pytest.mark.parametrize("executor", ["inline", "thread", "process"])
+@pytest.mark.parametrize("seed", CHAOS_CASE_SEEDS)
+def test_chaos_transient_faults_are_invisible(seed, executor):
+    """A retried chaos run is bit-identical to the fault-free run.
+
+    Every segment's first attempt fails (transient plan, ``rate=1.0``);
+    the retry budget absorbs all of it, and neither the fused map nor
+    the deterministic counters can tell the runs apart — on any
+    executor, including a process pool with real worker round-trips.
+    """
+    case = draw_case(seed)
+    spec = case.spec("numpy-batch")
+    workers = 1 if executor == "inline" else 2
+    with ReconstructionService(
+        workers=workers, executor=executor, cache_size=0
+    ) as service:
+        clean = service.result(
+            service.submit(case.events, spec), timeout=300.0
+        )
+        assert service.stats().segments_retried == 0
+
+    plan = FaultPlan(
+        FaultKind.TRANSIENT, seed=CHAOS_FAULT_SEED, rate=1.0, max_failures=1
+    )
+    with ReconstructionService(
+        workers=workers, executor=executor, cache_size=0
+    ) as service:
+        job_id = service.submit(
+            case.events,
+            spec,
+            faults=plan,
+            retry=RetryPolicy(max_attempts=3),
+        )
+        chaotic = service.result(job_id, timeout=300.0)
+        # The acceptance bar: at least one injected failure per job —
+        # here exactly one per segment — and a DONE terminal state.
+        assert service.stats().segments_retried == len(chaotic.segments)
+        assert service.poll(job_id).state is JobState.DONE
+
+    assert_fused_bit_equal(chaotic, clean)
+    assert_keyframes_bit_equal(chaotic.keyframes, clean.keyframes)
+    assert chaotic.missing_segments == ()

@@ -209,6 +209,30 @@ class TestFailurePaths:
             assert stats.jobs_failed == 1
             assert stats.jobs_done == 1
 
+    def test_failed_job_carries_culprit_traceback(
+        self, served, crashing_backend
+    ):
+        """No swallowed worker errors: a FAILED job's status exposes the
+        worker's full traceback, down to the raising frame."""
+        seq, events, config, spec = served
+        import dataclasses
+
+        bad_spec = dataclasses.replace(spec, backend=crashing_backend)
+        with ReconstructionService(workers=1, executor="thread") as service:
+            bad = service.submit(events, bad_spec)
+            service.drain(timeout=120.0)
+            status = service.poll(bad)
+            assert status.state is JobState.FAILED
+            assert status.traceback is not None
+            assert "Traceback (most recent call last)" in status.traceback
+            # The culprit frame, not just the exception repr.
+            assert "start_reference" in status.traceback
+            assert "injected mid-segment crash" in status.traceback
+            # Healthy jobs carry no traceback.
+            good = service.submit(events, spec)
+            service.drain(timeout=120.0)
+            assert service.poll(good).traceback is None
+
     def test_crash_cancels_remaining_segments_of_that_job(
         self, served, crashing_backend
     ):

@@ -1,0 +1,198 @@
+"""Unit tests for the reliability primitives: fault plans and retries.
+
+The reliability layer's value rests on *determinism*: a
+:class:`~repro.serve.faults.FaultPlan`'s schedule and a
+:class:`~repro.serve.retry.RetryPolicy`'s backoff must be pure
+functions of their fields — never of call order, wall clock or worker
+count — so a chaos run replays bit-identically.  These tests pin that,
+plus the worker-side guarded entry point and the integrity digest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EMVSConfig, EngineSpec, segment_tasks
+from repro.core.engine import SegmentPlan
+from repro.core.mapping import run_segment_task
+from repro.serve import FaultKind, FaultPlan, RetryPolicy, outcome_digest
+from repro.serve.faults import (
+    FaultInjected,
+    _HANG_GATES,
+    new_hang_gate,
+    release_all_hang_gates,
+    release_hang_gate,
+    run_guarded_segment,
+)
+
+
+@pytest.fixture
+def segment_task(davis_camera, simple_trajectory, make_stream):
+    """One small real segment task (200 events, 2 frames)."""
+    spec = EngineSpec(
+        davis_camera, simple_trajectory, EMVSConfig(frame_size=100, n_depth_planes=12)
+    )
+    plan = SegmentPlan(index=0, start_frame=0, end_frame=2, frame_size=100, t_ref=0.0)
+    return segment_tasks([plan], make_stream(200), spec)[0]
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            FaultPlan(kind="transient")
+        with pytest.raises(ValueError):
+            FaultPlan(FaultKind.TRANSIENT, rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(FaultKind.TRANSIENT, max_failures=0)
+        with pytest.raises(ValueError):
+            FaultPlan(FaultKind.SLOW, delay_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(FaultKind.TRANSIENT).directive(0, -1)
+
+    def test_targets_restrict_eligibility(self):
+        plan = FaultPlan(FaultKind.TRANSIENT, targets=(1, 3))
+        assert not plan.targeted(0)
+        assert plan.targeted(1)
+        assert plan.directive(0, 0) is None
+        assert plan.directive(3, 0) is not None
+
+    def test_rate_draw_is_deterministic_and_order_free(self):
+        plan = FaultPlan(FaultKind.TRANSIENT, seed=7, rate=0.5)
+        forward = [plan.targeted(i) for i in range(64)]
+        backward = [plan.targeted(i) for i in reversed(range(64))]
+        assert forward == list(reversed(backward))
+        # Not degenerate: a 0.5 rate faults some but not all segments.
+        assert any(forward) and not all(forward)
+        # A different seed draws a different subset.
+        other = [FaultPlan(FaultKind.TRANSIENT, seed=8, rate=0.5).targeted(i)
+                 for i in range(64)]
+        assert other != forward
+
+    def test_transient_heals_after_max_failures(self):
+        plan = FaultPlan(FaultKind.TRANSIENT, max_failures=2)
+        assert plan.directive(0, 0) is not None
+        assert plan.directive(0, 1) is not None
+        assert plan.directive(0, 2) is None
+
+    def test_persistent_never_heals(self):
+        plan = FaultPlan(FaultKind.PERSISTENT, max_failures=1)
+        assert all(plan.directive(0, attempt) is not None for attempt in range(8))
+
+    def test_directive_carries_plan_fields(self):
+        plan = FaultPlan(FaultKind.SLOW, delay_s=0.25, max_failures=2)
+        directive = plan.directive(4, 1)
+        assert directive.kind is FaultKind.SLOW
+        assert directive.index == 4
+        assert directive.attempt == 1
+        assert directive.delay_s == 0.25
+        assert not directive.hard
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=3).delay(0, 0)
+
+    def test_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.retryable(1)
+        assert policy.retryable(2)
+        assert not policy.retryable(3)
+        # The default is fail-fast: one attempt, no retries.
+        assert not RetryPolicy().retryable(1)
+
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(max_attempts=4, backoff_s=0.1, backoff_factor=2.0)
+        assert policy.delay(0, 1) == pytest.approx(0.1)
+        assert policy.delay(0, 2) == pytest.approx(0.2)
+        assert policy.delay(0, 3) == pytest.approx(0.4)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=3, backoff_s=0.1, jitter=0.5, seed=3
+        )
+        a = policy.delay(2, 1)
+        assert a == policy.delay(2, 1)  # pure in (policy, index, failures)
+        assert 0.1 <= a <= 0.15
+        # Different (index, failures) draw different jitter.
+        draws = {policy.delay(i, f) for i in range(4) for f in (1, 2)}
+        assert len(draws) > 1
+
+
+class TestGuardedSegment:
+    def test_fault_free_path_is_bit_identical(self, segment_task):
+        outcome, digest = run_guarded_segment(segment_task)
+        direct = run_segment_task(segment_task)
+        assert digest is None
+        assert outcome_digest(outcome) == outcome_digest(direct)
+
+    def test_digest_is_deterministic(self, segment_task):
+        _, a = run_guarded_segment(segment_task, with_digest=True)
+        _, b = run_guarded_segment(segment_task, with_digest=True)
+        assert a == b and a is not None
+
+    def test_transient_fault_raises(self, segment_task):
+        directive = FaultPlan(FaultKind.TRANSIENT).directive(0, 0)
+        with pytest.raises(FaultInjected, match="segment 0"):
+            run_guarded_segment(segment_task, directive)
+
+    def test_soft_crash_raises_instead_of_exiting(self, segment_task):
+        directive = FaultPlan(FaultKind.CRASH).directive(0, 0)
+        assert not directive.hard  # the service only hardens process pools
+        with pytest.raises(FaultInjected, match="crash"):
+            run_guarded_segment(segment_task, directive)
+
+    def test_corrupt_tampers_after_digest(self, segment_task):
+        directive = FaultPlan(FaultKind.CORRUPT).directive(0, 0)
+        outcome, digest = run_guarded_segment(
+            segment_task, directive, with_digest=True
+        )
+        # The digest was taken before the tamper: merge-time verification
+        # must flag the payload.
+        assert outcome_digest(outcome) != digest
+        clean = run_segment_task(segment_task)
+        assert digest == outcome_digest(clean)
+
+    def test_corrupt_changes_payload_not_structure(self, segment_task):
+        directive = FaultPlan(FaultKind.CORRUPT).directive(0, 0)
+        outcome, _ = run_guarded_segment(segment_task, directive)
+        clean = run_segment_task(segment_task)
+        assert outcome[0] == clean[0]
+        assert len(outcome[1]) == len(clean[1])
+        if outcome[1]:
+            tampered = outcome[1][0].depth_map.depth
+            original = clean[1][0].depth_map.depth
+            np.testing.assert_array_equal(
+                np.isfinite(tampered), np.isfinite(original)
+            )
+            assert not np.array_equal(tampered, original)
+
+    def test_slow_fault_still_succeeds(self, segment_task):
+        directive = FaultPlan(FaultKind.SLOW, delay_s=0.0).directive(0, 0)
+        outcome, _ = run_guarded_segment(segment_task, directive)
+        assert outcome_digest(outcome) == outcome_digest(
+            run_segment_task(segment_task)
+        )
+
+
+class TestHangGates:
+    def test_release_unblocks_and_forgets(self):
+        gate_id = new_hang_gate()
+        assert gate_id in _HANG_GATES
+        release_hang_gate(gate_id)
+        assert gate_id not in _HANG_GATES
+        release_hang_gate(gate_id)  # idempotent on unknown ids
+
+    def test_release_all(self):
+        ids = [new_hang_gate() for _ in range(3)]
+        gates = [_HANG_GATES[i] for i in ids]
+        release_all_hang_gates()
+        assert all(g.is_set() for g in gates)
+        assert not any(i in _HANG_GATES for i in ids)
