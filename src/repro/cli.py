@@ -28,9 +28,11 @@ import numpy as np
 
 
 def _cmd_info(args) -> int:
+    import os
+
     from repro.core import BACKENDS, POLICIES
     from repro.events.datasets import SCENARIO_NAMES, SEQUENCE_NAMES, SHORT_NAMES
-    from repro.serve import OVERFLOW_POLICIES, FaultKind
+    from repro.serve import CACHE_MODES, OVERFLOW_POLICIES, CacheConfig, FaultKind
 
     print("Eventor reproduction — available sequence replicas:")
     for name in SEQUENCE_NAMES:
@@ -48,6 +50,19 @@ def _cmd_info(args) -> int:
         "serve fault taxonomy (chaos testing): "
         + ", ".join(kind.value for kind in FaultKind)
     )
+    defaults = CacheConfig()
+    env_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    print(
+        f"serve cache tiers: job LRU {defaults.job_entries} entries; "
+        f"segment memory {defaults.mem_mb:.0f} MiB (0 = off), "
+        f"segment disk {defaults.disk_mb:.0f} MiB"
+    )
+    print(
+        "segment disk tier directory: "
+        + (f"{env_dir} (from REPRO_CACHE_DIR)" if env_dir else
+           "unset (pass --cache-dir or set REPRO_CACHE_DIR)")
+    )
+    print(f"per-job cache modes: {', '.join(CACHE_MODES)}")
     print("\nDefault configuration: 1024-event frames, Nz=100 planes,")
     print("nearest voting + Table 1 quantization (reformulated pipeline).")
     return 0
@@ -262,11 +277,21 @@ def _validate_serve_limits(args) -> None:
         raise SystemExit("--retries must be >= 0")
     if args.retry_backoff_ms < 0:
         raise SystemExit("--retry-backoff-ms must be >= 0")
+    if args.cache_mem_mb < 0:
+        raise SystemExit("--cache-mem-mb must be >= 0 (0 disables the tier)")
+    if args.cache_disk_mb < 0:
+        raise SystemExit("--cache-disk-mb must be >= 0 (0 disables the tier)")
 
 
-def _service_reliability(args) -> dict:
-    """Build the ReconstructionService reliability kwargs from CLI flags."""
-    from repro.serve import RetryPolicy
+def _service_config(args):
+    """Build the one :class:`ServiceConfig` every serve command runs on.
+
+    The single construction point of the CLI's service configuration:
+    engine-independent pool/admission knobs, the cache tiers, and the
+    default per-job options all land in one value object that
+    ``ReconstructionService.from_config`` consumes.
+    """
+    from repro.serve import CacheConfig, JobOptions, RetryPolicy, ServiceConfig
 
     retry = None
     if args.retries > 0:
@@ -274,7 +299,7 @@ def _service_reliability(args) -> dict:
             max_attempts=args.retries + 1,
             backoff_s=args.retry_backoff_ms * 1e-3,
         )
-    return dict(
+    options = JobOptions(
         retry=retry,
         deadline_s=None if args.deadline_ms is None else args.deadline_ms * 1e-3,
         segment_deadline_s=(
@@ -282,7 +307,20 @@ def _service_reliability(args) -> dict:
             if args.segment_deadline_ms is None
             else args.segment_deadline_ms * 1e-3
         ),
-        allow_partial=args.allow_partial,
+        allow_partial=args.allow_partial or None,
+    )
+    cache = CacheConfig(
+        job_entries=args.cache_size,
+        mem_mb=args.cache_mem_mb,
+        disk_mb=args.cache_disk_mb,
+        cache_dir=args.cache_dir,
+    )
+    return ServiceConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        overflow=args.overflow,
+        cache=cache,
+        defaults=options,
     )
 
 
@@ -351,6 +389,14 @@ def _print_service_report(service, job_ids) -> None:
         f"{stats.jobs_coalesced} coalesced; "
         f"refused {stats.jobs_refused}, dropped {stats.jobs_dropped}"
     )
+    if service.segment_cache.enabled:
+        print(
+            f"segment cache: {stats.cache.segment_hits} hit(s) "
+            f"({stats.cache.segment_disk_hits} from disk) / "
+            f"{stats.cache.segment_misses} miss(es); "
+            f"{stats.cache.segment_entries} in memory, "
+            f"{stats.cache.segment_disk_entries} on disk"
+        )
     if (
         stats.jobs_partial
         or stats.segments_retried
@@ -378,13 +424,7 @@ def _cmd_serve(args) -> int:
     _validate_serve_limits(args)
     job_tokens = args.job or ["slider_long", "corridor_sweep"]
 
-    with ReconstructionService(
-        workers=args.workers,
-        queue_limit=args.queue_limit,
-        cache_size=args.cache_size,
-        overflow=args.overflow,
-        **_service_reliability(args),
-    ) as service:
+    with ReconstructionService.from_config(_service_config(args)) as service:
         submitted = []
         for token in job_tokens:
             name, _, session = token.partition(":")
@@ -414,13 +454,7 @@ def _cmd_submit(args) -> int:
 
     _, events, spec = _sequence_job(args, args.sequence, policy)
     print(f"input: {len(events)} events over {events.duration:.2f} s")
-    with ReconstructionService(
-        workers=args.workers,
-        queue_limit=args.queue_limit,
-        cache_size=args.cache_size,
-        overflow=args.overflow,
-        **_service_reliability(args),
-    ) as service:
+    with ReconstructionService.from_config(_service_config(args)) as service:
         from repro.serve import JobFailed, SessionBacklogFull
 
         job_ids = []
@@ -459,13 +493,7 @@ def _cmd_stream(args) -> int:
         f"input: {len(events)} events over {events.duration:.2f} s, "
         f"streamed in {args.chunk_ms:.0f} ms chunks"
     )
-    with ReconstructionService(
-        workers=args.workers,
-        queue_limit=args.queue_limit,
-        cache_size=args.cache_size,
-        overflow=args.overflow,
-        **_service_reliability(args),
-    ) as service:
+    with ReconstructionService.from_config(_service_config(args)) as service:
         with service.open_stream(
             spec, session=args.session, max_pending_chunks=args.max_pending_chunks
         ) as stream:
@@ -497,6 +525,14 @@ def _cmd_stream(args) -> int:
             f"{stats.chunks_refused}, dropped {stats.chunks_dropped}; "
             f"dropped events {result.profile.dropped_events}"
         )
+        if service.segment_cache.enabled:
+            print(
+                f"segment cache: {stats.cache.segment_hits} hit(s) "
+                f"({stats.cache.segment_disk_hits} from disk) / "
+                f"{stats.cache.segment_misses} miss(es); "
+                f"{stats.cache.segment_entries} in memory, "
+                f"{stats.cache.segment_disk_entries} on disk"
+            )
     if args.output:
         _save_cloud(args.output, result.cloud)
     return 0
@@ -632,7 +668,23 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--cache-size", type=int, default=32,
-            help="LRU result-cache capacity in entries (0 disables)",
+            help="job-level LRU result-cache capacity in entries (0 disables)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None,
+            help="segment-cache disk-tier directory (persistent across "
+                 "restarts; default: the REPRO_CACHE_DIR environment "
+                 "variable, unset = disk tier off)",
+        )
+        p.add_argument(
+            "--cache-mem-mb", type=float, default=0.0,
+            help="segment-cache memory-tier bound in MiB (0 disables the "
+                 "segment memory tier)",
+        )
+        p.add_argument(
+            "--cache-disk-mb", type=float, default=256.0,
+            help="segment-cache disk-tier bound in MiB (0 disables the "
+                 "disk tier)",
         )
         p.add_argument(
             "--overflow", default="refuse",

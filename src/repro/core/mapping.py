@@ -230,6 +230,22 @@ class SegmentTask:
     events: EventArray
     spec: EngineSpec
 
+    def content_digest(self) -> str:
+        """Content-addressed identity of this task's *computation*.
+
+        The key the serving layer's segment cache memoizes outcomes
+        under: a hash of the event slice plus every spec field that
+        changes the result.  ``index`` is deliberately excluded —
+        :func:`run_segment_task` never reads it (the trajectory is
+        sampled by absolute event time), so the same slice under the
+        same spec computes the same outcome at any position.
+        """
+        # Runtime import: core must stay importable without serve, but
+        # the one canonical key derivation lives with the cache.
+        from repro.serve.cache import segment_key
+
+        return segment_key(self.spec, self.events.content_digest())
+
 
 #: A finished segment: ``(index, keyframes, profile)``.
 SegmentOutcome = tuple[int, list[KeyframeReconstruction], PipelineProfile]

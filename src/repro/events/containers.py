@@ -131,18 +131,31 @@ class EventArray:
             f"t=[{self.t[0]:.6f}, {self.t[-1]:.6f}])"
         )
 
-    def content_digest(self) -> str:
+    def content_digest(self, start: int | None = None, stop: int | None = None) -> str:
         """SHA-256 over the packed event records (hex).
 
         Two arrays digest equally iff every ``(t, x, y, p)`` record is
         bit-identical in the same order — the identity the serving
         layer's result cache keys streams by.
+
+        ``start``/``stop`` digest a contiguous slice of the records
+        without materializing a new container, and the slice digest
+        equals the digest of the standalone sliced array::
+
+            events.content_digest(a, b) == events[a:b].content_digest()
+
+        — the per-segment identity the serving layer's segment cache
+        keys frame-aligned :class:`~repro.core.engine.SegmentPlan`
+        slices by.
         """
         import hashlib
 
+        data = self._data
+        if start is not None or stop is not None:
+            data = data[slice(start, stop)]
         digest = hashlib.sha256()
-        digest.update(str(len(self)).encode())
-        digest.update(np.ascontiguousarray(self._data).tobytes())
+        digest.update(str(len(data)).encode())
+        digest.update(np.ascontiguousarray(data).tobytes())
         return digest.hexdigest()
 
     # ------------------------------------------------------------------

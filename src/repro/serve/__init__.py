@@ -2,25 +2,50 @@
 
 The scaling layer above :mod:`repro.core.mapping`: many independent
 event-stream jobs, one shared bounded worker pool, fair round-robin
-segment scheduling across sessions, explicit backpressure, and an LRU
-result cache.  See :class:`ReconstructionService` for the batch API
+segment scheduling across sessions, explicit backpressure, and tiered
+result caching — a job-level LRU plus a segment-level memo (in-memory
+LRU over a persistent on-disk store) that lets overlapping jobs and
+warm-started streams skip already-computed segments.  See
+:class:`ReconstructionService` for the batch API
 (``submit`` / ``poll`` / ``result`` / ``drain``),
 :class:`StreamingSession` for the incremental one (``open_stream`` /
 ``feed`` / ``poll_updates`` / ``close``), and ``repro serve`` /
 ``repro submit`` / ``repro stream`` for the CLI drivers.
 
+Configuration is consolidated in :mod:`repro.serve.options`:
+:class:`JobOptions` (per-job knobs, mergeable over service defaults),
+:class:`CacheConfig` (cache-tier capacities and placement) and
+:class:`ServiceConfig` (the whole service;
+:meth:`ReconstructionService.from_config` consumes one).
+
 Reliability lives in :mod:`repro.serve.retry` (deterministic retry
 budgets), :mod:`repro.serve.faults` (seeded fault injection for chaos
 testing), and the service's deadline/watchdog/``allow_partial`` knobs;
-``docs/RELIABILITY.md`` documents the full contract.
+``docs/RELIABILITY.md`` documents the full contract and
+``docs/CACHING.md`` the caching one.
 """
 
-from repro.serve.cache import CacheStats, ResultCache, job_key, outcome_digest
+from repro.serve.cache import (
+    SEGMENT_CACHE_SCHEMA,
+    CacheStats,
+    ResultCache,
+    SegmentCache,
+    job_key,
+    outcome_digest,
+    payload_digest,
+    segment_key,
+)
 from repro.serve.faults import (
     FaultDirective,
     FaultInjected,
     FaultKind,
     FaultPlan,
+)
+from repro.serve.options import (
+    CACHE_MODES,
+    CacheConfig,
+    JobOptions,
+    ServiceConfig,
 )
 from repro.serve.retry import RetryPolicy
 from repro.serve.scheduler import Dispatch, RoundRobinScheduler
@@ -37,14 +62,22 @@ from repro.serve.session import Job, JobState, JobStatus, Session
 from repro.serve.stream import StreamingSession, StreamUpdate
 
 __all__ = [
+    "SEGMENT_CACHE_SCHEMA",
     "CacheStats",
     "ResultCache",
+    "SegmentCache",
     "job_key",
     "outcome_digest",
+    "payload_digest",
+    "segment_key",
     "FaultDirective",
     "FaultInjected",
     "FaultKind",
     "FaultPlan",
+    "CACHE_MODES",
+    "CacheConfig",
+    "JobOptions",
+    "ServiceConfig",
     "RetryPolicy",
     "Dispatch",
     "RoundRobinScheduler",

@@ -94,11 +94,12 @@ class RoundRobinScheduler:
             job = session.next_dispatch()
             if job is None:
                 continue  # idle sessions keep their rotation position
-            if job.requeued:  # recovery/retry re-dispatches come first
-                index = job.requeued.pop(0)
-            else:
-                index = job.next_segment
-                job.next_segment += 1
+            # Recovery/retry re-dispatches come first; indices whose
+            # outcome already landed (segment-cache prefills) are
+            # consumed without dispatching.
+            index = job.take_next_index()
+            if index is None:
+                continue  # everything left had landed; session keeps its turn
             if job.state is JobState.QUEUED:
                 job.state = JobState.RUNNING
             session.segments_dispatched += 1

@@ -31,12 +31,21 @@ Semantics in one breath:
   futures fly, so the pool is rebuilt, lost segments requeue, and
   dispatch turns serial until the pool proves healthy — a job that
   breaks the pool while flying alone is the proven culprit and fails.
-* **caching** — results are cached under a content hash of (events,
-  camera, trajectory, config, policy, backend, fuse parameters); a
-  repeated submission returns the fused map without recompute.  An
-  identical job submitted while its twin is still *in flight* coalesces
-  onto it (no duplicate compute, both requests settle when the leader
+* **caching** — two granularities (see ``docs/CACHING.md``).  Whole
+  results are cached under a content hash of (events, camera,
+  trajectory, config, policy, backend, fuse parameters); a repeated
+  submission returns the fused map without recompute, and an identical
+  job submitted while its twin is still *in flight* coalesces onto it
+  (no duplicate compute, both requests settle when the leader
   finishes) — burst-duplicate traffic costs one reconstruction, not N.
+  Below that, a tiered **segment cache** (in-memory LRU over a
+  persistent on-disk store) memoizes per-segment outcomes under a
+  content hash of (segment event slice, engine spec): overlapping jobs
+  — sliding windows, warm-started streams, resubmissions after a
+  restart — skip the already-computed segments entirely, and the
+  assembled result stays bit-identical to a cold run because the
+  cached payload *is* the segment's outcome.  Per-job cache modes
+  (``JobOptions.cache``): ``"on"``, ``"off"``, ``"refresh"``.
 * **streaming** — ``open_stream`` admits a job whose events arrive in
   chunks (:class:`~repro.serve.stream.StreamingSession`): an
   incremental pose-only planner cuts key-frame segments as boundaries
@@ -65,6 +74,7 @@ from __future__ import annotations
 import os
 import time
 import traceback as traceback_module
+import warnings
 from concurrent.futures import (
     FIRST_COMPLETED,
     BrokenExecutor,
@@ -86,7 +96,14 @@ from repro.core.mapping import (
 )
 from repro.core.results import PipelineProfile
 from repro.events.containers import EventArray
-from repro.serve.cache import CacheStats, ResultCache, job_key, outcome_digest
+from repro.serve.cache import (
+    CacheStats,
+    ResultCache,
+    SegmentCache,
+    job_key,
+    outcome_digest,
+    segment_key,
+)
 from repro.serve.faults import (
     FaultKind,
     FaultPlan,
@@ -94,6 +111,7 @@ from repro.serve.faults import (
     release_hang_gate,
     run_guarded_segment,
 )
+from repro.serve.options import CacheConfig, JobOptions, ServiceConfig
 from repro.serve.retry import RetryPolicy
 from repro.serve.scheduler import RoundRobinScheduler
 from repro.serve.session import (
@@ -112,6 +130,22 @@ OVERFLOW_POLICIES = ("refuse", "drop-oldest")
 #: Successful segment completions required to leave serial probation
 #: after a pool break (see ``ReconstructionService._collect_done``).
 PROBATION_SUCCESSES = 3
+
+#: Sentinel distinguishing "kwarg not supplied" from an explicit None in
+#: the deprecated reliability-kwarg shims.
+_UNSET = object()
+
+#: The legacy per-call reliability kwargs the JobOptions redesign
+#: deprecates (constructor spelling -> JobOptions field).
+_DEPRECATED_FIELDS = {
+    "retry": "retry",
+    "deadline_s": "deadline_s",
+    "segment_deadline_s": "segment_deadline_s",
+    "allow_partial": "allow_partial",
+    "faults": "faults",
+    "fault_plan": "faults",
+    "integrity": "integrity",
+}
 
 
 class ServeError(RuntimeError):
@@ -194,6 +228,10 @@ class _Flight:
     attempt: int
     started_at: float
     gate_id: str | None = None
+    #: Whether a fault directive was injected into this attempt — a
+    #: faulted attempt's outcome may be tampered (CORRUPT), so it is
+    #: never stored in the segment cache.
+    faulted: bool = False
 
 
 class ReconstructionService:
@@ -210,7 +248,9 @@ class ReconstructionService:
     queue_limit:
         Per-session bound on active (queued + running) jobs.
     cache_size:
-        LRU result-cache capacity in entries; ``0`` disables caching.
+        Job-level LRU result-cache capacity in entries; ``0`` disables
+        caching.  Shorthand for ``cache=CacheConfig(job_entries=n)``;
+        mutually exclusive with ``cache``.
     retain_jobs:
         How many *terminal* (done/failed/dropped) job records to keep
         for late ``poll``/``result`` calls; the oldest are evicted
@@ -222,36 +262,26 @@ class ReconstructionService:
         dropped to admit the new one; with nothing droppable the
         submission is refused).  Either way the outcome is recorded in
         the aggregate profile.
-    retry:
-        Default :class:`~repro.serve.retry.RetryPolicy` for admitted
-        jobs; ``None`` (the default) fails a job on its first segment
-        failure, exactly the pre-reliability semantics.
-    deadline_s:
-        Default whole-job wall-clock budget; a job past it is expired
-        by the watchdog (``FAILED``, or ``PARTIAL`` under
-        ``allow_partial``).  For streams the clock starts at ``close()``.
-    segment_deadline_s:
-        Default per-attempt budget of one segment on the pool; an
-        expired attempt is abandoned (hung process workers are killed
-        with the pool, which is then rebuilt) and counts as a failure
-        toward the retry budget.
-    allow_partial:
-        Default graceful-degradation switch: jobs that run out of
-        deadline or retries terminate ``PARTIAL`` — carrying the fused
-        map of their completed key frames plus a missing-segment
-        manifest — instead of ``FAILED``.
-    fault_plan:
-        Default deterministic :class:`~repro.serve.faults.FaultPlan`
-        injected into every job's segments (chaos testing); ``None``
-        injects nothing.
-    integrity:
-        Whether workers digest their outcomes so the service can verify
-        payload integrity at merge time (a mismatch counts as a segment
-        failure and is retried under the retry policy).
+    retry, deadline_s, segment_deadline_s, allow_partial, fault_plan, integrity:
+        **Deprecated** spellings of the service-wide default
+        :class:`~repro.serve.options.JobOptions` fields; they keep
+        working through a shim that maps them onto ``options`` (and
+        emits a :class:`DeprecationWarning`).  See
+        :class:`~repro.serve.options.JobOptions` for their semantics.
     clock:
         Monotonic time source for deadlines and backoff scheduling
         (default ``time.perf_counter``); injectable so deadline tests
         run on a fake clock instead of sleeps.
+    options:
+        Service-wide default :class:`~repro.serve.options.JobOptions`;
+        per-job options merge over these (``JobOptions.merged``).
+    cache:
+        Cache-tier configuration
+        (:class:`~repro.serve.options.CacheConfig`): job-level LRU
+        entries plus the segment tiers — an in-memory LRU in front of a
+        persistent on-disk store, so overlapping jobs and warm-started
+        streams skip already-computed segments entirely (see
+        ``docs/CACHING.md``).  Mutually exclusive with ``cache_size``.
 
     Examples
     --------
@@ -283,16 +313,19 @@ class ReconstructionService:
         workers: int | None = None,
         executor: str | None = None,
         queue_limit: int = 8,
-        cache_size: int = 32,
+        cache_size: int | None = None,
         overflow: str = "refuse",
         retain_jobs: int = 256,
-        retry: RetryPolicy | None = None,
-        deadline_s: float | None = None,
-        segment_deadline_s: float | None = None,
-        allow_partial: bool = False,
-        fault_plan: FaultPlan | None = None,
-        integrity: bool = False,
+        retry=_UNSET,
+        deadline_s=_UNSET,
+        segment_deadline_s=_UNSET,
+        allow_partial=_UNSET,
+        fault_plan=_UNSET,
+        integrity=_UNSET,
         clock: Callable[[], float] | None = None,
+        *,
+        options: JobOptions | None = None,
+        cache: CacheConfig | None = None,
     ):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 (or None for auto)")
@@ -304,19 +337,44 @@ class ReconstructionService:
             raise ValueError(
                 f"overflow must be one of {OVERFLOW_POLICIES}, got {overflow!r}"
             )
+        if cache is not None and cache_size is not None:
+            raise ValueError(
+                "pass either cache_size (legacy shorthand) or "
+                "cache=CacheConfig(...), not both"
+            )
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         self.executor = executor or ("inline" if self.workers == 1 else "process")
         self.overflow = overflow
         self.retain_jobs = retain_jobs
-        self.retry = retry
-        self.deadline_s = deadline_s
-        self.segment_deadline_s = segment_deadline_s
-        self.allow_partial = allow_partial
-        self.fault_plan = fault_plan
-        self.integrity = integrity
         self._clock = clock or time.perf_counter
-        self._check_reliability(retry, deadline_s, segment_deadline_s, fault_plan)
-        self.cache = ResultCache(cache_size)
+        legacy = {
+            "retry": retry,
+            "deadline_s": deadline_s,
+            "segment_deadline_s": segment_deadline_s,
+            "allow_partial": allow_partial,
+            "fault_plan": fault_plan,
+            "integrity": integrity,
+        }
+        ctor = self._shim_legacy_kwargs(legacy)
+        hard = JobOptions(
+            allow_partial=False, integrity=False, min_observations=1, cache="on"
+        )
+        #: The service-wide default :class:`JobOptions`; per-job options
+        #: merge over these (``JobOptions.merged``).
+        self.defaults = ctor.merged(options or JobOptions()).merged(hard)
+        self._check_options(self.defaults)
+        if cache is None:
+            cache = CacheConfig(job_entries=32 if cache_size is None else cache_size)
+        #: The :class:`CacheConfig` the cache tiers were built from.
+        self.cache_config = cache
+        self.cache = ResultCache(cache.job_entries)
+        #: Tiered segment-outcome cache (memory LRU over a persistent
+        #: disk store); disabled by default — see ``docs/CACHING.md``.
+        self.segment_cache = SegmentCache(
+            mem_mb=cache.mem_mb,
+            disk_mb=cache.disk_mb,
+            cache_dir=cache.resolved_dir(),
+        )
         self.profile = PipelineProfile()
         self._scheduler = RoundRobinScheduler(queue_limit)
         self._jobs: dict[str, Job] = {}
@@ -340,6 +398,60 @@ class ReconstructionService:
         #: Hang-gate ids this service registered (released on close).
         self._gates: list[str] = []
 
+    @classmethod
+    def from_config(
+        cls, config: ServiceConfig, *, clock: Callable[[], float] | None = None
+    ) -> "ReconstructionService":
+        """Construct a service from one :class:`ServiceConfig` value object.
+
+        The one-object spelling of the constructor — the CLI's
+        serve/submit/stream commands build a :class:`ServiceConfig` in a
+        single place and hand it here.
+        """
+        return cls(
+            workers=config.workers,
+            executor=config.executor,
+            queue_limit=config.queue_limit,
+            overflow=config.overflow,
+            retain_jobs=config.retain_jobs,
+            clock=clock,
+            options=config.defaults,
+            cache=config.cache,
+        )
+
+    # ------------------------------------------------------------------
+    # Legacy reliability-kwarg views (deprecated spellings)
+    # ------------------------------------------------------------------
+    @property
+    def retry(self) -> RetryPolicy | None:
+        """Service-wide default retry policy (``defaults.retry``)."""
+        return self.defaults.retry
+
+    @property
+    def deadline_s(self) -> float | None:
+        """Service-wide default job deadline (``defaults.deadline_s``)."""
+        return self.defaults.deadline_s
+
+    @property
+    def segment_deadline_s(self) -> float | None:
+        """Default per-attempt budget (``defaults.segment_deadline_s``)."""
+        return self.defaults.segment_deadline_s
+
+    @property
+    def allow_partial(self) -> bool:
+        """Default graceful-degradation switch (``defaults.allow_partial``)."""
+        return bool(self.defaults.allow_partial)
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        """Service-wide default fault schedule (``defaults.faults``)."""
+        return self.defaults.faults
+
+    @property
+    def integrity(self) -> bool:
+        """Default merge-time integrity checking (``defaults.integrity``)."""
+        return bool(self.defaults.integrity)
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -349,29 +461,43 @@ class ReconstructionService:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _check_reliability(
-        self,
-        retry: RetryPolicy | None,
-        deadline_s: float | None,
-        segment_deadline_s: float | None,
-        fault_plan: FaultPlan | None,
-    ) -> None:
-        """Validate one set of reliability knobs (constructor or per-job)."""
-        if retry is not None and not isinstance(retry, RetryPolicy):
-            raise TypeError("retry must be a RetryPolicy (or None)")
-        if deadline_s is not None and deadline_s <= 0:
-            raise ValueError("deadline_s must be positive (or None)")
-        if segment_deadline_s is not None and segment_deadline_s <= 0:
-            raise ValueError("segment_deadline_s must be positive (or None)")
-        if fault_plan is not None:
-            if not isinstance(fault_plan, FaultPlan):
-                raise TypeError("fault_plan must be a FaultPlan (or None)")
-            if fault_plan.kind is FaultKind.HANG and self.executor == "inline":
-                raise ValueError(
-                    "hang faults cannot run on the inline executor (the "
-                    "dispatching thread would block itself); use threads "
-                    "or processes"
-                )
+    @staticmethod
+    def _shim_legacy_kwargs(legacy: dict) -> JobOptions:
+        """Map supplied deprecated kwargs onto a :class:`JobOptions`.
+
+        ``legacy`` holds the deprecated kwargs by their old names with
+        ``_UNSET`` marking "not supplied"; anything supplied emits one
+        :class:`DeprecationWarning` naming the offenders.  Construction
+        validates the values (same messages as the legacy checks).
+        """
+        supplied = {k: v for k, v in legacy.items() if v is not _UNSET}
+        if supplied:
+            warnings.warn(
+                f"the {sorted(supplied)} kwargs are deprecated; pass "
+                "options=JobOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return JobOptions(
+            **{_DEPRECATED_FIELDS[k]: v for k, v in supplied.items()}
+        )
+
+    def _check_options(self, options: JobOptions) -> None:
+        """Validate a resolved options set against this service's executor.
+
+        Value/type validation lives in ``JobOptions.__post_init__``;
+        this check catches the one executor-dependent combination.
+        """
+        if (
+            options.faults is not None
+            and options.faults.kind is FaultKind.HANG
+            and self.executor == "inline"
+        ):
+            raise ValueError(
+                "hang faults cannot run on the inline executor (the "
+                "dispatching thread would block itself); use threads "
+                "or processes"
+            )
 
     def close(self) -> None:
         """Shut the pool down; queued work is abandoned.
@@ -407,41 +533,47 @@ class ReconstructionService:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    def _job_reliability(
+    def _resolve_job_options(
         self,
-        retry: RetryPolicy | None,
-        deadline_s: float | None,
-        segment_deadline_s: float | None,
-        allow_partial: bool | None,
-        faults: FaultPlan | None,
-        integrity: bool | None,
-    ) -> dict:
-        """Merge per-job reliability overrides with the service defaults.
+        options: JobOptions | None,
+        legacy: dict,
+        *,
+        voxel_size: float | None = None,
+        min_observations: int | None = None,
+    ) -> JobOptions:
+        """Resolve one call's effective :class:`JobOptions`.
 
-        ``None`` means "use the service default"; the merged set is
-        validated and returned as :class:`Job` constructor kwargs.
+        The single merge rule of the options redesign: deprecated
+        per-call kwargs (shimmed onto :class:`JobOptions`, with a
+        :class:`DeprecationWarning`) layer over ``options``, which
+        layers over the service defaults —
+        ``legacy.merged(options).merged(self.defaults)``.  The
+        first-class fuse kwargs (``voxel_size``/``min_observations``)
+        join the strongest layer.
         """
-        merged = dict(
-            retry=retry if retry is not None else self.retry,
-            deadline_s=deadline_s if deadline_s is not None else self.deadline_s,
-            segment_deadline_s=(
-                segment_deadline_s
-                if segment_deadline_s is not None
-                else self.segment_deadline_s
-            ),
-            allow_partial=(
-                self.allow_partial if allow_partial is None else bool(allow_partial)
-            ),
-            fault_plan=faults if faults is not None else self.fault_plan,
-            integrity=self.integrity if integrity is None else bool(integrity),
+        per_call = self._shim_legacy_kwargs(legacy)
+        fuse = {}
+        if voxel_size is not None:
+            fuse["voxel_size"] = voxel_size
+        if min_observations is not None:
+            fuse["min_observations"] = min_observations
+        if fuse:
+            per_call = replace(per_call, **fuse)
+        resolved = per_call.merged(options or JobOptions()).merged(self.defaults)
+        self._check_options(resolved)
+        return resolved
+
+    def _job_kwargs(self, resolved: JobOptions) -> dict:
+        """The :class:`Job` constructor kwargs of a resolved options set."""
+        return dict(
+            retry=resolved.retry,
+            deadline_s=resolved.deadline_s,
+            segment_deadline_s=resolved.segment_deadline_s,
+            allow_partial=bool(resolved.allow_partial),
+            fault_plan=resolved.faults,
+            integrity=bool(resolved.integrity),
+            cache_mode=resolved.cache,
         )
-        self._check_reliability(
-            merged["retry"],
-            merged["deadline_s"],
-            merged["segment_deadline_s"],
-            merged["fault_plan"],
-        )
-        return merged
 
     def submit(
         self,
@@ -450,13 +582,14 @@ class ReconstructionService:
         *,
         session: str = "default",
         voxel_size: float | None = None,
-        min_observations: int = 1,
-        retry: RetryPolicy | None = None,
-        deadline_s: float | None = None,
-        segment_deadline_s: float | None = None,
-        allow_partial: bool | None = None,
-        faults: FaultPlan | None = None,
-        integrity: bool | None = None,
+        min_observations: int | None = None,
+        retry=_UNSET,
+        deadline_s=_UNSET,
+        segment_deadline_s=_UNSET,
+        allow_partial=_UNSET,
+        faults=_UNSET,
+        integrity=_UNSET,
+        options: JobOptions | None = None,
     ) -> str:
         """Admit one reconstruction job; returns its job id.
 
@@ -465,30 +598,44 @@ class ReconstructionService:
         :meth:`drain` to make progress.  Raises
         :class:`SessionBacklogFull` when backpressure refuses the job.
 
-        The reliability knobs (``retry``, ``deadline_s``,
-        ``segment_deadline_s``, ``allow_partial``, ``faults``,
-        ``integrity``) override the service-wide defaults for this job;
-        ``None`` inherits the default.  The job's deadline clock starts
-        now (at admission).
+        ``options`` overrides the service-wide default
+        :class:`~repro.serve.options.JobOptions` for this job (``None``
+        fields inherit); the loose reliability kwargs are deprecated
+        spellings of the same fields and emit a
+        :class:`DeprecationWarning`.  The job's deadline clock starts
+        now (at admission).  When the segment cache holds outcomes for
+        some (or all) of the job's segments, those segments complete at
+        admission without ever touching the pool.
         """
         if self._closed:
             raise ServeError("service is closed")
         self._prune_terminal()
         if not isinstance(spec, EngineSpec):
             raise TypeError("submit() takes an EngineSpec (see EngineSpec.build)")
-        if min_observations < 1:
-            raise ValueError("min_observations must be >= 1")
+        resolved = self._resolve_job_options(
+            options,
+            {
+                "retry": retry,
+                "deadline_s": deadline_s,
+                "segment_deadline_s": segment_deadline_s,
+                "allow_partial": allow_partial,
+                "faults": faults,
+                "integrity": integrity,
+            },
+            voxel_size=voxel_size,
+            min_observations=min_observations,
+        )
+        voxel_size = resolved.voxel_size
         if voxel_size is None:
             voxel_size = default_voxel_size(spec.depth_range)
-        if voxel_size <= 0:
-            raise ValueError("voxel_size must be positive")
-        reliability = self._job_reliability(
-            retry, deadline_s, segment_deadline_s, allow_partial, faults, integrity
-        )
+        min_observations = resolved.min_observations
+        mode = resolved.cache
+        reliability = self._job_kwargs(resolved)
 
         key = None
-        if self.cache.enabled:
+        if mode != "off" and self.cache.enabled:
             key = job_key(spec, events, voxel_size, min_observations)
+        if mode == "on" and key is not None:
             leader = self._leaders.get(key)
             if leader is not None and leader.state not in TERMINAL_STATES:
                 # Identical job already in flight: coalesce instead of
@@ -558,6 +705,22 @@ class ReconstructionService:
         )
         if job.deadline_s is not None:
             job.deadline_at = self._clock() + job.deadline_s
+        if mode != "off" and self.segment_cache.enabled:
+            # Admission sweep of the segment tier: key every planned
+            # segment by its content (the plan's frame-aligned event
+            # slice digests without materializing it), and complete the
+            # already-known ones on the spot — a fully warm job never
+            # touches the pool.  ``refresh`` keys but never reads.
+            for plan in plans:
+                skey = segment_key(
+                    spec, events.content_digest(plan.start_event, plan.end_event)
+                )
+                job.segment_keys[plan.index] = skey
+                if mode == "on":
+                    hit = self.segment_cache.get(skey, verify=job.integrity)
+                    if hit is not None:
+                        job.outcomes[plan.index] = (plan.index, list(hit[0]), hit[1])
+                        job.segments_cached += 1
         self._scheduler.admit(job)
         self._jobs[job.job_id] = job
         self._jobs_submitted += 1
@@ -566,6 +729,9 @@ class ReconstructionService:
         if not plans:
             # Too short for a single frame: finish with an (accounted)
             # empty result instead of parking a never-schedulable job.
+            self._finalize(job)
+        elif job.complete:
+            # Every segment came out of the segment cache at admission.
             self._finalize(job)
         return job.job_id
 
@@ -629,14 +795,15 @@ class ReconstructionService:
         *,
         session: str = "default",
         voxel_size: float | None = None,
-        min_observations: int = 1,
+        min_observations: int | None = None,
         max_pending_chunks: int = 64,
-        retry: RetryPolicy | None = None,
-        deadline_s: float | None = None,
-        segment_deadline_s: float | None = None,
-        allow_partial: bool | None = None,
-        faults: FaultPlan | None = None,
-        integrity: bool | None = None,
+        retry=_UNSET,
+        deadline_s=_UNSET,
+        segment_deadline_s=_UNSET,
+        allow_partial=_UNSET,
+        faults=_UNSET,
+        integrity=_UNSET,
+        options: JobOptions | None = None,
     ) -> StreamingSession:
         """Admit a streaming job; returns its :class:`StreamingSession` handle.
 
@@ -646,30 +813,42 @@ class ReconstructionService:
         :class:`~repro.serve.stream.StreamUpdate` per finalized key
         frame.  ``max_pending_chunks`` bounds the in-flight chunk
         buffer; a full buffer applies the service's overflow policy at
-        chunk granularity.  Streams bypass the result cache — their
-        content is unknown until closed.
+        chunk granularity.  Streams bypass the *job-level* result cache
+        (their content is unknown until closed) but warm-start from the
+        *segment* tier: a freshly cut segment whose outcome is already
+        cached emits its updates immediately, without a dispatch.
 
-        The reliability knobs override the service defaults exactly as
-        in :meth:`submit`, with one difference: a stream's ``deadline_s``
-        arms at ``close()`` — an open stream can always grow, so there
-        is no meaningful total budget until the input ends.
+        ``options`` / the deprecated reliability kwargs resolve exactly
+        as in :meth:`submit`, with one difference: a stream's
+        ``deadline_s`` arms at ``close()`` — an open stream can always
+        grow, so there is no meaningful total budget until the input
+        ends.
         """
         if self._closed:
             raise ServeError("service is closed")
         self._prune_terminal()
         if not isinstance(spec, EngineSpec):
             raise TypeError("open_stream() takes an EngineSpec (see EngineSpec.build)")
-        if min_observations < 1:
-            raise ValueError("min_observations must be >= 1")
-        if voxel_size is None:
-            voxel_size = default_voxel_size(spec.depth_range)
-        if voxel_size <= 0:
-            raise ValueError("voxel_size must be positive")
         if max_pending_chunks < 1:
             raise ValueError("max_pending_chunks must be >= 1")
-        reliability = self._job_reliability(
-            retry, deadline_s, segment_deadline_s, allow_partial, faults, integrity
+        resolved = self._resolve_job_options(
+            options,
+            {
+                "retry": retry,
+                "deadline_s": deadline_s,
+                "segment_deadline_s": segment_deadline_s,
+                "allow_partial": allow_partial,
+                "faults": faults,
+                "integrity": integrity,
+            },
+            voxel_size=voxel_size,
+            min_observations=min_observations,
         )
+        voxel_size = resolved.voxel_size
+        if voxel_size is None:
+            voxel_size = default_voxel_size(spec.depth_range)
+        min_observations = resolved.min_observations
+        reliability = self._job_kwargs(resolved)
         self._admit_session(session)
         job = Job(
             job_id=new_job_id(session),
@@ -811,10 +990,28 @@ class ReconstructionService:
     def _add_stream_segment(
         self, job: Job, plan, segment_events: EventArray, fed_at: float
     ) -> None:
-        """Append one freshly cut segment to a streaming job's plan."""
+        """Append one freshly cut segment to a streaming job's plan.
+
+        The segment probes the segment cache first (the streaming twin
+        of :meth:`submit`'s admission sweep): a hit lands the outcome —
+        and emits every update it unblocks — without ever buffering the
+        slice for dispatch.  The stream's slices are cut at the same
+        frame-aligned boundaries a batch plan uses, so the keys match a
+        prior ``submit`` of the same content.
+        """
         job.plans = job.plans + (plan,)
-        job.stream.segment_events[plan.index] = segment_events
         job.stream.feed_times[plan.index] = fed_at
+        if job.cache_mode != "off" and self.segment_cache.enabled:
+            skey = segment_key(job.spec, segment_events.content_digest())
+            job.segment_keys[plan.index] = skey
+            if job.cache_mode == "on":
+                hit = self.segment_cache.get(skey, verify=job.integrity)
+                if hit is not None:
+                    job.outcomes[plan.index] = (plan.index, list(hit[0]), hit[1])
+                    job.segments_cached += 1
+                    self._emit_stream_updates(job)
+                    return
+        job.stream.segment_events[plan.index] = segment_events
 
     def _emit_stream_updates(self, job: Job) -> None:
         """Fold landed outcomes into the fused map, in segment order.
@@ -872,6 +1069,21 @@ class ReconstructionService:
                 break
             job = decision.job
             index = decision.task.index
+            if job.cache_mode == "on":
+                # Dispatch-time cache consult: an outcome that appeared
+                # after admission (typically computed by an overlapping
+                # job in the meantime) completes the segment without
+                # consuming a pool slot.  Not counted as a miss — the
+                # admission sweep already charged this segment once.
+                skey = job.segment_keys.get(index)
+                if skey is not None:
+                    hit = self.segment_cache.get(
+                        skey, count_miss=False, verify=job.integrity
+                    )
+                    if hit is not None:
+                        self._land_cached_segment(job, index, hit)
+                        dispatched = True
+                        continue
             directive = None
             if job.fault_plan is not None:
                 directive = job.fault_plan.directive(index, decision.attempt - 1)
@@ -897,9 +1109,27 @@ class ReconstructionService:
                 attempt=decision.attempt,
                 started_at=self._clock(),
                 gate_id=directive.gate_id if directive is not None else None,
+                faulted=directive is not None,
             )
             dispatched = True
         return dispatched
+
+    def _land_cached_segment(self, job: Job, index: int, payload: tuple) -> None:
+        """Complete one segment from the segment cache, pool untouched.
+
+        The dispatch-time twin of :meth:`_collect_done`'s success path:
+        the payload becomes the segment's outcome, a stream releases the
+        slice and emits the updates it unblocks, and a job whose last
+        segment this was finalizes.
+        """
+        keyframes, profile = payload
+        job.outcomes[index] = (index, list(keyframes), profile)
+        job.segments_cached += 1
+        if job.stream is not None:
+            job.stream.segment_events.pop(index, None)
+            self._emit_stream_updates(job)
+        if job.complete:
+            self._finalize(job)
 
     def _collect_done(self) -> bool:
         collected = False
@@ -978,6 +1208,18 @@ class ReconstructionService:
                 )
                 continue
             job.outcomes[outcome[0]] = outcome
+            if (
+                not flight.faulted
+                and job.cache_mode != "off"
+                and self.segment_cache.enabled
+            ):
+                # Store only final good outcomes: the integrity gate
+                # above already passed, and a faulted attempt's payload
+                # may have been tampered (CORRUPT) without integrity
+                # armed, so it never enters the cache.
+                skey = job.segment_keys.get(index)
+                if skey is not None:
+                    self.segment_cache.put(skey, (outcome[1], outcome[2]))
             if job.stream is not None:
                 # The segment's slice is no longer needed for dispatch
                 # (or pool-break requeue); release it and emit every
@@ -1445,6 +1687,16 @@ class ReconstructionService:
 
     def stats(self) -> ServiceStats:
         """Aggregate counters: admission, outcomes, cache, streaming."""
+        segment = self.segment_cache
+        cache_stats = replace(
+            self.cache.stats(),
+            segment_hits=segment.hits,
+            segment_misses=segment.misses,
+            segment_disk_hits=segment.disk_hits,
+            segment_evictions=segment.evictions,
+            segment_entries=len(segment),
+            segment_disk_entries=segment.disk_entries,
+        )
         return ServiceStats(
             jobs_submitted=self._jobs_submitted,
             jobs_done=self._jobs_done,
@@ -1460,7 +1712,7 @@ class ReconstructionService:
             segments_retried=self.profile.segments_retried,
             segments_timed_out=self.profile.segments_timed_out,
             results_corrupted=self.profile.results_corrupted,
-            cache=self.cache.stats(),
+            cache=cache_stats,
             segments_dispatched={
                 name: session.segments_dispatched
                 for name, session in self._scheduler.sessions.items()

@@ -136,6 +136,16 @@ class Job:
     missing: set[int] = field(default_factory=set)
     #: Full traceback of the failure that terminated the job, if any.
     traceback: str | None = None
+    #: This job's cache mode (``"on"`` / ``"off"`` / ``"refresh"``, see
+    #: :data:`repro.serve.options.CACHE_MODES`).
+    cache_mode: str = "on"
+    #: Segment-cache key per segment index, computed at admission (batch
+    #: jobs) or as segments are cut (streams); empty when the segment
+    #: cache is disabled or the job's cache mode is ``"off"``.
+    segment_keys: dict[int, str] = field(default_factory=dict)
+    #: Segments served from the segment cache (admission, stream cut, or
+    #: dispatch-time probe) — they never touched the pool.
+    segments_cached: int = 0
 
     @property
     def n_segments(self) -> int:
@@ -168,6 +178,28 @@ class Job:
         if self.stream is not None and not self.stream.flushed:
             return False
         return self.segments_done + len(self.missing) >= self.n_segments
+
+    def take_next_index(self) -> int | None:
+        """Claim the next segment index that actually needs dispatching.
+
+        Drains the recovery/retry requeue first, then advances the plan
+        cursor — skipping, in both sources, segments whose outcome
+        already landed (e.g. served from the segment cache after the
+        index was queued) or that were abandoned into ``missing``.
+        Returns ``None`` when nothing currently needs the pool; the
+        cursor state is consumed either way, so callers must dispatch
+        (or account) a returned index.
+        """
+        while self.requeued:
+            index = self.requeued.pop(0)
+            if index not in self.outcomes and index not in self.missing:
+                return index
+        while self.next_segment < self.n_segments:
+            index = self.next_segment
+            self.next_segment += 1
+            if index not in self.outcomes and index not in self.missing:
+                return index
+        return None
 
     @property
     def latency_seconds(self) -> float | None:

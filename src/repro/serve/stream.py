@@ -124,7 +124,9 @@ class StreamingSession:
 
     * :meth:`feed` pushes one time-ordered event chunk (any size) and
       pumps the service — newly crossed key-frame boundaries dispatch
-      immediately.
+      immediately, unless the segment cache already holds the slice's
+      outcome, in which case the update lands without a dispatch (see
+      ``docs/CACHING.md``).
     * :meth:`poll_updates` drains the finalized-key-frame updates
       produced since the previous poll.
     * :meth:`close` ends the stream: the trailing segment is cut and the

@@ -47,6 +47,7 @@ from repro.events.simulator import EventCameraSimulator, SimulatorConfig
 from repro.geometry.camera import PinholeCamera
 from repro.geometry.trajectory import linear_trajectory
 from repro.serve import (
+    CacheConfig,
     FaultKind,
     FaultPlan,
     JobState,
@@ -215,6 +216,58 @@ def test_differential_equivalence(seed):
     assert_keyframes_bit_equal(streamed.keyframes, mapped_batch.keyframes)
     assert len(updates) == len(streamed.keyframes)
     np.testing.assert_array_equal(updates[-1].cloud.points, streamed.cloud.points)
+
+
+#: Fuzz-case seed of the warm-cache leg (one case, six service legs).
+WARM_CACHE_SEED = 3
+
+
+@pytest.mark.parametrize("executor", ["inline", "thread", "process"])
+@pytest.mark.parametrize("tier", ["memory", "disk"])
+def test_warm_segment_cache_is_invisible(tier, executor, tmp_path):
+    """Warm-cache assembly is bit-identical to the cold run, streams included.
+
+    One fuzz-drawn case runs cold against an empty segment cache, then
+    resubmits (batch) and replays (stream) against the warm cache: both
+    warm runs must complete with **zero** new segment dispatches and
+    fuse bit-identically to the cold result — for the memory tier and
+    the disk tier, on every executor.  The job-level cache is disabled
+    so the segment tier alone carries the equivalence.
+    """
+    case = draw_case(WARM_CACHE_SEED)
+    spec = case.spec("numpy-batch")
+    workers = 1 if executor == "inline" else 2
+    cache = CacheConfig(
+        job_entries=0,
+        mem_mb=64 if tier == "memory" else 0,
+        cache_dir=str(tmp_path) if tier == "disk" else "",
+    )
+    with ReconstructionService(
+        workers=workers, executor=executor, cache=cache
+    ) as service:
+        cold = service.result(service.submit(case.events, spec), timeout=300.0)
+        cold_dispatches = len(service.dispatch_log)
+        assert cold_dispatches == len(cold.segments) > 1
+
+        warm = service.result(service.submit(case.events, spec), timeout=300.0)
+        assert len(service.dispatch_log) == cold_dispatches
+        assert service.stats().cache.segment_hits >= len(cold.segments)
+        if tier == "disk":
+            assert service.stats().cache.segment_disk_entries == len(cold.segments)
+        assert_fused_bit_equal(warm, cold)
+        assert_keyframes_bit_equal(warm.keyframes, cold.keyframes)
+
+        chunk_rng = np.random.default_rng(7700 + WARM_CACHE_SEED)
+        with service.open_stream(spec) as stream:
+            cursor = 0
+            while cursor < len(case.events):
+                step = int(chunk_rng.integers(200, 20_000))
+                stream.feed(case.events[cursor : cursor + step])
+                cursor += step
+        streamed = stream.result(timeout=300.0)
+        assert len(service.dispatch_log) == cold_dispatches
+        assert_fused_bit_equal(streamed, cold)
+        assert_keyframes_bit_equal(streamed.keyframes, cold.keyframes)
 
 
 #: Fault-plan seed of the chaos leg; CI sweeps this as a matrix.

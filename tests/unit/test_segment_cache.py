@@ -1,0 +1,209 @@
+"""The tiered segment-outcome cache (memory LRU over a disk store).
+
+Everything here runs on synthetic payloads — ``(keyframes, profile)``
+with placeholder key frames — because the cache is content-agnostic;
+the integration suite (``test_cache_persistence``) exercises it with
+real reconstructions.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.results import PipelineProfile
+from repro.serve import (
+    SEGMENT_CACHE_SCHEMA,
+    SegmentCache,
+    payload_digest,
+    segment_key,
+)
+
+
+def make_payload(tag: str, pad: int = 0):
+    """A distinguishable picklable payload (optionally padded to size)."""
+    profile = PipelineProfile()
+    profile.n_events = len(tag)
+    return ([tag, "x" * pad], profile)
+
+
+def key_of(n: int) -> str:
+    """A deterministic 64-hex key (the shape segment_key produces)."""
+    return f"{n:064x}"
+
+
+class TestMemoryTier:
+    def test_disabled_by_default(self):
+        cache = SegmentCache()
+        assert not cache.enabled
+        assert cache.get(key_of(1)) is None
+        cache.put(key_of(1), make_payload("a"))
+        assert len(cache) == 0 and cache.hits == cache.misses == 0
+
+    def test_put_get_roundtrip(self):
+        cache = SegmentCache(mem_mb=1.0)
+        payload = make_payload("a")
+        cache.put(key_of(1), payload)
+        assert cache.get(key_of(1)) is payload  # no copy, no deserialization
+        assert (cache.hits, cache.misses) == (1, 0)
+        assert cache.get(key_of(2)) is None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_count_miss_false_does_not_charge(self):
+        cache = SegmentCache(mem_mb=1.0)
+        assert cache.get(key_of(1), count_miss=False) is None
+        assert cache.misses == 0
+
+    def test_byte_bound_evicts_least_recently_used(self):
+        pad = 64 * 1024
+        cache = SegmentCache(mem_mb=3.5 * pad / 2**20)  # ~3 entries + overhead
+        for n in range(3):
+            cache.put(key_of(n), make_payload(str(n), pad=pad))
+        assert len(cache) == 3
+        cache.get(key_of(0))  # touch 0 so 1 is the LRU victim
+        cache.put(key_of(3), make_payload("3", pad=pad))
+        assert cache.get(key_of(1), count_miss=False) is None
+        assert cache.get(key_of(0), count_miss=False) is not None
+        assert cache.evictions >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mem_mb"):
+            SegmentCache(mem_mb=-1.0)
+        with pytest.raises(ValueError, match="disk_mb"):
+            SegmentCache(disk_mb=-1.0)
+
+
+class TestDiskTier:
+    def test_write_then_read_and_promotion(self, tmp_path):
+        cache = SegmentCache(mem_mb=1.0, cache_dir=str(tmp_path))
+        cache.put(key_of(7), make_payload("seven"))
+        assert cache.disk_entries == 1
+        # evict from memory only; the disk copy must answer
+        cache._mem.clear()
+        got = cache.get(key_of(7))
+        assert got is not None and got[0][0] == "seven"
+        assert cache.disk_hits == 1
+        assert len(cache) == 1  # promoted back into the memory tier
+
+    def test_entries_survive_restart(self, tmp_path):
+        first = SegmentCache(mem_mb=1.0, cache_dir=str(tmp_path))
+        first.put(key_of(1), make_payload("persisted"))
+        second = SegmentCache(mem_mb=1.0, cache_dir=str(tmp_path))
+        assert second.disk_entries == 1
+        got = second.get(key_of(1))
+        assert got is not None and got[0][0] == "persisted"
+        assert second.disk_hits == 1
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = SegmentCache(cache_dir=str(tmp_path))
+        for n in range(4):
+            cache.put(key_of(n), make_payload(str(n)))
+        leftovers = [
+            name
+            for _, _, names in os.walk(tmp_path)
+            for name in names
+            if not name.endswith(".pkl")
+        ]
+        assert leftovers == []
+
+    def test_entries_live_under_versioned_root(self, tmp_path):
+        cache = SegmentCache(cache_dir=str(tmp_path))
+        cache.put(key_of(1), make_payload("a"))
+        assert (tmp_path / f"seg-v{SEGMENT_CACHE_SCHEMA}").is_dir()
+
+    def test_truncated_entry_is_a_miss_and_deleted(self, tmp_path):
+        cache = SegmentCache(cache_dir=str(tmp_path))
+        cache.put(key_of(1), make_payload("a"))
+        path = cache._disk[key_of(1)][0]
+        with open(path, "wb") as f:
+            f.write(b"\x80\x05damaged")
+        assert cache.get(key_of(1)) is None
+        assert not os.path.exists(path)
+        assert cache.disk_entries == 0
+
+    def test_wrong_schema_version_is_a_miss(self, tmp_path):
+        cache = SegmentCache(cache_dir=str(tmp_path))
+        cache.put(key_of(1), make_payload("a"))
+        path = cache._disk[key_of(1)][0]
+        with open(path, "rb") as f:
+            record = pickle.load(f)
+        record["version"] = SEGMENT_CACHE_SCHEMA + 1
+        with open(path, "wb") as f:
+            pickle.dump(record, f)
+        assert cache.get(key_of(1)) is None
+
+    def test_verify_rejects_digest_mismatch(self, tmp_path):
+        cache = SegmentCache(cache_dir=str(tmp_path))
+        cache.put(key_of(1), make_payload("a"))
+        path = cache._disk[key_of(1)][0]
+        with open(path, "rb") as f:
+            record = pickle.load(f)
+        record["payload"] = make_payload("tampered")
+        with open(path, "wb") as f:
+            pickle.dump(record, f)
+        # an unverified load serves the tampered payload...
+        assert cache.get(key_of(1))[0][0] == "tampered"
+        # ...a verified one detects and evicts it
+        cache._mem.clear()
+        assert cache.get(key_of(1), verify=True) is None
+        assert not os.path.exists(path)
+
+    def test_disk_bound_evicts_oldest(self, tmp_path):
+        pad = 32 * 1024
+        cache = SegmentCache(disk_mb=3 * pad / 2**20, cache_dir=str(tmp_path))
+        for n in range(5):
+            cache.put(key_of(n), make_payload(str(n), pad=pad))
+        assert cache.disk_entries < 5
+        # the newest entry always survives
+        assert key_of(4) in cache._disk
+
+    def test_disk_mb_zero_disables_the_tier(self, tmp_path):
+        cache = SegmentCache(mem_mb=1.0, disk_mb=0.0, cache_dir=str(tmp_path))
+        cache.put(key_of(1), make_payload("a"))
+        assert cache.disk_entries == 0
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestKeys:
+    def test_payload_digest_ignores_timings(self):
+        a = make_payload("same")
+        b = make_payload("same")
+        b[1].add_time("backprojection", 123.0)
+        assert payload_digest(a) == payload_digest(b)
+
+    def test_payload_digest_covers_content(self):
+        assert payload_digest(make_payload("a")) != payload_digest(
+            make_payload("b")
+        )
+
+    def test_segment_key_covers_spec_and_slice(self, mapping_workload):
+        seq, events, config = mapping_workload
+        from repro.core import EngineSpec
+
+        spec = EngineSpec(
+            seq.camera,
+            seq.trajectory,
+            config,
+            depth_range=seq.depth_range,
+            backend="numpy-batch",
+        )
+        digest = events.content_digest(0, 1024)
+        assert segment_key(spec, digest) == segment_key(spec, digest)
+        assert segment_key(spec, digest) != segment_key(
+            spec, events.content_digest(1024, 2048)
+        )
+        other = EngineSpec(
+            seq.camera,
+            seq.trajectory,
+            config,
+            depth_range=seq.depth_range,
+            backend="numpy-reference",
+        )
+        assert segment_key(spec, digest) != segment_key(other, digest)
+
+    def test_sliced_digest_equals_digest_of_slice(self, mapping_workload):
+        _, events, _ = mapping_workload
+        assert (
+            events.content_digest(1024, 4096)
+            == events[1024:4096].content_digest()
+        )
