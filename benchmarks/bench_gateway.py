@@ -1,0 +1,230 @@
+"""Gateway saturation throughput across shard counts.
+
+A load generator drives the asyncio :class:`repro.serve.Gateway` with a
+fixed set of distinct reconstruction jobs fanned across enough tenant
+sessions to reach every shard, and sweeps the shard count (1, 2, 4)
+measuring saturation throughput (jobs/sec at full load) and
+submit-to-terminal tail latency per level.
+
+Three claims are checked:
+
+* **determinism through the gateway** — a routed job's fused map and
+  profile counters are bit-identical to a direct single-service run,
+  always asserted;
+* **metrics reconcile** — the gateway's ``/metrics`` document parses
+  back to numbers that sum exactly to the per-shard ``ServiceStats``,
+  always asserted;
+* **shard scaling** — ≥2x saturation throughput at 4 shards vs 1 on a
+  multi-core host.  The ratio is always recorded in
+  ``benchmarks/results/BENCH_gateway.json``; the gate is only enforced
+  when the host has ≥4 cores (a single-core container cannot falsify a
+  parallelism claim — same convention as the parallel-mapping bench).
+"""
+
+import asyncio
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_QUALITY, update_bench_json, write_result
+from repro.core import EMVSConfig, EngineSpec
+from repro.eval.reporting import Table
+from repro.events.datasets import load_sequence
+from repro.serve import (
+    CacheConfig,
+    Gateway,
+    GatewayConfig,
+    HashRing,
+    ReconstructionService,
+    ServiceConfig,
+    parse_metrics,
+    sum_series,
+)
+
+#: Shard counts the sweep measures (the scaling claim compares 4 vs 1).
+SHARD_LEVELS = (1, 2, 4)
+
+#: Jobs per level (distinct slices -> no coalescing, no cache collapse).
+N_JOBS = 12
+
+#: Throughput bar: 4 shards must beat 1 shard by this factor.
+SPEEDUP_BAR_4S = 2.0
+
+
+def _make_jobs(seq):
+    """Distinct multi-segment jobs: sliding windows over the replica."""
+    config = EMVSConfig(
+        n_depth_planes=48, frame_size=1024, keyframe_distance=0.06
+    )
+    spec = EngineSpec(
+        seq.camera,
+        seq.trajectory,
+        config,
+        depth_range=seq.depth_range,
+        backend="numpy-batch",
+    )
+    t0, t1 = seq.events.t_start, seq.events.t_end
+    span = t1 - t0
+    jobs = []
+    for i in range(N_JOBS):
+        start = t0 + (0.05 + 0.4 * (i / N_JOBS)) * span
+        jobs.append(seq.events.time_slice(start, start + 0.45 * span))
+    return jobs, spec
+
+
+def _tenants_covering(shards: int, n: int) -> list[str]:
+    """``n`` tenant names that collectively reach every shard."""
+    ring = HashRing(shards)
+    found: dict[int, str] = {}
+    names: list[str] = []
+    i = 0
+    while len(names) < n:
+        name = f"tenant-{i}"
+        i += 1
+        if ring.shard_for(name) not in found or len(found) == shards:
+            found.setdefault(ring.shard_for(name), name)
+            names.append(name)
+    return names
+
+
+def _gateway_config(shards: int) -> GatewayConfig:
+    return GatewayConfig(
+        shards=shards,
+        service=ServiceConfig(
+            workers=1,
+            executor="inline",
+            queue_limit=N_JOBS,
+            cache=CacheConfig(job_entries=0, mem_mb=0.0, cache_dir=""),
+        ),
+    )
+
+
+def _run_level(jobs, spec, shards: int) -> dict:
+    """Saturate a ``shards``-wide gateway with every job at once."""
+    tenants = _tenants_covering(shards, max(shards, 4))
+
+    async def run():
+        async with Gateway(_gateway_config(shards)) as gateway:
+            t0 = time.perf_counter()
+            job_ids = await asyncio.gather(
+                *(
+                    gateway.submit(
+                        events, spec, session=tenants[i % len(tenants)]
+                    )
+                    for i, events in enumerate(jobs)
+                )
+            )
+            await gateway.drain()
+            wall = time.perf_counter() - t0
+            statuses = [await gateway.poll(job_id) for job_id in job_ids]
+            assert all(status.state.value == "done" for status in statuses)
+            stats = await gateway.stats()
+            metrics = await gateway.metrics_text()
+            return wall, statuses, stats, metrics
+
+    wall, statuses, stats, metrics = asyncio.run(run())
+
+    # Metrics reconcile: the exported text sums back to the stats exactly.
+    parsed = parse_metrics(metrics)
+    for state in ("submitted", "done", "failed"):
+        assert sum_series(parsed, "repro_serve_jobs_total", state=state) == sum(
+            getattr(s, f"jobs_{state}") for s in stats.values()
+        )
+    assert sum_series(
+        parsed, "repro_gateway_request_latency_seconds_count"
+    ) == len(jobs)
+
+    latencies = np.array([status.latency_seconds for status in statuses])
+    shards_used = sum(1 for s in stats.values() if s.jobs_submitted)
+    return {
+        "shards": shards,
+        "shards_used": shards_used,
+        "jobs_per_sec": len(jobs) / wall,
+        "wall_seconds": wall,
+        "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "p95_ms": float(np.percentile(latencies, 95) * 1e3),
+        "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+    }
+
+
+@pytest.mark.benchmark(group="gateway")
+def test_gateway_saturation(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    seq = load_sequence("simulation_3planes", quality=BENCH_QUALITY)
+    jobs, spec = _make_jobs(seq)
+    cores = os.cpu_count() or 1
+
+    # Determinism through the gateway: routed == direct, bit for bit.
+    with ReconstructionService(
+        workers=1, executor="inline", cache_size=0
+    ) as service:
+        direct = service.result(service.submit(jobs[0], spec), timeout=600.0)
+
+    async def probe():
+        async with Gateway(_gateway_config(4)) as gateway:
+            job_id = await gateway.submit(jobs[0], spec, session="probe")
+            return await gateway.result(job_id, timeout=600.0)
+
+    routed = asyncio.run(probe())
+    assert routed.profile.counters() == direct.profile.counters()
+    assert np.array_equal(routed.cloud.points, direct.cloud.points)
+
+    levels = [_run_level(jobs, spec, shards) for shards in SHARD_LEVELS]
+    by_shards = {level["shards"]: level for level in levels}
+    speedup_4s = (
+        by_shards[4]["jobs_per_sec"] / by_shards[1]["jobs_per_sec"]
+    )
+    gated = cores >= 4
+
+    table = Table(
+        "Gateway saturation throughput (simulation_3planes slices)",
+        ["shards", "jobs/s", "p50 ms", "p95 ms", "p99 ms", "wall s"],
+    )
+    for level in levels:
+        table.add_row(
+            str(level["shards"]),
+            f"{level['jobs_per_sec']:.2f}",
+            f"{level['p50_ms']:.0f}",
+            f"{level['p95_ms']:.0f}",
+            f"{level['p99_ms']:.0f}",
+            f"{level['wall_seconds']:.2f}",
+        )
+    table.add_note(
+        f"{N_JOBS} jobs per level, 1 inline worker per shard; host cores: "
+        f"{cores}; quality: {BENCH_QUALITY}"
+    )
+    table.add_note(
+        f"4-shard speedup: {speedup_4s:.2f}x (bar >={SPEEDUP_BAR_4S}x, "
+        f"{'enforced' if gated else 'recorded only — host < 4 cores'})"
+    )
+    table.add_note(
+        "routed results bit-identical to a direct single-service run; "
+        "/metrics reconciles with per-shard ServiceStats"
+    )
+    write_result("gateway_saturation", table.render())
+    update_bench_json(
+        "BENCH_gateway.json",
+        {
+            "workload": "simulation_3planes sliding windows",
+            "quality": BENCH_QUALITY,
+            "n_jobs": N_JOBS,
+            "cpu_count": cores,
+            "deterministic_vs_direct": True,
+            "metrics_reconcile": True,
+            "levels": {str(level["shards"]): level for level in levels},
+            "speedup_4s_vs_1s": speedup_4s,
+            "speedup_bar_4s": SPEEDUP_BAR_4S,
+            "speedup_gate_enforced": gated,
+        },
+    )
+    if not gated:
+        pytest.skip(
+            f"host has {cores} core(s) (<4): 4-shard scaling recorded in "
+            "BENCH_gateway.json, throughput bar not falsifiable here"
+        )
+    assert speedup_4s >= SPEEDUP_BAR_4S, (
+        f"4-shard saturation speedup {speedup_4s:.2f}x < {SPEEDUP_BAR_4S}x "
+        "(see BENCH_gateway.json)"
+    )

@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Seven subcommands cover the common workflows end to end::
+Eight subcommands cover the common workflows end to end::
 
     python -m repro info                         # registries & configuration
     python -m repro simulate -s slider_close -o out/   # write a dataset dir
     python -m repro reconstruct -s simulation_3planes -o cloud.ply
-    python -m repro serve --job slider_long --job corridor_sweep
+    python -m repro serve --job slider_long --job corridor_sweep --status
+    python -m repro gateway --shards 4 --port 8080
     python -m repro submit -s corridor_sweep --repeat 3
     python -m repro stream -s corridor_sweep --chunk-ms 20
     python -m repro models                       # Tables 2/3 from the models
@@ -22,6 +23,7 @@ key frame as the map grows.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -442,7 +444,104 @@ def _cmd_serve(args) -> int:
         )
         service.drain()
         _print_service_report(service, submitted)
+        if args.status:
+            from repro.serve import format_status
+
+            print()
+            print(format_status({0: service.stats()}))
     return 0
+
+
+def _cmd_gateway(args) -> int:
+    """Run demo jobs through the sharded async gateway and report.
+
+    The async twin of ``_cmd_serve``: the same ``--job`` tokens are
+    submitted through a :class:`~repro.serve.Gateway` (sessions
+    consistent-hashed across ``--shards`` services) with the HTTP
+    surface live — the final ``/metrics`` and ``/status`` documents
+    are scraped over the wire through the gateway's own HTTP server
+    rather than read in-process, so the run exercises the full stack.
+    """
+    import asyncio
+
+    from repro.serve import (
+        Gateway,
+        GatewayConfig,
+        GatewayRefused,
+        GatewayServer,
+        format_status,
+        http_request,
+    )
+
+    _resolve_backend(args.backend)
+    policy = _resolve_policy(args.policy)
+    _validate_serve_limits(args)
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
+    job_tokens = args.job or ["slider_long", "corridor_sweep"]
+    config = GatewayConfig(
+        shards=args.shards,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        max_inflight=args.max_inflight,
+        port=args.port,
+        service=_service_config(args),
+    )
+
+    async def run() -> int:
+        async with Gateway(config) as gateway:
+            async with GatewayServer(gateway) as server:
+                print(
+                    f"gateway: {config.shards} shard(s), HTTP on "
+                    f"{server.host}:{server.port}"
+                )
+                submitted = []
+                for token in job_tokens:
+                    name, _, session = token.partition(":")
+                    session = session or name
+                    _, events, spec = _sequence_job(args, name, policy)
+                    for _ in range(args.repeat):
+                        try:
+                            job_id = await gateway.submit(
+                                events, spec, session=session
+                            )
+                        except GatewayRefused as e:
+                            print(f"refused {name!r}: {e}")
+                            continue
+                        submitted.append(job_id)
+                        print(
+                            f"  {job_id} -> shard "
+                            f"{gateway.shard_index(session)}"
+                        )
+                completed = await gateway.drain()
+                for job_id in submitted:
+                    status = await gateway.poll(job_id)
+                    print(
+                        f"{job_id:<22} {status.state.value:<8} "
+                        f"{status.segments_done}/{status.segments_total} "
+                        "segments"
+                    )
+                print(f"drained {completed} job(s) across the shards")
+                _, metrics = await http_request(
+                    server.host, server.port, "GET", "/metrics"
+                )
+                _, status_doc = await http_request(
+                    server.host, server.port, "GET", "/status"
+                )
+                if args.metrics:
+                    print()
+                    print(metrics.decode("utf-8"))
+                print()
+                print(format_status(await gateway.stats()))
+                totals = json.loads(status_doc)["gateway"]
+                print(
+                    f"gateway: {totals['requests']['submit']} submit(s), "
+                    f"refusals {totals['refusals']}, "
+                    f"in-flight {totals['inflight_jobs']}"
+                )
+        return 0
+
+    return asyncio.run(run())
 
 
 def _cmd_submit(args) -> int:
@@ -732,8 +831,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="submit this sequence as a job (repeatable; session defaults "
              "to the sequence name; default jobs: slider_long, corridor_sweep)",
     )
+    p_srv.add_argument(
+        "--status", action="store_true",
+        help="print the operational status block (per-shard counters, "
+             "retry/partial/cache-hit rates) after the run",
+    )
     add_serve_options(p_srv)
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_gw = sub.add_parser(
+        "gateway",
+        help="run demo jobs through the sharded async gateway (with HTTP "
+             "/metrics and /status live)",
+    )
+    p_gw.add_argument(
+        "--job", action="append", default=None, metavar="SEQUENCE[:SESSION]",
+        help="submit this sequence as a job (repeatable; session defaults "
+             "to the sequence name; default jobs: slider_long, corridor_sweep)",
+    )
+    p_gw.add_argument(
+        "--shards", type=int, default=2,
+        help="reconstruction-service shards behind the gateway",
+    )
+    p_gw.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP bind port of the gateway server (0 = ephemeral)",
+    )
+    p_gw.add_argument(
+        "--tenant-rate", type=float, default=0.0,
+        help="per-tenant token-bucket refill rate in requests/s "
+             "(0 disables throttling)",
+    )
+    p_gw.add_argument(
+        "--tenant-burst", type=int, default=8,
+        help="per-tenant token-bucket burst capacity",
+    )
+    p_gw.add_argument(
+        "--max-inflight", type=int, default=0,
+        help="global cap on jobs in flight across all shards (0 = unbounded)",
+    )
+    p_gw.add_argument(
+        "--metrics", action="store_true",
+        help="dump the final /metrics document (Prometheus text) after "
+             "the run",
+    )
+    add_serve_options(p_gw)
+    p_gw.set_defaults(func=_cmd_gateway)
 
     p_sub2 = sub.add_parser(
         "submit", help="submit one sequence through the reconstruction service"

@@ -23,6 +23,14 @@ budgets), :mod:`repro.serve.faults` (seeded fault injection for chaos
 testing), and the service's deadline/watchdog/``allow_partial`` knobs;
 ``docs/RELIABILITY.md`` documents the full contract and
 ``docs/CACHING.md`` the caching one.
+
+Horizontal scale lives in :mod:`repro.serve.gateway`: an asyncio
+:class:`Gateway` consistent-hashes sessions across N service shards
+behind token-bucket admission control, with a stdlib-HTTP
+:class:`GatewayServer` exposing ``/metrics`` (Prometheus text built by
+:mod:`repro.serve.metrics`), ``/status`` and job submission; ``repro
+gateway`` is the CLI driver and ``docs/OBSERVABILITY.md`` the metrics
+catalog.
 """
 
 from repro.serve.cache import (
@@ -41,9 +49,30 @@ from repro.serve.faults import (
     FaultKind,
     FaultPlan,
 )
+from repro.serve.gateway import (
+    AdmissionController,
+    Gateway,
+    GatewayRefused,
+    GatewayServer,
+    GatewayStream,
+    HashRing,
+    TokenBucket,
+    http_request,
+)
+from repro.serve.metrics import (
+    Histogram,
+    MetricFamily,
+    format_status,
+    parse_metrics,
+    render_metrics,
+    service_families,
+    status_snapshot,
+    sum_series,
+)
 from repro.serve.options import (
     CACHE_MODES,
     CacheConfig,
+    GatewayConfig,
     JobOptions,
     ServiceConfig,
 )
@@ -74,8 +103,25 @@ __all__ = [
     "FaultInjected",
     "FaultKind",
     "FaultPlan",
+    "AdmissionController",
+    "Gateway",
+    "GatewayRefused",
+    "GatewayServer",
+    "GatewayStream",
+    "HashRing",
+    "TokenBucket",
+    "http_request",
+    "Histogram",
+    "MetricFamily",
+    "format_status",
+    "parse_metrics",
+    "render_metrics",
+    "service_families",
+    "status_snapshot",
+    "sum_series",
     "CACHE_MODES",
     "CacheConfig",
+    "GatewayConfig",
     "JobOptions",
     "ServiceConfig",
     "RetryPolicy",

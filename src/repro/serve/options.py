@@ -185,3 +185,49 @@ class ServiceConfig:
     #: Service-wide default :class:`JobOptions` (per-job options merge
     #: over these).
     defaults: JobOptions = field(default_factory=JobOptions)
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Everything a :class:`~repro.serve.gateway.Gateway` is built from.
+
+    The gateway-level twin of :class:`ServiceConfig`: shard count and
+    fan-out policy, the admission-control knobs layered *above* the
+    per-shard ``refuse``/``drop-oldest`` policies, the HTTP bind
+    address, and the :class:`ServiceConfig` every shard is constructed
+    from (shards are homogeneous — one config, N services).
+    """
+
+    #: Number of :class:`ReconstructionService` shards.
+    shards: int = 1
+    #: Virtual nodes per shard on the consistent-hash ring.
+    virtual_nodes: int = 64
+    #: Per-tenant token-bucket refill rate in requests/second
+    #: (``0`` disables per-tenant throttling).
+    tenant_rate: float = 0.0
+    #: Per-tenant token-bucket burst capacity in requests.
+    tenant_burst: int = 8
+    #: Global bound on jobs admitted but not yet observed terminal
+    #: (``0`` = unbounded).
+    max_inflight: int = 0
+    #: HTTP bind host of :class:`~repro.serve.gateway.GatewayServer`.
+    host: str = "127.0.0.1"
+    #: HTTP bind port (``0`` = ephemeral, reported after ``start``).
+    port: int = 0
+    #: The :class:`ServiceConfig` every shard is constructed from.
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self) -> None:
+        """Validate the shard and admission knobs."""
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        if self.tenant_rate < 0:
+            raise ValueError("tenant_rate must be >= 0 (0 disables)")
+        if self.tenant_burst < 1:
+            raise ValueError("tenant_burst must be >= 1")
+        if self.max_inflight < 0:
+            raise ValueError("max_inflight must be >= 0 (0 = unbounded)")
+        if not (0 <= self.port <= 65535):
+            raise ValueError("port must be in [0, 65535]")

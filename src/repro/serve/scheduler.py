@@ -127,6 +127,20 @@ class RoundRobinScheduler:
         """Whether any session still has a segment to dispatch."""
         return any(s.has_pending_dispatch for s in self._sessions.values())
 
+    def queue_depths(self) -> dict[str, int]:
+        """Pending (planned-but-unlanded) segments per session.
+
+        The observability view of the scheduler's queues: each entry is
+        :attr:`Session.pending_segments` — undispatched plan tail plus
+        requeues plus backed-off retries — keyed by session name.
+        Idle sessions report ``0`` rather than being omitted, so a
+        scrape always sees every session the service has touched.
+        """
+        return {
+            name: session.pending_segments
+            for name, session in self._sessions.items()
+        }
+
     def cancel_job(self, job: Job) -> None:
         """Stop dispatching a job's remaining segments (failure path)."""
         job.next_segment = job.n_segments

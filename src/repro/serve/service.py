@@ -84,7 +84,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator
 
 from repro.core.engine import EngineSpec
@@ -210,6 +210,13 @@ class ServiceStats:
     cache: CacheStats
     segments_dispatched: dict[str, int]
     profile: PipelineProfile
+    #: Admitted, non-terminal jobs at snapshot time (gauge).
+    active_jobs: int = 0
+    #: Segment attempts on the pool at snapshot time (gauge).
+    inflight_segments: int = 0
+    #: Pending (planned-but-unlanded) segments per session — the
+    #: scheduler's queue depths (see ``RoundRobinScheduler.queue_depths``).
+    queue_depths: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -502,6 +509,13 @@ class ReconstructionService:
     def close(self) -> None:
         """Shut the pool down; queued work is abandoned.
 
+        The *abrupt* exit (``with`` blocks use it): in-flight futures
+        are cancelled and non-terminal jobs are left as-is — their
+        ``result`` raises :class:`ServeError` rather than
+        :class:`JobFailed`.  For a deterministic end state (every job
+        terminal, open streams flushed, backed-off retries resolved)
+        use :meth:`shutdown`.
+
         Any hang gates this service registered are released first, so
         worker threads blocked on an injected hang unblock and the pool
         shutdown can join them.
@@ -513,6 +527,75 @@ class ReconstructionService:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+
+    def shutdown(self, wait: bool = True, timeout: float | None = None) -> None:
+        """Stop the service, leaving every admitted job in a terminal state.
+
+        The graceful counterpart of :meth:`close`, safe with open
+        :class:`~repro.serve.stream.StreamingSession` handles and a
+        non-empty retry backlog.  Ordering with ``wait=True``:
+
+        1. Open streams are closed (end-of-input): their buffered
+           chunks still plan and their trailing segments still run,
+           exactly as an explicit ``close()`` on the handle would.
+        2. Backed-off retries are released immediately — shutdown
+           overrides backoff *pacing* (not the retry *budget*), so a
+           segment sitting out a long backoff flushes now instead of
+           holding the drain hostage.
+        3. The service drains; on a drain ``timeout`` (or with
+           ``wait=False``) every still-active job fails deterministically
+           (``FAILED``, error ``"service shut down before completion"``,
+           coalesced followers settled) — nothing is ever left stuck in
+           a non-terminal state.
+        4. The pool shuts down (:meth:`close`).
+
+        Idempotent; a second call is a no-op.
+        """
+        if self._closed:
+            return
+        if wait:
+            for job in list(self._streams):
+                if job.state not in TERMINAL_STATES and job.stream.open:
+                    self._close_stream(job)
+            for job in self._active_jobs():
+                if job.retry_backlog:
+                    job.requeued.extend(index for _, index in job.retry_backlog)
+                    job.retry_backlog.clear()
+            try:
+                self.drain(timeout=timeout)
+            except TimeoutError:
+                self._fail_active(
+                    "service shut down before completion "
+                    f"(drain timed out after {timeout} s)"
+                )
+        else:
+            self._fail_active("service shut down before completion")
+        self.close()
+
+    def _fail_active(self, reason: str) -> None:
+        """Deterministically fail every non-terminal job (shutdown path).
+
+        In-flight attempts are abandoned (their late results discarded
+        via the epoch bump in :meth:`_abandon_attempt`), undispatched
+        work is cancelled, and coalesced followers settle with their
+        leader's error — the invariant :meth:`shutdown` guarantees is
+        that no job survives in a non-terminal state.
+        """
+        for future, flight in list(self._inflight.items()):
+            del self._inflight[future]
+            self._abandon_attempt(future, flight)
+        for job in list(self._active_jobs()):
+            if job.state in TERMINAL_STATES:
+                continue  # settled as an earlier job's follower
+            job.error = reason
+            job.finish(JobState.FAILED, at=self._clock())
+            self._jobs_failed += 1
+            self._scheduler.cancel_job(job)
+            self._settle_followers(job)
+            self._retire(job)
+        self._streams = [
+            job for job in self._streams if job.state not in TERMINAL_STATES
+        ]
 
     def _make_pool(self) -> Executor:
         if self.executor == "inline":
@@ -655,6 +738,7 @@ class ReconstructionService:
                     min_observations=min_observations,
                     cache_key=key,
                     coalesced_with=leader.job_id,
+                    submitted_at=self._clock(),
                 )
                 job.next_segment = job.n_segments  # nothing to dispatch
                 leader.followers.append(job)
@@ -677,10 +761,11 @@ class ReconstructionService:
                     cache_key=key,
                     cache_hit=True,
                     result=cached,
+                    submitted_at=self._clock(),
                 )
                 job.outcomes = {plan.index: None for plan in cached.segments}
                 job.next_segment = job.n_segments
-                job.finish(JobState.DONE)
+                job.finish(JobState.DONE, at=self._clock())
                 self._jobs_submitted += 1
                 self._jobs_done += 1
                 self._scheduler.admit(job)
@@ -701,6 +786,7 @@ class ReconstructionService:
             voxel_size=voxel_size,
             min_observations=min_observations,
             cache_key=key,
+            submitted_at=self._clock(),
             **reliability,
         )
         if job.deadline_s is not None:
@@ -756,7 +842,7 @@ class ReconstructionService:
                     f"is {self.overflow!r}"
                 )
             victim.error = "dropped by overflow policy 'drop-oldest'"
-            victim.finish(JobState.DROPPED)
+            victim.finish(JobState.DROPPED, at=self._clock())
             self.profile.jobs_dropped += 1
             self._settle_followers(victim)
             self._retire(victim)
@@ -863,6 +949,7 @@ class ReconstructionService:
             stream=StreamState(
                 spec.stream_planner(), voxel_size, max_pending_chunks
             ),
+            submitted_at=self._clock(),
             **reliability,
         )
         self._scheduler.admit(job)
@@ -899,7 +986,7 @@ class ReconstructionService:
                     f"pending chunks (bound {stream.max_pending_chunks}); "
                     f"overflow policy is {self.overflow!r}"
                 )
-        stream.pending_chunks.append((events, time.perf_counter()))
+        stream.pending_chunks.append((events, self._clock()))
         stream.chunks_fed += 1
         stream.events_fed += len(events)
         self._pump()
@@ -915,7 +1002,7 @@ class ReconstructionService:
         if job.state in TERMINAL_STATES or not stream.open:
             return
         stream.open = False
-        stream.closed_at = time.perf_counter()
+        stream.closed_at = self._clock()
         if job.deadline_s is not None and job.deadline_at is None:
             job.deadline_at = self._clock() + job.deadline_s
         if not self._closed:
@@ -1026,7 +1113,7 @@ class ReconstructionService:
         the cursor steps over them so later outcomes still flow.
         """
         stream = job.stream
-        now = time.perf_counter()
+        now = self._clock()
         while True:
             index = stream.emit_cursor
             if index in job.missing:
@@ -1269,7 +1356,7 @@ class ReconstructionService:
             else f"{error} (segment {index} failed {failures} attempts)"
         )
         job.traceback = tb
-        job.finish(JobState.FAILED)
+        job.finish(JobState.FAILED, at=self._clock())
         self._jobs_failed += 1
         self._scheduler.cancel_job(job)
         self._settle_followers(job)
@@ -1402,7 +1489,7 @@ class ReconstructionService:
             f"job deadline exceeded ({job.deadline_s} s); "
             f"{len(unlanded)} of {job.n_segments} segments unfinished"
         )
-        job.finish(JobState.FAILED)
+        job.finish(JobState.FAILED, at=self._clock())
         self._jobs_failed += 1
         self._settle_followers(job)
         self._retire(job)
@@ -1474,15 +1561,15 @@ class ReconstructionService:
             profile=profile,
             segments=job.plans,
             workers=self.workers,
-            wall_seconds=time.perf_counter() - job.submitted_at,
+            wall_seconds=self._clock() - job.submitted_at,
             missing_segments=missing,
         )
         if missing:
-            job.finish(JobState.PARTIAL)
+            job.finish(JobState.PARTIAL, at=self._clock())
             self._jobs_partial += 1
             self.profile.jobs_partial += 1
         else:
-            job.finish(JobState.DONE)
+            job.finish(JobState.DONE, at=self._clock())
             self._jobs_done += 1
         self.profile.merge(profile)
         if job.cache_key is not None and not missing:
@@ -1499,7 +1586,7 @@ class ReconstructionService:
                 continue
             if leader.state in (JobState.DONE, JobState.PARTIAL):
                 follower.result = leader.result
-                follower.finish(leader.state)
+                follower.finish(leader.state, at=self._clock())
                 if leader.state is JobState.DONE:
                     self._jobs_done += 1
                 else:
@@ -1509,7 +1596,7 @@ class ReconstructionService:
                     f"coalesced leader {leader.job_id} "
                     f"{leader.state.value}: {leader.error}"
                 )
-                follower.finish(JobState.FAILED)
+                follower.finish(JobState.FAILED, at=self._clock())
                 self._jobs_failed += 1
             self._retire(follower)
         leader.followers.clear()
@@ -1610,7 +1697,7 @@ class ReconstructionService:
         the registry.
         """
         job_id = job.job_id
-        deadline = None if timeout is None else time.perf_counter() + timeout
+        deadline = None if timeout is None else self._clock() + timeout
         self._pump()
         while job.state not in TERMINAL_STATES:
             if self._closed:
@@ -1629,7 +1716,7 @@ class ReconstructionService:
                 )
             remaining = None
             if deadline is not None:
-                remaining = deadline - time.perf_counter()
+                remaining = deadline - self._clock()
                 if remaining <= 0:
                     raise TimeoutError(f"job {job_id!r} not done within {timeout} s")
             self._wait_for_progress(remaining)
@@ -1650,7 +1737,7 @@ class ReconstructionService:
         retries count as pending work: ``drain`` waits out their delay
         and runs the re-dispatch.
         """
-        deadline = None if timeout is None else time.perf_counter() + timeout
+        deadline = None if timeout is None else self._clock() + timeout
         self._pump()
         while (
             self._inflight
@@ -1661,7 +1748,7 @@ class ReconstructionService:
                 raise ServeError("service is closed; queued work was abandoned")
             remaining = None
             if deadline is not None:
-                remaining = deadline - time.perf_counter()
+                remaining = deadline - self._clock()
                 if remaining <= 0:
                     raise TimeoutError(f"drain() incomplete after {timeout} s")
             self._wait_for_progress(remaining)
@@ -1675,6 +1762,11 @@ class ReconstructionService:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether the service was closed (``close`` or ``shutdown``)."""
+        return self._closed
+
     @property
     def jobs(self) -> dict[str, Job]:
         """All retained job records by id (copy)."""
@@ -1718,4 +1810,7 @@ class ReconstructionService:
                 for name, session in self._scheduler.sessions.items()
             },
             profile=self.profile,
+            active_jobs=sum(1 for _ in self._active_jobs()),
+            inflight_segments=len(self._inflight),
+            queue_depths=self._scheduler.queue_depths(),
         )

@@ -208,7 +208,7 @@ class Job:
             return None
         return self.finished_at - self.submitted_at
 
-    def finish(self, state: JobState) -> None:
+    def finish(self, state: JobState, at: float | None = None) -> None:
         """Move to a terminal state and release the input event buffers.
 
         The raw stream is only needed to slice segments at dispatch
@@ -221,9 +221,14 @@ class Job:
         result must be claimable without a prior explicit ``close()``
         (a stream whose segments all failed would otherwise wait on
         updates that can never arrive).
+
+        ``at`` is the terminal instant on the owning service's clock;
+        the service always passes its injected ``clock`` reading so
+        ``latency_seconds`` is measured on the same (fake-able)
+        timeline as deadlines and backoff — never on the host clock.
         """
         self.state = state
-        self.finished_at = time.perf_counter()
+        self.finished_at = time.perf_counter() if at is None else at
         self.events = None
         self.retry_backlog.clear()
         if self.stream is not None:
@@ -290,6 +295,24 @@ class Session:
         return [job for job in self.jobs if job.state not in TERMINAL_STATES]
 
     @property
+    def pending_segments(self) -> int:
+        """Planned-but-unlanded segments across the session's active jobs.
+
+        The session's queue depth: undispatched plan tail plus
+        recovery/retry requeues plus backed-off retries.  Coalesced
+        followers contribute nothing (they ride on their leader), so
+        the depth measures genuine pool demand — the number exported
+        per session by ``/metrics`` (``repro_serve_queue_depth``).
+        """
+        return sum(
+            (job.n_segments - job.next_segment)
+            + len(job.requeued)
+            + len(job.retry_backlog)
+            for job in self.active_jobs
+            if job.coalesced_with is None
+        )
+
+    @property
     def backlogged(self) -> bool:
         """Whether the *compute* backlog reached the queue bound.
 
@@ -308,15 +331,22 @@ class Session:
 
         Jobs that other submissions coalesced onto are never victims —
         dropping them would fail every follower to admit one newcomer.
-        Streaming jobs are never victims either: a live stream handle
-        must not be killed to admit a batch job (streams shed load at
-        chunk granularity instead, via their bounded chunk buffer).
+        Coalesced *followers* are never victims either: they consume no
+        pool slots (they ride on their leader), so evicting one frees
+        no compute — it would fail a request for nothing.  The cursor
+        test alone does not exclude them: a follower of an empty-plan
+        leader has ``next_segment == 0 == n_segments``, so the guard
+        must be explicit.  Streaming jobs are never victims: a live
+        stream handle must not be killed to admit a batch job (streams
+        shed load at chunk granularity instead, via their bounded chunk
+        buffer).
         """
         for job in self.jobs:
             if (
                 job.state is JobState.QUEUED
                 and job.next_segment == 0
                 and not job.followers
+                and job.coalesced_with is None
                 and job.stream is None
             ):
                 return job

@@ -320,3 +320,58 @@ def test_chaos_transient_faults_are_invisible(seed, executor):
     assert_fused_bit_equal(chaotic, clean)
     assert_keyframes_bit_equal(chaotic.keyframes, clean.keyframes)
     assert chaotic.missing_segments == ()
+
+
+#: Fuzz-case seeds of the gateway leg (each runs a 3-shard routed pass).
+GATEWAY_CASE_SEEDS = [2, 5]
+
+
+@pytest.mark.parametrize("seed", GATEWAY_CASE_SEEDS)
+def test_gateway_routing_is_invisible(seed):
+    """A gateway-routed run is bit-identical to a direct single-service run.
+
+    Three shards, three tenants chosen to cover every shard: whatever
+    shard the consistent-hash ring picks, the fused map and the
+    deterministic counters match the direct submission exactly — the
+    scaling layer changes *where* work runs, never *what* it computes.
+    """
+    import asyncio
+
+    from repro.serve import Gateway, GatewayConfig, HashRing, ServiceConfig
+
+    case = draw_case(seed)
+    spec = case.spec("numpy-batch")
+    with ReconstructionService(
+        workers=1, executor="inline", cache_size=0
+    ) as service:
+        direct = service.result(service.submit(case.events, spec), timeout=300.0)
+
+    ring = HashRing(3)
+    tenants: dict[int, str] = {}
+    i = 0
+    while len(tenants) < 3:
+        name = f"tenant-{i}"
+        tenants.setdefault(ring.shard_for(name), name)
+        i += 1
+
+    async def routed():
+        config = GatewayConfig(
+            shards=3,
+            service=ServiceConfig(
+                workers=1,
+                executor="inline",
+                cache=CacheConfig(job_entries=0, mem_mb=0.0, cache_dir=""),
+            ),
+        )
+        async with Gateway(config) as gateway:
+            jobs = [
+                await gateway.submit(case.events, spec, session=tenants[shard])
+                for shard in sorted(tenants)
+            ]
+            return [
+                await gateway.result(job_id, timeout=300.0) for job_id in jobs
+            ]
+
+    for result in asyncio.run(routed()):
+        assert_fused_bit_equal(result, direct)
+        assert_keyframes_bit_equal(result.keyframes, direct.keyframes)

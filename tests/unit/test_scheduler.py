@@ -1,9 +1,20 @@
-"""Unit tests for the Fig. 6 frame scheduler."""
+"""Unit tests for the Fig. 6 frame scheduler and serve victim selection.
+
+The first half covers the hardware :class:`FrameScheduler` (paper
+Fig. 6 pipelining); the second half pins the serving layer's
+``drop-oldest`` victim-selection order on :meth:`Session.oldest_queued`
+— the overflow policy the gateway's admission path ultimately delegates
+to.
+"""
 
 import pytest
 
+from repro.core import EMVSConfig, EngineSpec
+from repro.core.mapping import SegmentPlan
 from repro.hardware.scheduler import FrameScheduler
 from repro.hardware.timing import FrameTiming
+from repro.serve import Job, JobState, Session
+from repro.serve.session import new_job_id
 
 
 def normal(c=1071.0, p=71708.0):
@@ -109,3 +120,121 @@ class TestResultHelpers:
         assert "empty" in FrameScheduler.render_gantt(
             FrameScheduler().result(), 130e6
         )
+
+
+# ----------------------------------------------------------------------
+# Serve-layer drop-oldest victim selection
+# ----------------------------------------------------------------------
+def _serve_job(session: Session, spec, events, n_segments: int = 2) -> Job:
+    """Admit a minimal batch job with ``n_segments`` planned segments."""
+    plans = tuple(
+        SegmentPlan(
+            index=i, start_frame=i, end_frame=i + 1, frame_size=100,
+            t_ref=float(i),
+        )
+        for i in range(n_segments)
+    )
+    job = Job(
+        job_id=new_job_id(session.name),
+        session=session.name,
+        spec=spec,
+        events=events,
+        plans=plans,
+        dropped_tail=0,
+        voxel_size=0.01,
+        min_observations=1,
+        cache_key=None,
+    )
+    session.add(job)
+    return job
+
+
+@pytest.fixture
+def serve_spec(davis_camera, simple_trajectory):
+    return EngineSpec(davis_camera, simple_trajectory, EMVSConfig())
+
+
+class TestDropOldestVictimSelection:
+    """Pin :meth:`Session.oldest_queued` — the drop-oldest victim rule.
+
+    The victim must be the session's oldest *untouched* queued batch
+    job: never a job with dispatched segments, never a coalescing
+    leader, never a coalesced follower, and never a streaming job.
+    """
+
+    def test_victim_is_oldest_untouched_job(self, serve_spec, make_stream):
+        session = Session("s", queue_limit=8)
+        events = make_stream(100)
+        first = _serve_job(session, serve_spec, events)
+        second = _serve_job(session, serve_spec, events)
+        assert session.oldest_queued() is first
+        # Once the first job has a segment on the pool it is exempt.
+        first.take_next_index()
+        first.state = JobState.RUNNING
+        assert session.oldest_queued() is second
+
+    def test_coalescing_leader_is_never_victim(self, serve_spec, make_stream):
+        session = Session("s", queue_limit=8)
+        events = make_stream(100)
+        leader = _serve_job(session, serve_spec, events)
+        follower = _serve_job(session, serve_spec, events)
+        newcomer = _serve_job(session, serve_spec, events)
+        leader.followers.append(follower)
+        follower.coalesced_with = leader.job_id
+        # Dropping the leader would fail its follower to admit one job.
+        assert session.oldest_queued() is newcomer
+
+    def test_coalesced_follower_is_never_victim(self, serve_spec, make_stream):
+        """A follower of an *empty-plan* leader must still be exempt.
+
+        The follower consumes no pool slots; evicting it frees no
+        compute.  With an empty plan the cursor test alone cannot tell
+        (``next_segment == 0 == n_segments``), so the explicit
+        ``coalesced_with`` guard carries this case.
+        """
+        session = Session("s", queue_limit=8)
+        events = make_stream(100)
+        leader = _serve_job(session, serve_spec, events, n_segments=0)
+        leader.state = JobState.RUNNING
+        follower = _serve_job(session, serve_spec, events, n_segments=0)
+        follower.coalesced_with = leader.job_id
+        leader.followers.append(follower)
+        newcomer = _serve_job(session, serve_spec, events)
+        assert session.oldest_queued() is newcomer
+        # With no eligible newcomer there is no victim at all — the
+        # admission falls back to refusal rather than a pointless drop.
+        newcomer.take_next_index()
+        newcomer.state = JobState.RUNNING
+        assert session.oldest_queued() is None
+
+    def test_streaming_job_is_never_victim(self, serve_spec, make_stream):
+        import types
+
+        session = Session("s", queue_limit=8)
+        events = make_stream(100)
+        stream_job = _serve_job(session, serve_spec, events, n_segments=0)
+        stream_job.stream = types.SimpleNamespace(open=True)
+        batch = _serve_job(session, serve_spec, events)
+        assert session.oldest_queued() is batch
+        batch.take_next_index()
+        batch.state = JobState.RUNNING
+        assert session.oldest_queued() is None
+
+    def test_pending_segments_accounting(self, serve_spec, make_stream):
+        """``pending_segments`` (the queue-depth gauge) tracks the tail.
+
+        Plan tail + requeues + backed-off retries, with coalesced
+        followers excluded — they ride on their leader's segments.
+        """
+        session = Session("s", queue_limit=8)
+        events = make_stream(100)
+        job = _serve_job(session, serve_spec, events, n_segments=3)
+        assert session.pending_segments == 3
+        job.take_next_index()
+        assert session.pending_segments == 2
+        job.requeued.append(0)
+        job.retry_backlog.append((123.0, 1))
+        assert session.pending_segments == 4
+        follower = _serve_job(session, serve_spec, events, n_segments=3)
+        follower.coalesced_with = job.job_id
+        assert session.pending_segments == 4  # follower contributes nothing
