@@ -33,7 +33,12 @@ def _cmd_info(args) -> int:
     import os
 
     from repro.core import BACKENDS, POLICIES
-    from repro.events.datasets import SCENARIO_NAMES, SEQUENCE_NAMES, SHORT_NAMES
+    from repro.events.datasets import (
+        RIG_SCENARIO_NAMES,
+        SCENARIO_NAMES,
+        SEQUENCE_NAMES,
+        SHORT_NAMES,
+    )
     from repro.serve import CACHE_MODES, OVERFLOW_POLICIES, CacheConfig, FaultKind
 
     print("Eventor reproduction — available sequence replicas:")
@@ -41,6 +46,9 @@ def _cmd_info(args) -> int:
         print(f"  {name}  (short: {SHORT_NAMES[name]})")
     print("scenario registry (extended multi-keyframe workloads):")
     for name in SCENARIO_NAMES:
+        print(f"  {name}  (short: {SHORT_NAMES[name]})")
+    print("rig scenarios (multi-camera stereo fusion; `reconstruct --rig`):")
+    for name in RIG_SCENARIO_NAMES:
         print(f"  {name}  (short: {SHORT_NAMES[name]})")
     from repro.native import provider_status
 
@@ -141,9 +149,89 @@ def _save_cloud(path: str, cloud) -> None:
     print(f"wrote {len(cloud)} points to {path}")
 
 
+def _cmd_reconstruct_rig(args) -> int:
+    """The ``reconstruct --rig`` path: N cameras, one fused map."""
+    from repro.core import CameraRig, EMVSConfig, RigOrchestrator
+    from repro.eval.metrics import compare_rig_to_monocular
+    from repro.events.datasets import load_rig_sequence
+
+    if args.sequence or args.dataset:
+        raise SystemExit("--rig names its own scenario; drop --sequence/--dataset")
+    if args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    _resolve_backend(args.backend)
+    policy = _resolve_policy(args.policy or args.pipeline)
+    try:
+        seq = load_rig_sequence(args.rig, quality=args.quality)
+    except KeyError as e:
+        raise SystemExit(e.args[0]) from None
+    n_events = sum(len(ev) for ev in seq.events.values())
+    print(
+        f"rig input: {seq.n_cameras} cameras "
+        f"({', '.join(seq.camera_names)}), {n_events} events total"
+    )
+
+    config = EMVSConfig(
+        n_depth_planes=args.planes,
+        frame_size=args.frame_size,
+        keyframe_distance=(
+            args.keyframe_distance
+            if args.keyframe_distance is not None
+            else seq.keyframe_distance
+        ),
+    )
+    rig = CameraRig.from_trajectory(
+        seq.camera,
+        seq.trajectory,
+        config,
+        extrinsics=seq.extrinsics,
+        names=list(seq.camera_names),
+        depth_range=seq.depth_range,
+        policy=policy,
+        backend=args.backend,
+    )
+    orchestrator = RigOrchestrator(
+        rig,
+        workers=args.workers,
+        voxel_size=args.fuse_voxel,
+        min_cameras=args.min_cameras,
+    )
+    result = orchestrator.run(seq.events)
+    print(
+        f"mapped {seq.n_cameras} cameras on {result.workers} worker(s) "
+        f"in {result.wall_seconds:.2f} s "
+        f"[policy={policy.name}, backend={args.backend}]"
+    )
+    print(
+        f"rig-fused map: {result.n_points} points "
+        f"(min_cameras={result.min_cameras}, "
+        f"voxel {result.global_map.voxel_size * 1e3:.1f} mm)"
+    )
+    comparison = compare_rig_to_monocular(result, seq)
+    for name in seq.camera_names:
+        print(f"  {name} solo: {comparison.per_camera[name]}")
+    print(f"  fused:  {comparison.fused}")
+    print(
+        f"fusion vs best single camera ({comparison.best_camera}): "
+        f"{'-' if comparison.fusion_wins else '+'}"
+        f"{abs(comparison.improvement):.4f} m mean surface distance"
+    )
+
+    if args.output:
+        cloud = result.cloud
+        if args.filter_radius > 0:
+            cloud = cloud.radius_filter(args.filter_radius, min_neighbors=2)
+        _save_cloud(args.output, cloud)
+    return 0
+
+
 def _cmd_reconstruct(args) -> int:
     from repro.core import EMVSConfig, MappingOrchestrator, ReconstructionEngine
 
+    if args.rig:
+        return _cmd_reconstruct_rig(args)
+    if args.min_cameras is not None:
+        raise SystemExit("--min-cameras requires --rig")
     _resolve_backend(args.backend)
     # --policy overrides the legacy --pipeline spelling; both name the same
     # dataflow presets.
@@ -688,6 +776,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec = sub.add_parser("reconstruct", help="run EMVS over an event stream")
     p_rec.add_argument("--sequence", "-s", help="built-in sequence replica")
     p_rec.add_argument("--dataset", "-d", help="dataset directory (events.txt...)")
+    p_rec.add_argument(
+        "--rig", metavar="NAME", default=None,
+        help="reconstruct a multi-camera rig scenario (see `repro info`): "
+             "runs every camera and fuses with cross-camera agreement",
+    )
+    p_rec.add_argument(
+        "--min-cameras", type=int, default=None,
+        help="distinct cameras that must agree on a fused voxel (--rig "
+             "only; default 2 when the rig has at least two cameras)",
+    )
     p_rec.add_argument("--quality", choices=("full", "fast"), default="full")
     p_rec.add_argument(
         "--pipeline", choices=("original", "reformulated"), default="reformulated",

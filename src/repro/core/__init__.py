@@ -49,10 +49,18 @@ from repro.core.mapping import (
     MappingResult,
     SegmentTask,
     default_voxel_size,
+    fuse_camera_keyframes,
     fuse_keyframes,
     merge_outcomes,
     run_segment_task,
     segment_tasks,
+)
+from repro.core.rig import (
+    CameraRig,
+    RigCamera,
+    RigJobHandle,
+    RigMappingResult,
+    RigOrchestrator,
 )
 from repro.core.pipeline import EMVSPipeline
 from repro.core.reformulated import ReformulatedPipeline
@@ -92,10 +100,16 @@ __all__ = [
     "MappingResult",
     "SegmentTask",
     "default_voxel_size",
+    "fuse_camera_keyframes",
     "fuse_keyframes",
     "merge_outcomes",
     "run_segment_task",
     "segment_tasks",
+    "CameraRig",
+    "RigCamera",
+    "RigJobHandle",
+    "RigMappingResult",
+    "RigOrchestrator",
     "EMVSPipeline",
     "ReformulatedPipeline",
     "OnlineEMVS",

@@ -63,6 +63,15 @@ class GlobalMap:
     observations, so for a given insertion order the fused arrays are
     bit-reproducible (the property parallel mapping's determinism tests
     pin).
+
+    Every insertion optionally carries a ``source`` label — the camera
+    index of a multi-camera rig.  The fused map tracks how many
+    *distinct* sources observed each voxel, so :meth:`fused_cloud` can
+    require cross-camera agreement (``min_cameras``) on top of the
+    per-observation support filter (``min_observations``) — the
+    refocused-events outlier-rejection move of Ghosh & Gallego (2022)
+    generalized to N cameras.  Monocular callers never pass ``source``
+    and see exactly the old behaviour (every voxel has one source).
     """
 
     def __init__(self, voxel_size: float):
@@ -71,7 +80,10 @@ class GlobalMap:
         self.voxel_size = float(voxel_size)
         self._points: list[np.ndarray] = []
         self._weights: list[np.ndarray] = []
-        self._fused: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._sources: list[np.ndarray] = []
+        self._fused: (
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None
+        ) = None
 
     # ------------------------------------------------------------------
     @property
@@ -79,8 +91,18 @@ class GlobalMap:
         """Observations inserted (before voxel deduplication)."""
         return sum(len(p) for p in self._points)
 
-    def insert(self, points: np.ndarray, weights: np.ndarray | None = None) -> None:
-        """Add world-frame observations with positive confidence weights."""
+    def insert(
+        self,
+        points: np.ndarray,
+        weights: np.ndarray | None = None,
+        source: int = 0,
+    ) -> None:
+        """Add world-frame observations with positive confidence weights.
+
+        ``source`` labels the observations' origin camera (rig camera
+        index); it only matters to the :meth:`fused_camera_counts` /
+        ``min_cameras`` agreement filter.
+        """
         points = np.asarray(points, dtype=float)
         if points.ndim != 2 or points.shape[1] != 3:
             raise ValueError(f"points must be (N, 3), got {points.shape}")
@@ -94,14 +116,18 @@ class GlobalMap:
                 raise ValueError("need one weight per point")
             if not np.all(weights > 0):
                 raise ValueError("confidence weights must be positive")
+        if source < 0:
+            raise ValueError("source must be a non-negative camera index")
         self._points.append(points)
         self._weights.append(weights)
+        self._sources.append(np.full(len(points), int(source), dtype=np.int64))
         self._fused = None
 
     def insert_keyframe(
         self,
         reconstruction: KeyframeReconstruction,
         camera: PinholeCamera,
+        source: int = 0,
     ) -> None:
         """Lift one key-frame depth map and insert it, confidence-weighted."""
         depth_map = reconstruction.depth_map
@@ -110,20 +136,26 @@ class GlobalMap:
             return
         # pixels()/depths()/confidences() share the mask's nonzero order,
         # so the lifted points and their weights stay aligned.
-        self.insert(cloud.points, np.asarray(depth_map.confidences(), dtype=float))
+        self.insert(
+            cloud.points,
+            np.asarray(depth_map.confidences(), dtype=float),
+            source=source,
+        )
 
     # ------------------------------------------------------------------
-    def _fuse(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def _fuse(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         if self._fused is None:
             if not self._points:
                 self._fused = (
                     np.empty((0, 3)),
                     np.empty(0),
                     np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
                 )
                 return self._fused
             points = np.concatenate(self._points)
             weights = np.concatenate(self._weights)
+            sources = np.concatenate(self._sources)
             keys = np.floor(points / self.voxel_size).astype(np.int64)
             _, inverse = np.unique(keys, axis=0, return_inverse=True)
             n_vox = int(inverse.max()) + 1
@@ -133,7 +165,14 @@ class GlobalMap:
             np.add.at(centers, inverse, points * weights[:, None])
             centers /= weight_sum[:, None]
             counts = np.bincount(inverse, minlength=n_vox)
-            self._fused = (centers, weight_sum, counts)
+            # Distinct-source support per voxel: unique (voxel, source)
+            # pairs, then one count per voxel — an order-fixed pass like
+            # everything else here (np.unique sorts).
+            pairs = np.unique(
+                np.stack([inverse, sources], axis=1), axis=0
+            )
+            camera_counts = np.bincount(pairs[:, 0], minlength=n_vox)
+            self._fused = (centers, weight_sum, counts, camera_counts)
         return self._fused
 
     @property
@@ -153,16 +192,31 @@ class GlobalMap:
         """``(V,)`` observation count per voxel."""
         return self._fuse()[2]
 
-    def fused_cloud(self, min_observations: int = 1) -> PointCloud:
+    def fused_camera_counts(self) -> np.ndarray:
+        """``(V,)`` distinct insertion sources (rig cameras) per voxel."""
+        return self._fuse()[3]
+
+    def fused_cloud(
+        self, min_observations: int = 1, min_cameras: int = 1
+    ) -> PointCloud:
         """The fused map as a :class:`PointCloud`.
 
         ``min_observations > 1`` keeps only voxels supported by several
         observations — cross-view agreement filtering for multi-keyframe
-        runs.
+        runs.  ``min_cameras > 1`` additionally requires the voxel to be
+        observed by that many *distinct* sources (rig cameras) — the
+        cross-camera outlier rejection of multi-camera fusion; it is a
+        no-op for monocular maps filtered at ``min_cameras=1``.
         """
-        centers, _, counts = self._fuse()
+        centers, _, counts, camera_counts = self._fuse()
+        keep = None
         if min_observations > 1:
-            centers = centers[counts >= min_observations]
+            keep = counts >= min_observations
+        if min_cameras > 1:
+            agree = camera_counts >= min_cameras
+            keep = agree if keep is None else (keep & agree)
+        if keep is not None:
+            centers = centers[keep]
         return PointCloud(centers.copy())
 
 
@@ -224,11 +278,18 @@ class SegmentTask:
     reconstruction service shard streams into these, so their per-segment
     execution is the *same code path* — the determinism equivalence
     between the two is structural.
+
+    ``camera`` is an optional provenance tag (the rig camera name a
+    multi-camera orchestrator sharded this segment for).  It never enters
+    :meth:`content_digest`: the computation is fully determined by
+    ``spec`` + ``events``, so a rig camera's segment and the identical
+    monocular segment share one cache entry.
     """
 
     index: int
     events: EventArray
     spec: EngineSpec
+    camera: str = ""
 
     def content_digest(self) -> str:
         """Content-addressed identity of this task's *computation*.
@@ -299,6 +360,27 @@ def fuse_keyframes(
     global_map = GlobalMap(voxel_size)
     for reconstruction in keyframes:
         global_map.insert_keyframe(reconstruction, camera)
+    return global_map
+
+
+def fuse_camera_keyframes(
+    streams: list[tuple[PinholeCamera, list[KeyframeReconstruction]]],
+    voxel_size: float,
+) -> GlobalMap:
+    """Fuse several cameras' key-frame streams into one :class:`GlobalMap`.
+
+    ``streams`` is ordered ``(camera, keyframes)`` pairs — one per rig
+    camera; the pair's position is its ``source`` label, so the fused
+    map's :meth:`~GlobalMap.fused_camera_counts` records cross-camera
+    agreement.  Insertion order is camera-major then keyframe order,
+    which fixes the reduction order: the fused arrays are bit-identical
+    however the per-camera keyframes were computed (inline, thread or
+    process pools, any worker count).
+    """
+    global_map = GlobalMap(voxel_size)
+    for source, (camera, keyframes) in enumerate(streams):
+        for reconstruction in keyframes:
+            global_map.insert_keyframe(reconstruction, camera, source=source)
     return global_map
 
 

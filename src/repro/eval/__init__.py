@@ -10,7 +10,9 @@ paper's published values.
 from repro.eval.metrics import (
     DepthMetrics,
     FusedMapMetrics,
+    RigComparison,
     absrel,
+    compare_rig_to_monocular,
     evaluate_fused_map,
     evaluate_reconstruction,
     point_to_scene_distance,
@@ -20,7 +22,9 @@ from repro.eval.reporting import Table, format_percent
 __all__ = [
     "DepthMetrics",
     "FusedMapMetrics",
+    "RigComparison",
     "absrel",
+    "compare_rig_to_monocular",
     "evaluate_fused_map",
     "evaluate_reconstruction",
     "point_to_scene_distance",

@@ -158,13 +158,25 @@ def evaluate_fused_map(
     outlier_distance:
         Surface-distance threshold for the outlier ratio; defaults to 2 %
         of the sequence's mean DSI depth (depth-scale invariant).
+
+    An empty cloud is a defined outcome, not an error: aggressive
+    agreement filtering (``min_observations`` / rig ``min_cameras``) can
+    legitimately reject every voxel, and a sweep over filter settings
+    must be able to record that corner.  The report for it is NaN-free —
+    zero error, zero outliers, ``n_points=0``.
     """
     points = np.asarray(getattr(cloud, "points", cloud), dtype=float)
-    if points.size == 0:
-        raise ValueError("fused map contains no points to evaluate")
     if outlier_distance is None:
         z_min, z_max = sequence.depth_range
         outlier_distance = 0.02 * 0.5 * (z_min + z_max)
+    if points.size == 0:
+        return FusedMapMetrics(
+            mean_distance=0.0,
+            rmse=0.0,
+            outlier_ratio=0.0,
+            outlier_distance=float(outlier_distance),
+            n_points=0,
+        )
     distances = point_to_scene_distance(sequence.scene, points)
     return FusedMapMetrics(
         mean_distance=float(np.mean(distances)),
@@ -173,6 +185,75 @@ def evaluate_fused_map(
         outlier_distance=float(outlier_distance),
         n_points=int(points.shape[0]),
     )
+
+
+@dataclass(frozen=True)
+class RigComparison:
+    """Stereo-vs-monocular accuracy comparison for one rig reconstruction.
+
+    ``fused`` evaluates the cross-camera fused cloud (``min_cameras``
+    agreement applied); ``per_camera`` evaluates each camera's *solo*
+    monocular cloud — bit-identical to a monocular run of that camera —
+    against the same scene with the same outlier threshold, so the
+    numbers are directly comparable.
+    """
+
+    fused: FusedMapMetrics
+    per_camera: dict[str, FusedMapMetrics]
+
+    @property
+    def best_camera(self) -> str:
+        """Name of the most accurate single camera (lowest mean distance)."""
+        return min(self.per_camera, key=lambda n: self.per_camera[n].mean_distance)
+
+    @property
+    def best_monocular(self) -> FusedMapMetrics:
+        """Metrics of the most accurate single camera."""
+        return self.per_camera[self.best_camera]
+
+    @property
+    def improvement(self) -> float:
+        """Mean-distance reduction of fusion over the best single camera."""
+        return self.best_monocular.mean_distance - self.fused.mean_distance
+
+    @property
+    def fusion_wins(self) -> bool:
+        """Whether the fused map is strictly more accurate than every camera."""
+        return self.fused.mean_distance < self.best_monocular.mean_distance
+
+    def __str__(self) -> str:
+        return (
+            f"fused {self.fused} | best mono ({self.best_camera}) "
+            f"{self.best_monocular} | improvement {self.improvement:.4f} m"
+        )
+
+
+def compare_rig_to_monocular(
+    result, sequence, outlier_distance: float | None = None
+) -> RigComparison:
+    """Evaluate a rig result's fused map against its own cameras' solo maps.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.rig.RigMappingResult` (anything with a
+        ``cloud`` and a ``per_camera`` mapping of results with clouds).
+    sequence:
+        The generating :class:`~repro.events.datasets.RigSequence` (or
+        any sequence-shaped object with ``scene`` and ``depth_range``).
+    outlier_distance:
+        Shared surface-distance threshold; defaults as in
+        :func:`evaluate_fused_map`.
+    """
+    if outlier_distance is None:
+        z_min, z_max = sequence.depth_range
+        outlier_distance = 0.02 * 0.5 * (z_min + z_max)
+    fused = evaluate_fused_map(result.cloud, sequence, outlier_distance)
+    per_camera = {
+        name: evaluate_fused_map(solo.cloud, sequence, outlier_distance)
+        for name, solo in result.per_camera.items()
+    }
+    return RigComparison(fused=fused, per_camera=per_camera)
 
 
 def evaluate_reconstruction(result: EMVSResult, sequence) -> DepthMetrics:

@@ -18,13 +18,20 @@ from repro.events.davis_io import (
     load_dataset_dir,
     save_dataset_dir,
 )
-from repro.events.simulator import EventCameraSimulator, SimulatorConfig
+from repro.events.simulator import (
+    EventCameraSimulator,
+    SimulatorConfig,
+    simulate_rig,
+)
 from repro.events.scenes import PlanarScene, TexturedPlane
 from repro.events.datasets import (
     ALL_SEQUENCE_NAMES,
+    RIG_SCENARIO_NAMES,
     SCENARIO_NAMES,
     SEQUENCE_NAMES,
+    RigSequence,
     Sequence,
+    load_rig_sequence,
     load_sequence,
 )
 
@@ -44,11 +51,15 @@ __all__ = [
     "save_dataset_dir",
     "EventCameraSimulator",
     "SimulatorConfig",
+    "simulate_rig",
     "PlanarScene",
     "TexturedPlane",
+    "RigSequence",
     "Sequence",
+    "load_rig_sequence",
     "load_sequence",
     "SEQUENCE_NAMES",
     "SCENARIO_NAMES",
+    "RIG_SCENARIO_NAMES",
     "ALL_SEQUENCE_NAMES",
 ]

@@ -28,7 +28,11 @@ from repro.events.scenes import (
     three_planes_scene,
     three_walls_scene,
 )
-from repro.events.simulator import EventCameraSimulator, SimulatorConfig
+from repro.events.simulator import (
+    EventCameraSimulator,
+    SimulatorConfig,
+    simulate_rig,
+)
 from repro.geometry.camera import PinholeCamera
 from repro.geometry.se3 import SE3, Quaternion
 from repro.geometry.trajectory import Trajectory, linear_trajectory
@@ -54,6 +58,14 @@ SCENARIO_NAMES = (
 #: Every name :func:`load_sequence` accepts.
 ALL_SEQUENCE_NAMES = SEQUENCE_NAMES + SCENARIO_NAMES
 
+#: Multi-camera rig scenarios (see :func:`load_rig_sequence`): the same
+#: scene observed by extrinsically-offset cameras with shared timestamps,
+#: built for the stereo / N-camera fusion layer (:mod:`repro.core.rig`).
+RIG_SCENARIO_NAMES = (
+    "slider_stereo",
+    "corridor_rig3",
+)
+
 #: Short labels used in the paper's figures and reports.
 SHORT_NAMES = {
     "simulation_3planes": "3planes",
@@ -62,6 +74,8 @@ SHORT_NAMES = {
     "slider_far": "far",
     "slider_long": "long",
     "corridor_sweep": "corridor",
+    "slider_stereo": "stereo",
+    "corridor_rig3": "rig3",
 }
 
 
@@ -279,6 +293,190 @@ _BUILDERS = {
     "slider_long": lambda q: _build_slider_long(q),
     "corridor_sweep": lambda q: _build_corridor_sweep(q),
 }
+
+
+@dataclass(frozen=True)
+class RigSequence:
+    """A loaded multi-camera rig scenario.
+
+    Structure-compatible with :class:`Sequence` where evaluation needs
+    it (``scene``, ``depth_range``, ``camera``, ``gt_depth_at``), so
+    :func:`repro.eval.evaluate_fused_map` consumes one directly.  The
+    per-camera streams share timestamps — every camera observed the same
+    scene over the same span, from ``trajectory`` (the rig *body*'s
+    ``T_w_rig``) composed with its mounting extrinsic.
+
+    Attributes
+    ----------
+    name:
+        One of :data:`RIG_SCENARIO_NAMES`.
+    events:
+        Ordered ``{camera name: EventArray}`` in extrinsic order.
+    trajectory:
+        The rig body's ground-truth trajectory ``T_w_rig(t)``.
+    extrinsics:
+        Per-camera mounting poses ``T_rig_cam``, in camera order.
+    camera:
+        The (shared) sensor calibration of every rig camera.
+    scene:
+        The generating scene — analytic ground-truth depth.
+    depth_range:
+        DSI bounds shared by all cameras (the scene is the same).
+    keyframe_distance:
+        Recommended key-frame translation threshold (metres).
+    """
+
+    name: str
+    events: dict[str, EventArray]
+    trajectory: Trajectory
+    extrinsics: tuple[SE3, ...]
+    camera: PinholeCamera
+    scene: PlanarScene
+    depth_range: tuple[float, float]
+    keyframe_distance: float
+
+    @property
+    def short_name(self) -> str:
+        return SHORT_NAMES[self.name]
+
+    @property
+    def camera_names(self) -> tuple[str, ...]:
+        """Camera names in rig order."""
+        return tuple(self.events)
+
+    @property
+    def n_cameras(self) -> int:
+        """Number of cameras in the rig."""
+        return len(self.extrinsics)
+
+    def gt_depth_at(self, T_wc: SE3, pixels: np.ndarray) -> np.ndarray:
+        """Ground-truth depth at (sub-pixel) positions of an arbitrary view."""
+        return self.scene.depth_at_pixels(self.camera, T_wc, pixels)
+
+
+def _build_slider_stereo(quality: str) -> RigSequence:
+    """Horizontal stereo pair sweeping the slider board.
+
+    Two identical sensors 8 cm apart ride the slider together.  Sensor
+    non-idealities are on (per-camera seeds, so threshold mismatch and
+    background noise are *uncorrelated* between the eyes) — exactly the
+    regime where ``min_cameras=2`` agreement rejects what monocular
+    fusion cannot: each camera's noise lands in voxels the other never
+    votes for.
+    """
+    mean_depth = 0.9
+    scene = slider_scene(mean_depth, seed=17)
+    camera = PinholeCamera.davis240c(distorted=False)
+    trajectory = linear_trajectory(
+        start=[-0.3, 0.0, 0.0],
+        end=[0.3, 0.0, 0.0],
+        duration=2.4,
+        n_poses=241,
+        rotation=Quaternion.identity(),
+    )
+    extrinsics = (
+        SE3.identity(),
+        SE3(np.eye(3), np.array([0.08, 0.0, 0.0])),
+    )
+    config = SimulatorConfig(
+        contrast_threshold=0.17,
+        n_render_steps=_quality_steps(quality, 480),
+        threshold_mismatch=0.04,
+        noise_rate=0.12,
+        seed=17,
+    )
+    events = simulate_rig(scene, camera, trajectory, extrinsics, config)
+    return RigSequence(
+        name="slider_stereo",
+        events=events,
+        trajectory=trajectory,
+        extrinsics=extrinsics,
+        camera=camera,
+        scene=scene,
+        depth_range=(0.55 * mean_depth, 2.2 * mean_depth),
+        keyframe_distance=0.15 * mean_depth,
+    )
+
+
+def _build_corridor_rig3(quality: str) -> RigSequence:
+    """Three-camera rig sweeping the corridor: center plus two toed-out eyes.
+
+    The side cameras sit 6 cm off-axis with a 3° outward yaw, so all
+    three overlap on the corridor walls while each sees a slightly
+    different slice — voxels supported by ≥2 cameras are real structure,
+    single-camera voxels are dominated by per-sensor noise.
+    """
+    scene = corridor_scene(half_width=0.8, length=6.0, seed=23)
+    camera = PinholeCamera.davis240c(distorted=False)
+    trajectory = linear_trajectory(
+        start=[0.0, 0.0, 0.0],
+        end=[0.0, 0.0, 1.6],
+        duration=3.0,
+        n_poses=301,
+        rotation=Quaternion.identity(),
+    )
+    yaw = np.deg2rad(3.0)
+    extrinsics = (
+        SE3(
+            Quaternion.from_axis_angle(np.array([0.0, 1.0, 0.0]), -yaw),
+            np.array([-0.06, 0.0, 0.0]),
+        ),
+        SE3.identity(),
+        SE3(
+            Quaternion.from_axis_angle(np.array([0.0, 1.0, 0.0]), yaw),
+            np.array([0.06, 0.0, 0.0]),
+        ),
+    )
+    config = SimulatorConfig(
+        contrast_threshold=0.16,
+        n_render_steps=_quality_steps(quality, 480),
+        threshold_mismatch=0.03,
+        noise_rate=0.1,
+        seed=23,
+    )
+    events = simulate_rig(
+        scene,
+        camera,
+        trajectory,
+        extrinsics,
+        config,
+        names=["left", "center", "right"],
+    )
+    return RigSequence(
+        name="corridor_rig3",
+        events=events,
+        trajectory=trajectory,
+        extrinsics=extrinsics,
+        camera=camera,
+        scene=scene,
+        depth_range=(1.1, 6.5),
+        keyframe_distance=0.3,
+    )
+
+
+_RIG_BUILDERS = {
+    "slider_stereo": _build_slider_stereo,
+    "corridor_rig3": _build_corridor_rig3,
+}
+
+
+@lru_cache(maxsize=4)
+def load_rig_sequence(name: str, quality: str = "full") -> RigSequence:
+    """Load (generate) one multi-camera rig scenario.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`RIG_SCENARIO_NAMES`.
+    quality:
+        ``"full"`` for evaluation fidelity, ``"fast"`` for quick tests.
+    """
+    if name not in _RIG_BUILDERS:
+        raise KeyError(
+            f"unknown rig sequence {name!r}; "
+            f"available: {', '.join(RIG_SCENARIO_NAMES)}"
+        )
+    return _RIG_BUILDERS[name](quality)
 
 
 @lru_cache(maxsize=8)

@@ -118,6 +118,24 @@ class Trajectory:
         rotations, translations = self.sample_many(np.asarray(times, dtype=float))
         return [SE3(R, t) for R, t in zip(rotations, translations)]
 
+    def transformed(self, offset: SE3) -> "Trajectory":
+        """Trajectory of a frame rigidly mounted at ``offset`` from this one.
+
+        Composes every pose on the right: if this trajectory is a rig
+        body's ``T_w_rig(t)`` and ``offset`` is a camera's mounting
+        extrinsic ``T_rig_cam``, the result is the camera's own world
+        trajectory ``T_w_cam(t) = T_w_rig(t) @ T_rig_cam`` at the same
+        timestamps.  Composition happens at the stored poses (not after
+        interpolation), so the returned trajectory is an ordinary
+        :class:`Trajectory` — samples interpolate between *composed*
+        poses, and two callers composing the same extrinsic get
+        bit-identical poses.  ``transformed(SE3.identity())`` is exact:
+        every rotation and translation round-trips bit-for-bit.
+        """
+        if not isinstance(offset, SE3):
+            raise TypeError("offset must be an SE3 extrinsic")
+        return Trajectory(self._timestamps, [p @ offset for p in self._poses])
+
     def subsampled(self, step: int) -> "Trajectory":
         """Every ``step``-th pose (always keeping the last one)."""
         if step < 1:

@@ -29,22 +29,26 @@ selects the fault-plan seed (CI sweeps a small matrix).
 """
 
 import dataclasses
+import functools
 import os
 
 import numpy as np
 import pytest
 
 from repro.core import (
+    CameraRig,
     EMVSConfig,
     EngineSpec,
     MappingOrchestrator,
     ORIGINAL_POLICY,
     REFORMULATED_POLICY,
+    RigOrchestrator,
 )
 from repro.core.engine import BACKENDS
 from repro.events.scenes import slider_scene
-from repro.events.simulator import EventCameraSimulator, SimulatorConfig
+from repro.events.simulator import EventCameraSimulator, SimulatorConfig, simulate_rig
 from repro.geometry.camera import PinholeCamera
+from repro.geometry.se3 import SE3, Quaternion
 from repro.geometry.trajectory import linear_trajectory
 from repro.serve import (
     CacheConfig,
@@ -375,3 +379,152 @@ def test_gateway_routing_is_invisible(seed):
     for result in asyncio.run(routed()):
         assert_fused_bit_equal(result, direct)
         assert_keyframes_bit_equal(result.keyframes, direct.keyframes)
+
+
+# ----------------------------------------------------------------------
+# Rig leg: seeded random multi-camera rigs
+# ----------------------------------------------------------------------
+
+#: Seeds of the rig fuzz leg (each draws a random 2- or 3-camera rig;
+#: the dedicated `rig` CI job runs these with ``-k rig``).
+RIG_FUZZ_SEEDS = [0, 1, 2]
+
+
+@functools.lru_cache(maxsize=None)
+def draw_rig_case(seed: int):
+    """Draw a random rig workload from the seed: scene, body trajectory,
+    2–3 mounting extrinsics (baseline + small yaw), per-camera noisy
+    event streams, and a :class:`CameraRig` over one drawn engine
+    configuration.  Cached: several tests replay the same case.
+    """
+    rng = np.random.default_rng(6000 + seed)
+    mean_depth = float(rng.uniform(0.7, 1.2))
+    scene = slider_scene(mean_depth, seed=100 + seed)
+    camera = PinholeCamera.ideal(96, 72, fov_deg=float(rng.uniform(50.0, 60.0)))
+    half_span = float(rng.uniform(0.26, 0.36)) * mean_depth
+    trajectory = linear_trajectory(
+        start=[-half_span, 0.0, 0.0],
+        end=[half_span, 0.0, 0.0],
+        duration=float(rng.uniform(0.8, 1.0)),
+        n_poses=int(rng.integers(61, 81)),
+    )
+    n_cameras = 2 + int(seed % 2)
+    extrinsics = [SE3.identity()]
+    for _ in range(n_cameras - 1):
+        yaw = float(rng.uniform(-0.05, 0.05))
+        extrinsics.append(
+            SE3(
+                Quaternion.from_axis_angle(np.array([0.0, 1.0, 0.0]), yaw),
+                np.array([float(rng.uniform(0.04, 0.1)), 0.0, 0.0]),
+            )
+        )
+    sim_config = SimulatorConfig(
+        contrast_threshold=float(rng.uniform(0.16, 0.2)),
+        n_render_steps=int(rng.integers(42, 54)),
+        threshold_mismatch=0.03,
+        noise_rate=float(rng.uniform(0.02, 0.06)),
+        seed=200 + seed,
+    )
+    events = simulate_rig(scene, camera, trajectory, extrinsics, sim_config)
+    config = EMVSConfig(
+        n_depth_planes=int(rng.choice([24, 32])),
+        frame_size=int(rng.choice([512, 1024])),
+        keyframe_distance=float(rng.uniform(0.1, 0.16)) * mean_depth,
+    )
+    rig = CameraRig.from_trajectory(
+        camera,
+        trajectory,
+        config,
+        extrinsics=extrinsics,
+        depth_range=(0.5 * mean_depth, 2.2 * mean_depth),
+        backend="numpy-batch",
+    )
+    return rig, events
+
+
+@functools.lru_cache(maxsize=None)
+def rig_reference(seed: int):
+    """The serial (1-worker) rig result every other execution must match."""
+    rig, events = draw_rig_case(seed)
+    return RigOrchestrator(rig, workers=1).run(events)
+
+
+def assert_rig_bit_equal(a, b):
+    assert a.profile.counters() == b.profile.counters()
+    assert (a.min_observations, a.min_cameras) == (b.min_observations, b.min_cameras)
+    np.testing.assert_array_equal(a.cloud.points, b.cloud.points)
+    np.testing.assert_array_equal(
+        a.global_map.fused_points(), b.global_map.fused_points()
+    )
+    np.testing.assert_array_equal(
+        a.global_map.fused_confidences(), b.global_map.fused_confidences()
+    )
+    np.testing.assert_array_equal(
+        a.global_map.fused_counts(), b.global_map.fused_counts()
+    )
+    np.testing.assert_array_equal(
+        a.global_map.fused_camera_counts(), b.global_map.fused_camera_counts()
+    )
+    assert set(a.per_camera) == set(b.per_camera)
+    for name in a.per_camera:
+        assert_fused_bit_equal(a.per_camera[name], b.per_camera[name])
+        assert_keyframes_bit_equal(
+            a.per_camera[name].keyframes, b.per_camera[name].keyframes
+        )
+
+
+@pytest.mark.parametrize("seed", RIG_FUZZ_SEEDS)
+def test_rig_fusion_bit_identical_across_workers(seed):
+    """Rig fusion is bit-identical for 1/2/3 workers, thread or process pools."""
+    rig, events = draw_rig_case(seed)
+    reference = rig_reference(seed)
+    assert reference.n_points > 0  # the draw produced a real workload
+    for workers in (2, 3):
+        threaded = RigOrchestrator(rig, workers=workers, executor="thread").run(
+            events
+        )
+        assert_rig_bit_equal(threaded, reference)
+    processed = RigOrchestrator(rig, workers=2, executor="process").run(events)
+    assert_rig_bit_equal(processed, reference)
+
+
+@pytest.mark.parametrize("seed", RIG_FUZZ_SEEDS)
+def test_rig_per_camera_equals_monocular_run(seed):
+    """Each camera's partial result is bit-identical to its monocular run."""
+    rig, events = draw_rig_case(seed)
+    reference = rig_reference(seed)
+    for cam in rig:
+        mono = MappingOrchestrator(
+            cam.spec.camera,
+            cam.spec.trajectory,
+            cam.spec.config,
+            depth_range=cam.spec.depth_range,
+            policy=cam.spec.policy,
+            backend=cam.spec.backend,
+            workers=1,
+        ).run(events[cam.name])
+        partial = reference.per_camera[cam.name]
+        assert_fused_bit_equal(mono, partial)
+        assert_keyframes_bit_equal(mono.keyframes, partial.keyframes)
+
+
+@pytest.mark.parametrize("executor", ["inline", "thread", "process"])
+@pytest.mark.parametrize("seed", RIG_FUZZ_SEEDS)
+def test_rig_served_equals_local(seed, executor):
+    """A rig routed through the service is bit-identical to the local run.
+
+    The rig submits as N ordinary per-camera jobs on the unchanged
+    ``ReconstructionService.submit`` path — on every executor and a
+    seed-swept worker count, collection must fuse to the exact arrays
+    the local orchestrator produced.
+    """
+    rig, events = draw_rig_case(seed)
+    reference = rig_reference(seed)
+    orchestrator = RigOrchestrator(rig, workers=1)
+    workers = 1 if executor == "inline" else int(seed % 3) + 1
+    with ReconstructionService(
+        workers=workers, executor=executor, cache_size=0
+    ) as service:
+        handle = orchestrator.submit(service, events)
+        served = orchestrator.collect(service, handle, timeout=300.0)
+    assert_rig_bit_equal(served, reference)

@@ -151,10 +151,27 @@ class TestEvaluateFusedMap:
         assert m.rmse == pytest.approx(np.sqrt(0.5 * 1.0**2))
         assert "surf-dist" in str(m)
 
-    def test_empty_map_raises(self):
+    def test_empty_map_is_a_defined_nan_free_report(self):
+        """An all-filtered map evaluates to zeros, not an exception.
+
+        ``min_observations`` / ``min_cameras`` sweeps can legitimately
+        reject every voxel; the report for that corner must be NaN-free
+        and carry the threshold that was (or would have been) applied.
+        """
         seq = FakeSequence(square_plane_scene(), (1.0, 3.0))
-        with pytest.raises(ValueError):
-            evaluate_fused_map(np.empty((0, 3)), seq)
+        m = evaluate_fused_map(np.empty((0, 3)), seq)
+        assert m.n_points == 0
+        assert m.mean_distance == 0.0
+        assert m.rmse == 0.0
+        assert m.outlier_ratio == 0.0
+        assert m.outlier_distance == pytest.approx(0.04)
+        assert np.isfinite(
+            [m.mean_distance, m.rmse, m.outlier_ratio, m.outlier_distance]
+        ).all()
+        # An explicit threshold is echoed back unchanged.
+        assert evaluate_fused_map(
+            np.empty((0, 3)), seq, outlier_distance=0.5
+        ).outlier_distance == 0.5
 
     def test_accepts_point_clouds(self):
         from repro.core.pointcloud import PointCloud

@@ -207,3 +207,130 @@ class TestKeys:
             events.content_digest(1024, 4096)
             == events[1024:4096].content_digest()
         )
+
+    def test_sliced_digest_property_over_random_windows(self, mapping_workload):
+        """Slice composition holds for arbitrary windows, not one corner.
+
+        ``events.content_digest(a, b) == events[a:b].content_digest()``
+        is the identity that lets admission-time cache probes hash event
+        windows without materializing the slice; fuzz it over seeded
+        random windows including empty and full-span ones.
+        """
+        import numpy as np
+
+        _, events, _ = mapping_workload
+        n = len(events)
+        rng = np.random.default_rng(4242)
+        windows = [(0, n), (0, 0), (n, n), (n // 2, n // 2)]
+        windows += [
+            tuple(sorted(rng.integers(0, n + 1, size=2))) for _ in range(12)
+        ]
+        for a, b in windows:
+            a, b = int(a), int(b)
+            assert (
+                events.content_digest(a, b) == events[a:b].content_digest()
+            ), (a, b)
+
+
+class TestRigCacheKeys:
+    """Rig workloads must share segment-cache entries with monocular runs."""
+
+    @pytest.fixture()
+    def rig_and_spec(self, mapping_workload):
+        import numpy as np
+
+        from repro.core import CameraRig, EngineSpec
+        from repro.geometry.se3 import SE3
+
+        seq, events, config = mapping_workload
+        spec = EngineSpec(
+            seq.camera,
+            seq.trajectory,
+            config,
+            depth_range=seq.depth_range,
+            backend="numpy-batch",
+        )
+        rig = CameraRig.from_trajectory(
+            seq.camera,
+            seq.trajectory,
+            config,
+            extrinsics=[
+                SE3.identity(),
+                SE3(np.eye(3), np.array([0.08, 0.0, 0.0])),
+            ],
+            depth_range=seq.depth_range,
+            backend="numpy-batch",
+        )
+        return rig, spec, events
+
+    def test_identity_camera_shares_keys_with_monocular_spec(self, rig_and_spec):
+        """The identity-mounted rig camera IS the monocular engine.
+
+        Composing ``SE3.identity()`` is bit-exact, so its spec tokenizes
+        identically and every planned segment of a rig job hits the very
+        cache entries a monocular job of the same stream wrote.
+        """
+        rig, spec, events = rig_and_spec
+        cam0 = rig.camera("cam0").spec
+        mono_plans, _ = spec.plan(events)
+        rig_plans, _ = cam0.plan(events)
+        assert [p.index for p in mono_plans] == [p.index for p in rig_plans]
+        assert len(mono_plans) > 1
+        for mono_plan, rig_plan in zip(mono_plans, rig_plans):
+            mono_key = segment_key(
+                spec, events.content_digest(mono_plan.start_event, mono_plan.end_event)
+            )
+            rig_key = segment_key(
+                cam0, events.content_digest(rig_plan.start_event, rig_plan.end_event)
+            )
+            assert mono_key == rig_key
+
+    def test_offset_camera_gets_distinct_keys(self, rig_and_spec):
+        """A camera on a real baseline computes different segments."""
+        rig, spec, events = rig_and_spec
+        cam1 = rig.camera("cam1").spec
+        digest = events.content_digest(0, 2048)
+        assert segment_key(cam1, digest) != segment_key(spec, digest)
+
+    def test_overlapping_rigs_share_per_camera_entries(self, rig_and_spec):
+        """Two rigs sharing a camera share that camera's cache entries."""
+        import numpy as np
+
+        from repro.core import CameraRig
+        from repro.geometry.se3 import SE3
+
+        rig, spec, events = rig_and_spec
+        offset = SE3(np.eye(3), np.array([0.08, 0.0, 0.0]))
+        wider = CameraRig.from_trajectory(
+            spec.camera,
+            spec.trajectory,
+            spec.config,
+            extrinsics=[
+                SE3.identity(),
+                offset,
+                SE3(np.eye(3), np.array([-0.08, 0.0, 0.0])),
+            ],
+            depth_range=spec.depth_range,
+            backend="numpy-batch",
+        )
+        digest = events.content_digest(0, 2048)
+        # Same mounting point, different rigs: identical keys.
+        assert segment_key(rig.camera("cam1").spec, digest) == segment_key(
+            wider.camera("cam1").spec, digest
+        )
+        # The rig's third camera is genuinely new work.
+        assert segment_key(wider.camera("cam2").spec, digest) != segment_key(
+            wider.camera("cam1").spec, digest
+        )
+
+    def test_camera_tag_never_enters_the_task_digest(self, rig_and_spec):
+        """`SegmentTask.camera` is provenance, not identity."""
+        from repro.core import SegmentTask
+
+        rig, spec, events = rig_and_spec
+        plans, _ = spec.plan(events)
+        plan = plans[0]
+        sliced = plan.slice(events)
+        untagged = SegmentTask(plan.index, sliced, spec)
+        tagged = SegmentTask(plan.index, sliced, spec, camera="cam0")
+        assert untagged.content_digest() == tagged.content_digest()
